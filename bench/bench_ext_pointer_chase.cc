@@ -1,0 +1,70 @@
+// Extension bench (paper Fig. 5's motivating scenario, quantified): a
+// linked list with one node per page, traversed under memory pressure.
+// History-based prefetchers cannot predict pointer order; the list guide
+// chases `next` pointers with subpage reads and keeps a pipeline of page
+// fetches ahead of the traversal.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/apps/linked_list.h"
+#include "src/guides/list_guide.h"
+
+namespace dilos {
+namespace {
+
+constexpr uint64_t kNodes = 4096;
+
+double RunOne(int mode, double local_fraction) {  // 0 none, 1 ra, 2 trend, 3 guide.
+  Fabric fabric;
+  DilosConfig cfg;
+  cfg.local_mem_bytes =
+      static_cast<uint64_t>(static_cast<double>(kNodes * kPageSize) * local_fraction);
+  std::unique_ptr<Prefetcher> pf;
+  switch (mode) {
+    case 1:
+      pf = std::make_unique<ReadaheadPrefetcher>();
+      break;
+    case 2:
+      pf = MakePrefetcher(DilosVariant::kTrend);
+      break;
+    default:
+      pf = std::make_unique<NullPrefetcher>();
+      break;
+  }
+  DilosRuntime rt(fabric, cfg, std::move(pf));
+  LinkedListWorkload list(rt, kNodes);
+  ListGuide guide(kListNextOffset, /*chase_depth=*/4);
+  if (mode == 3) {
+    rt.set_guide(&guide);
+  }
+  auto res = list.Traverse([&](uint64_t node) { guide.OnVisit(node); });
+  return static_cast<double>(res.elapsed_ns) / static_cast<double>(res.nodes);
+}
+
+void Run() {
+  PrintHeader("Extension: pointer-chasing traversal (Fig. 5 scenario)\n"
+              "ns per node, one node per page, list order random");
+  const char* names[] = {"no-prefetch", "readahead", "trend-based", "list guide"};
+  std::printf("%-18s", "prefetcher");
+  for (double f : {0.125, 0.25, 0.5}) {
+    std::printf(" %9.1f%%", f * 100);
+  }
+  std::printf("\n");
+  for (int mode = 0; mode < 4; ++mode) {
+    std::printf("%-18s", names[mode]);
+    for (double f : {0.125, 0.25, 0.5}) {
+      std::printf(" %10.0f", RunOne(mode, f));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace dilos
+
+int main() {
+  dilos::Run();
+  return 0;
+}

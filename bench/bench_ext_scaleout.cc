@@ -1,0 +1,67 @@
+// Extension bench (paper Sec. 5.1 "Supporting multiple nodes and fault
+// tolerance"): sharding across memory nodes scales aggregate fabric
+// bandwidth; replication doubles write-back traffic for crash redundancy,
+// and a memory-node failure costs nothing on the read path afterwards.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/apps/seqrw.h"
+#include "src/rdma/verbs.h"
+
+namespace dilos {
+namespace {
+
+constexpr uint64_t kWs = 32ULL << 20;
+constexpr int kCores = 4;
+
+// Four cores each stream a quarter of the region: enough aggregate demand
+// to saturate a single 100 GbE port, so sharding across nodes (ports) pays.
+double RunNodes(int nodes, int replication, bool fail_one = false) {
+  Fabric fabric(CostModel::Default(), nodes);
+  DilosConfig cfg;
+  cfg.local_mem_bytes = kWs / 8;
+  cfg.replication = replication;
+  cfg.num_cores = kCores;
+  DilosRuntime rt(fabric, cfg, std::make_unique<ReadaheadPrefetcher>());
+  uint64_t region = rt.AllocRegion(kWs);
+  for (uint64_t off = 0; off < kWs; off += kPageSize) {
+    rt.Write<uint64_t>(region + off, off);
+  }
+  if (fail_one) {
+    rt.router().FailNode(0);
+  }
+  uint64_t t0 = rt.MaxWorkerTimeNs();
+  for (int c = 0; c < kCores; ++c) {
+    rt.clock(c).AdvanceTo(t0);
+  }
+  uint64_t quarter = kWs / kCores;
+  // Interleave the cores' sweeps page by page so their traffic overlaps.
+  for (uint64_t off = 0; off < quarter; off += kPageSize) {
+    for (int c = 0; c < kCores; ++c) {
+      volatile uint64_t v =
+          rt.Read<uint64_t>(region + static_cast<uint64_t>(c) * quarter + off, c);
+      (void)v;
+    }
+  }
+  return static_cast<double>(kWs) / static_cast<double>(rt.MaxWorkerTimeNs() - t0);
+}
+
+void Run() {
+  PrintHeader("Extension: memory-node scale-out and replication (Sec. 5.1)\n"
+              "sequential read GB/s at 12.5% local");
+  std::printf("%-34s %10s\n", "configuration", "read GB/s");
+  std::printf("%-34s %10.2f\n", "1 node", RunNodes(1, 1));
+  std::printf("%-34s %10.2f\n", "2 nodes, sharded", RunNodes(2, 1));
+  std::printf("%-34s %10.2f\n", "4 nodes, sharded", RunNodes(4, 1));
+  std::printf("%-34s %10.2f\n", "2 nodes, replication=2", RunNodes(2, 2));
+  std::printf("%-34s %10.2f\n", "2 nodes, repl=2, one node DOWN", RunNodes(2, 2, true));
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace dilos
+
+int main() {
+  dilos::Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Host-side microbenchmarks (google-benchmark) of the simulator substrates
+// themselves: page-table walks, frame pool churn, the far-heap allocator,
+// and the szip codec. These measure the reproduction's own performance, not
+// simulated time — useful for keeping the simulator fast enough to run the
+// paper-scale sweeps.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/apps/szip.h"
+#include "src/ddc_alloc/far_heap.h"
+#include "src/dilos/prefetcher.h"
+#include "src/dilos/runtime.h"
+#include "src/pt/frame_pool.h"
+#include "src/pt/page_table.h"
+
+namespace dilos {
+namespace {
+
+void BM_PageTableWalk(benchmark::State& state) {
+  PageTable pt;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    pt.Set(kFarBase + i * kPageSize, MakeRemotePte(i));
+  }
+  uint64_t va = kFarBase;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pt.Get(va));
+    va += kPageSize;
+    if (va >= kFarBase + 4096 * kPageSize) {
+      va = kFarBase;
+    }
+  }
+}
+BENCHMARK(BM_PageTableWalk);
+
+void BM_FramePoolAllocFree(benchmark::State& state) {
+  FramePool pool(1024);
+  for (auto _ : state) {
+    auto f = pool.Alloc();
+    benchmark::DoNotOptimize(f);
+    pool.Free(*f);
+  }
+}
+BENCHMARK(BM_FramePoolAllocFree);
+
+void BM_FarHeapMallocFree(benchmark::State& state) {
+  Fabric fabric;
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 64ULL << 20;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  FarHeap heap(rt);
+  for (auto _ : state) {
+    uint64_t a = heap.Malloc(128);
+    benchmark::DoNotOptimize(a);
+    heap.Free(a);
+  }
+}
+BENCHMARK(BM_FarHeapMallocFree);
+
+void BM_DilosPinLocal(benchmark::State& state) {
+  Fabric fabric;
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 16ULL << 20;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  uint64_t region = rt.AllocRegion(1 << 20);
+  for (uint64_t off = 0; off < (1 << 20); off += kPageSize) {
+    rt.Write<uint8_t>(region + off, 1);
+  }
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.Pin(region + off, 8, false, 0));
+    off = (off + kPageSize) & ((1 << 20) - 1);
+  }
+}
+BENCHMARK(BM_DilosPinLocal);
+
+void BM_SzipCompress64K(benchmark::State& state) {
+  std::vector<uint8_t> src(65536);
+  for (size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<uint8_t>((i % 97 < 64) ? 'a' + (i >> 8) % 26 : i * 31);
+  }
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(SzipCompressBlock(src.data(), src.size(), &out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_SzipCompress64K);
+
+}  // namespace
+}  // namespace dilos
+
+BENCHMARK_MAIN();

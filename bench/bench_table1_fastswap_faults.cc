@@ -1,0 +1,39 @@
+// Table 1: number of major/minor page faults during a sequential read on
+// Fastswap with 12.5% local cache. Paper: 12.5% major / 87.5% minor — one
+// major per 8-page readahead cluster, every prefetched page minor-faulting
+// out of the swap cache.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/apps/seqrw.h"
+
+namespace dilos {
+namespace {
+
+void Run() {
+  PrintHeader("Table 1: Fastswap fault mix, sequential read, 12.5% local\n"
+              "(paper: major 12.5%, minor 87.5%)");
+  Fabric fabric;
+  const uint64_t ws = 64ULL << 20;
+  auto rt = MakeFastswap(fabric, ws / 8);
+  SeqWorkload wl(*rt, ws);
+  SeqResult r = wl.Read();
+  uint64_t total = r.major_faults + r.minor_faults;
+  std::printf("%-18s %12s %8s\n", "", "count", "%");
+  std::printf("%-18s %12llu %7.1f%%\n", "Major page fault",
+              static_cast<unsigned long long>(r.major_faults),
+              100.0 * static_cast<double>(r.major_faults) / static_cast<double>(total));
+  std::printf("%-18s %12llu %7.1f%%\n", "Minor page fault",
+              static_cast<unsigned long long>(r.minor_faults),
+              100.0 * static_cast<double>(r.minor_faults) / static_cast<double>(total));
+  std::printf("%-18s %12llu %7.1f%%\n\n", "Total", static_cast<unsigned long long>(total),
+              100.0);
+}
+
+}  // namespace
+}  // namespace dilos
+
+int main() {
+  dilos::Run();
+  return 0;
+}

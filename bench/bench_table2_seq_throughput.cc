@@ -1,0 +1,48 @@
+// Table 2: throughput of sequential read and write (GB/s) with 12.5% local
+// memory. Paper: Fastswap 0.98/0.49; DiLOS no-prefetch 1.24/1.14;
+// readahead 3.74/3.49; trend-based 3.73/3.49.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/apps/seqrw.h"
+
+namespace dilos {
+namespace {
+
+constexpr uint64_t kWorkingSet = 64ULL << 20;
+constexpr uint64_t kLocal = kWorkingSet / 8;
+
+void Row(const char* name, FarRuntime& rt) {
+  SeqWorkload wl(rt, kWorkingSet);
+  SeqResult rd = wl.Read();
+  SeqResult wr = wl.Write();
+  std::printf("%-22s %8.2f %8.2f\n", name, rd.GBps(), wr.GBps());
+}
+
+void Run() {
+  PrintHeader(
+      "Table 2: sequential read/write throughput (GB/s), 12.5% local\n"
+      "(paper: Fastswap 0.98/0.49 | DiLOS 1.24/1.14 | +readahead 3.74/3.49 "
+      "| +trend 3.73/3.49)");
+  std::printf("%-22s %8s %8s\n", "system", "read", "write");
+  {
+    Fabric fabric;
+    auto rt = MakeFastswap(fabric, kLocal);
+    Row("Fastswap", *rt);
+  }
+  for (DilosVariant v :
+       {DilosVariant::kNoPrefetch, DilosVariant::kReadahead, DilosVariant::kTrend}) {
+    Fabric fabric;
+    auto rt = MakeDilos(fabric, kLocal, v);
+    Row(VariantName(v), *rt);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace dilos
+
+int main() {
+  dilos::Run();
+  return 0;
+}

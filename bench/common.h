@@ -1,0 +1,78 @@
+// Shared helpers for the per-figure/table benchmark binaries.
+//
+// Every binary regenerates one table or figure of the paper on the
+// simulated testbed and prints the same rows/series the paper reports.
+// Absolute numbers come from the calibrated cost model (see
+// src/sim/cost_model.h); the shapes — who wins, by what factor, where the
+// crossovers sit — are the reproduction targets (see EXPERIMENTS.md).
+#ifndef DILOS_BENCH_COMMON_H_
+#define DILOS_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/dilos/readahead.h"
+#include "src/dilos/runtime.h"
+#include "src/dilos/trend.h"
+#include "src/fastswap/fastswap.h"
+
+namespace dilos {
+
+enum class DilosVariant { kNoPrefetch, kReadahead, kTrend };
+
+inline const char* VariantName(DilosVariant v) {
+  switch (v) {
+    case DilosVariant::kNoPrefetch:
+      return "DiLOS no-prefetch";
+    case DilosVariant::kReadahead:
+      return "DiLOS readahead";
+    case DilosVariant::kTrend:
+      return "DiLOS trend-based";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<Prefetcher> MakePrefetcher(DilosVariant v) {
+  switch (v) {
+    case DilosVariant::kNoPrefetch:
+      return std::make_unique<NullPrefetcher>();
+    case DilosVariant::kReadahead:
+      return std::make_unique<ReadaheadPrefetcher>();
+    case DilosVariant::kTrend:
+      return std::make_unique<TrendPrefetcher>();
+  }
+  return nullptr;
+}
+
+inline std::unique_ptr<DilosRuntime> MakeDilos(Fabric& fabric, uint64_t local_bytes,
+                                               DilosVariant v, bool tcp = false, int cores = 1) {
+  DilosConfig cfg;
+  cfg.local_mem_bytes = local_bytes;
+  cfg.tcp_emulation = tcp;
+  cfg.num_cores = cores;
+  return std::make_unique<DilosRuntime>(fabric, cfg, MakePrefetcher(v));
+}
+
+inline std::unique_ptr<FastswapRuntime> MakeFastswap(Fabric& fabric, uint64_t local_bytes,
+                                                     int cores = 1) {
+  FastswapConfig cfg;
+  cfg.local_mem_bytes = local_bytes;
+  cfg.num_cores = cores;
+  return std::make_unique<FastswapRuntime>(fabric, cfg);
+}
+
+inline void PrintHeader(const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("==============================================================\n");
+}
+
+inline double ToSeconds(uint64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+// Local-memory fractions the paper sweeps.
+inline constexpr double kLocalFractions[] = {0.125, 0.25, 0.5, 1.0};
+
+}  // namespace dilos
+
+#endif  // DILOS_BENCH_COMMON_H_

@@ -1,0 +1,52 @@
+// Quickstart: bring up a DiLOS compute node against a simulated memory
+// node, allocate disaggregated memory, touch it, and watch what the paging
+// subsystem did.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "src/apps/seqrw.h"
+#include "src/dilos/readahead.h"
+#include "src/dilos/runtime.h"
+#include "src/memnode/fabric.h"
+
+int main() {
+  using namespace dilos;
+
+  // The testbed: a compute node and a memory node joined by a simulated
+  // 100 GbE RDMA link.
+  Fabric fabric;
+
+  // A DiLOS LibOS instance with 4 MB of local DRAM and the readahead
+  // prefetcher. Applications see ordinary memory; pages migrate underneath.
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 4 << 20;
+  DilosRuntime rt(fabric, cfg, std::make_unique<ReadaheadPrefetcher>());
+
+  // ddc_mmap 32 MB of disaggregated memory — 8x the local DRAM.
+  const uint64_t kBytes = 32 << 20;
+  uint64_t region = rt.AllocRegion(kBytes);
+  std::printf("allocated %llu MB of far memory at 0x%llx (local DRAM: %llu MB)\n",
+              static_cast<unsigned long long>(kBytes >> 20),
+              static_cast<unsigned long long>(region),
+              static_cast<unsigned long long>(cfg.local_mem_bytes >> 20));
+
+  // Write then read it back: the write populates (zero-fill + eviction to
+  // the memory node), the read streams it back through the fault handler
+  // and prefetcher.
+  for (uint64_t off = 0; off < kBytes; off += 4096) {
+    rt.Write<uint64_t>(region + off, off * 2654435761ULL);
+  }
+  uint64_t checksum = 0;
+  for (uint64_t off = 0; off < kBytes; off += 4096) {
+    checksum ^= rt.Read<uint64_t>(region + off);
+  }
+  std::printf("checksum 0x%llx, simulated time %.2f ms\n",
+              static_cast<unsigned long long>(checksum),
+              static_cast<double>(rt.clock().now()) / 1e6);
+
+  // ToString() includes the per-major-fault latency breakdown.
+  std::printf("\npaging activity:\n%s", rt.stats().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,203 @@
+#include "src/aifm/aifm_apps.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/sim/rng.h"
+
+namespace dilos {
+
+namespace {
+constexpr uint64_t kChunk = 64 * 1024;
+}  // namespace
+
+AifmSzipWorkload::AifmSzipWorkload(AifmRuntime& rt, uint64_t len, uint64_t seed,
+                                   SzipCosts costs)
+    : rt_(rt), len_(len), costs_(costs) {
+  Rng rng(seed);
+  std::vector<uint8_t> buf(kChunk);
+  for (uint64_t off = 0; off < len; off += kChunk) {
+    auto n = static_cast<uint32_t>(std::min<uint64_t>(kChunk, len - off));
+    for (uint32_t i = 0; i < n; ++i) {
+      // Mildly compressible: long runs with occasional noise.
+      buf[i] = (i % 97 < 64) ? static_cast<uint8_t>('a' + (off >> 16) % 26)
+                             : static_cast<uint8_t>(rng.Next());
+    }
+    ObjId id = rt_.Allocate(n);
+    std::memcpy(rt_.Deref(id, /*write=*/true), buf.data(), n);
+    input_.push_back(id);
+  }
+}
+
+SzipResult AifmSzipWorkload::Compress() {
+  Clock& clk = rt_.clock();
+  uint64_t t0 = clk.now();
+  SzipResult res;
+  res.in_bytes = len_;
+  compressed_.clear();
+  block_usize_.clear();
+  std::vector<uint8_t> out;
+  const double per_byte = CostModel::Default().local_per_byte_ns;
+  for (ObjId id : input_) {
+    uint32_t n = static_cast<uint32_t>(rt_.ObjSize(id));
+    const uint8_t* src = rt_.Deref(id, /*write=*/false);
+    out.clear();
+    SzipCompressBlock(src, n, &out);
+    // Codec cost plus local memory bandwidth for reading the chunk and
+    // writing the output (the paged systems pay this inside Pin).
+    clk.Advance(static_cast<uint64_t>((costs_.compress_ns_per_byte + per_byte) * n +
+                                      per_byte * static_cast<double>(out.size())));
+    ObjId cid = rt_.Allocate(out.size());
+    std::memcpy(rt_.Deref(cid, /*write=*/true), out.data(), out.size());
+    compressed_.push_back(cid);
+    block_usize_.push_back(n);
+    res.out_bytes += out.size();
+  }
+  res.elapsed_ns = clk.now() - t0;
+  return res;
+}
+
+SzipResult AifmSzipWorkload::Decompress() {
+  Clock& clk = rt_.clock();
+  uint64_t t0 = clk.now();
+  SzipResult res;
+  std::vector<uint8_t> out;
+  const double per_byte = CostModel::Default().local_per_byte_ns;
+  for (size_t b = 0; b < compressed_.size(); ++b) {
+    ObjId cid = compressed_[b];
+    uint32_t csize = static_cast<uint32_t>(rt_.ObjSize(cid));
+    const uint8_t* src = rt_.Deref(cid, /*write=*/false);
+    out.clear();
+    size_t got = SzipDecompressBlock(src, csize, &out);
+    clk.Advance(static_cast<uint64_t>((costs_.decompress_ns_per_byte + per_byte) *
+                                          static_cast<double>(got) +
+                                      per_byte * csize));
+    res.in_bytes += csize;
+    res.out_bytes += got;
+    if (got != block_usize_[b]) {
+      break;  // Corruption; callers check out_bytes.
+    }
+  }
+  res.elapsed_ns = clk.now() - t0;
+  return res;
+}
+
+AifmTaxiWorkload::AifmTaxiWorkload(AifmRuntime& rt, uint64_t rows, uint64_t seed)
+    : rt_(rt),
+      rows_(rows),
+      hour_(rt, rows),
+      passengers_(rt, rows),
+      distance_(rt, rows),
+      fare_(rt, rows),
+      duration_(rt, rows),
+      derived_(rt, rows) {
+  // Same generator as GenerateTaxi() so results are comparable.
+  Rng rng(seed);
+  for (uint64_t r = 0; r < rows; ++r) {
+    int32_t hour = static_cast<int32_t>(rng.NextBelow(24));
+    if (rng.NextDouble() < 0.35) {
+      hour = static_cast<int32_t>(8 + rng.NextBelow(3) + (rng.NextDouble() < 0.5 ? 9 : 0));
+    }
+    auto passengers = static_cast<int32_t>(1 + rng.NextBelow(6));
+    double u = rng.NextDouble();
+    double dist = std::exp(u * 2.7) - 0.9;
+    double fare = 2.5 + 2.8 * dist + rng.NextDouble() * 3.0;
+    double speed = (hour >= 8 && hour <= 18) ? 9.0 : 16.0;
+    double duration = dist / speed * 60.0 + rng.NextDouble() * 4.0;
+    hour_.Set(r, hour % 24);
+    passengers_.Set(r, passengers);
+    distance_.Set(r, dist);
+    fare_.Set(r, fare);
+    duration_.Set(r, duration);
+    derived_.Set(r, 0.0);
+  }
+}
+
+AifmTaxiResult AifmTaxiWorkload::Run() {
+  Clock& clk = rt_.clock();
+  uint64_t t0 = clk.now();
+  AifmTaxiResult res;
+  constexpr uint64_t kRowComputeNs = 2;
+
+  // CountIfGreater(distance, 10).
+  for (uint64_t r = 0; r < rows_; ++r) {
+    if (distance_.Get(r) > 10.0) {
+      res.long_trips++;
+    }
+  }
+  clk.Advance(rows_ * kRowComputeNs);
+
+  // MeanF64(fare).
+  double sum = 0.0;
+  for (uint64_t r = 0; r < rows_; ++r) {
+    sum += fare_.Get(r);
+  }
+  clk.Advance(rows_ * kRowComputeNs);
+  res.mean_fare = sum / static_cast<double>(rows_);
+
+  // GroupMean(passengers, fare) and GroupMean(hour, duration).
+  {
+    double sums[7] = {};
+    uint64_t counts[7] = {};
+    for (uint64_t r = 0; r < rows_; ++r) {
+      auto k = static_cast<uint32_t>(passengers_.Get(r));
+      if (k < 7) {
+        sums[k] += fare_.Get(r);
+        counts[k]++;
+      }
+    }
+    clk.Advance(rows_ * 2 * kRowComputeNs);
+    (void)sums;
+    (void)counts;
+  }
+  {
+    double sums[24] = {};
+    uint64_t counts[24] = {};
+    for (uint64_t r = 0; r < rows_; ++r) {
+      auto k = static_cast<uint32_t>(hour_.Get(r));
+      if (k < 24) {
+        sums[k] += duration_.Get(r);
+        counts[k]++;
+      }
+    }
+    clk.Advance(rows_ * 2 * kRowComputeNs);
+    (void)sums;
+    (void)counts;
+  }
+
+  // Correlation(distance, fare).
+  double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+  for (uint64_t r = 0; r < rows_; ++r) {
+    double a = distance_.Get(r);
+    double b = fare_.Get(r);
+    sa += a;
+    sb += b;
+    saa += a * a;
+    sbb += b * b;
+    sab += a * b;
+  }
+  clk.Advance(rows_ * 3 * kRowComputeNs);
+  auto n = static_cast<double>(rows_);
+  double cov = sab - sa * sb / n;
+  double va = saa - sa * sa / n;
+  double vb = sbb - sb * sb / n;
+  res.fare_distance_corr = (va <= 0 || vb <= 0) ? 0.0 : cov / std::sqrt(va * vb);
+
+  // DeriveColumn + TopK-equivalent pass.
+  for (uint64_t r = 0; r < rows_; ++r) {
+    double a = distance_.Get(r);
+    double b = duration_.Get(r);
+    derived_.Set(r, 2.0 * std::asin(std::sqrt(std::abs(std::sin(a / 120.0) * std::sin(b / 90.0)))));
+  }
+  clk.Advance(rows_ * 8 * kRowComputeNs);
+  double best = -1.0;
+  for (uint64_t r = 0; r < rows_; ++r) {
+    best = std::max(best, fare_.Get(r));
+  }
+  clk.Advance(rows_ * kRowComputeNs);
+
+  res.elapsed_ns = clk.now() - t0;
+  return res;
+}
+
+}  // namespace dilos

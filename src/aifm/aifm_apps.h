@@ -1,0 +1,96 @@
+// AIFM ports of the two workloads the paper compares against AIFM
+// (Sec. 6.2): Snappy compression/decompression (Fig. 7c/d) and the
+// DataFrame taxi analysis (Fig. 8).
+//
+// These are "ported" applications in the AIFM sense: the data lives in
+// remoteable objects and every access goes through Deref() — the code
+// had to change, which is exactly the compatibility cost DiLOS avoids.
+#ifndef DILOS_SRC_AIFM_AIFM_APPS_H_
+#define DILOS_SRC_AIFM_AIFM_APPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/aifm/aifm.h"
+#include "src/apps/szip.h"
+
+namespace dilos {
+
+// --- Snappy (szip) on AIFM ---------------------------------------------------
+
+class AifmSzipWorkload {
+ public:
+  // Input of `len` bytes, stored as 64 KB chunk objects with mildly
+  // compressible content.
+  AifmSzipWorkload(AifmRuntime& rt, uint64_t len, uint64_t seed = 5, SzipCosts costs = {});
+
+  SzipResult Compress();
+  // Decompresses what Compress() produced; verifies sizes match.
+  SzipResult Decompress();
+
+ private:
+  AifmRuntime& rt_;
+  uint64_t len_;
+  SzipCosts costs_;
+  std::vector<ObjId> input_;        // 64 KB chunks.
+  std::vector<ObjId> compressed_;   // One object per compressed block.
+  std::vector<uint32_t> block_usize_;
+};
+
+// --- DataFrame taxi analysis on AIFM ------------------------------------------
+
+// A typed column chunked into 4 KB objects.
+template <typename T>
+class AifmColumn {
+ public:
+  static constexpr uint64_t kChunkBytes = 4096;
+  static constexpr uint64_t kPerChunk = kChunkBytes / sizeof(T);
+
+  AifmColumn(AifmRuntime& rt, uint64_t rows) : rt_(&rt), rows_(rows) {
+    uint64_t chunks = (rows + kPerChunk - 1) / kPerChunk;
+    chunks_.reserve(chunks);
+    for (uint64_t c = 0; c < chunks; ++c) {
+      chunks_.push_back(rt.Allocate(kChunkBytes));
+    }
+  }
+
+  T Get(uint64_t row) {
+    return rt_->Read<T>(chunks_[row / kPerChunk], (row % kPerChunk) * sizeof(T));
+  }
+  void Set(uint64_t row, T v) {
+    rt_->Write<T>(chunks_[row / kPerChunk], v, (row % kPerChunk) * sizeof(T));
+  }
+  uint64_t rows() const { return rows_; }
+
+ private:
+  AifmRuntime* rt_;
+  uint64_t rows_;
+  std::vector<ObjId> chunks_;
+};
+
+struct AifmTaxiResult {
+  uint64_t elapsed_ns = 0;
+  uint64_t long_trips = 0;
+  double mean_fare = 0.0;
+  double fare_distance_corr = 0.0;
+};
+
+class AifmTaxiWorkload {
+ public:
+  AifmTaxiWorkload(AifmRuntime& rt, uint64_t rows, uint64_t seed = 3);
+  AifmTaxiResult Run();
+
+ private:
+  AifmRuntime& rt_;
+  uint64_t rows_;
+  AifmColumn<int32_t> hour_;
+  AifmColumn<int32_t> passengers_;
+  AifmColumn<double> distance_;
+  AifmColumn<double> fare_;
+  AifmColumn<double> duration_;
+  AifmColumn<double> derived_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_AIFM_AIFM_APPS_H_

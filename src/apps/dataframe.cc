@@ -1,0 +1,172 @@
+#include "src/apps/dataframe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/rng.h"
+
+namespace dilos {
+
+size_t FarDataFrame::AddF64(const std::string& name) {
+  f64_.push_back(std::make_unique<FarArray<double>>(*rt_, rows_));
+  meta_.push_back({name, true, f64_.size() - 1});
+  return f64_.size() - 1;
+}
+
+size_t FarDataFrame::AddI32(const std::string& name) {
+  i32_.push_back(std::make_unique<FarArray<int32_t>>(*rt_, rows_));
+  meta_.push_back({name, false, i32_.size() - 1});
+  return i32_.size() - 1;
+}
+
+size_t FarDataFrame::ColumnIndex(const std::string& name) const {
+  for (const Meta& m : meta_) {
+    if (m.name == name) {
+      return m.idx;
+    }
+  }
+  return SIZE_MAX;
+}
+
+double FarDataFrame::MeanF64(size_t col) {
+  Clock& clk = rt_->clock();
+  double sum = 0.0;
+  for (uint64_t r = 0; r < rows_; ++r) {
+    sum += f64_[col]->Get(r);
+  }
+  clk.Advance(rows_ * kRowComputeNs);
+  return rows_ == 0 ? 0.0 : sum / static_cast<double>(rows_);
+}
+
+uint64_t FarDataFrame::CountIfGreater(size_t col, double threshold) {
+  Clock& clk = rt_->clock();
+  uint64_t count = 0;
+  for (uint64_t r = 0; r < rows_; ++r) {
+    if (f64_[col]->Get(r) > threshold) {
+      ++count;
+    }
+  }
+  clk.Advance(rows_ * kRowComputeNs);
+  return count;
+}
+
+std::vector<double> FarDataFrame::GroupMean(size_t key_i32, size_t val_f64, uint32_t groups) {
+  Clock& clk = rt_->clock();
+  std::vector<double> sums(groups, 0.0);
+  std::vector<uint64_t> counts(groups, 0);
+  for (uint64_t r = 0; r < rows_; ++r) {
+    auto k = static_cast<uint32_t>(i32_[key_i32]->Get(r));
+    if (k < groups) {
+      sums[k] += f64_[val_f64]->Get(r);
+      counts[k]++;
+    }
+  }
+  clk.Advance(rows_ * 2 * kRowComputeNs);  // Two column reads per row.
+  for (uint32_t g = 0; g < groups; ++g) {
+    sums[g] = counts[g] == 0 ? 0.0 : sums[g] / static_cast<double>(counts[g]);
+  }
+  return sums;
+}
+
+double FarDataFrame::Correlation(size_t col_a, size_t col_b) {
+  Clock& clk = rt_->clock();
+  double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+  for (uint64_t r = 0; r < rows_; ++r) {
+    double a = f64_[col_a]->Get(r);
+    double b = f64_[col_b]->Get(r);
+    sa += a;
+    sb += b;
+    saa += a * a;
+    sbb += b * b;
+    sab += a * b;
+  }
+  clk.Advance(rows_ * 3 * kRowComputeNs);
+  auto n = static_cast<double>(rows_);
+  double cov = sab - sa * sb / n;
+  double va = saa - sa * sa / n;
+  double vb = sbb - sb * sb / n;
+  return (va <= 0 || vb <= 0) ? 0.0 : cov / std::sqrt(va * vb);
+}
+
+void FarDataFrame::DeriveColumn(size_t dst_f64, size_t src_a, size_t src_b) {
+  Clock& clk = rt_->clock();
+  for (uint64_t r = 0; r < rows_; ++r) {
+    double a = f64_[src_a]->Get(r);
+    double b = f64_[src_b]->Get(r);
+    // Haversine-flavored kernel: trig-heavy per-row math.
+    double v = 2.0 * std::asin(std::sqrt(std::abs(std::sin(a / 120.0) * std::sin(b / 90.0))));
+    f64_[dst_f64]->Set(r, v);
+  }
+  clk.Advance(rows_ * 8 * kRowComputeNs);  // Trig is pricier than arithmetic.
+}
+
+std::vector<double> FarDataFrame::TopK(size_t col, uint32_t k) {
+  Clock& clk = rt_->clock();
+  std::vector<double> heap;  // Min-heap of the K largest.
+  heap.reserve(k);
+  for (uint64_t r = 0; r < rows_; ++r) {
+    double v = f64_[col]->Get(r);
+    if (heap.size() < k) {
+      heap.push_back(v);
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
+    } else if (v > heap.front()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+      heap.back() = v;
+      std::push_heap(heap.begin(), heap.end(), std::greater<>());
+    }
+  }
+  clk.Advance(rows_ * kRowComputeNs);
+  std::sort(heap.begin(), heap.end(), std::greater<>());
+  return heap;
+}
+
+TaxiColumns GenerateTaxi(FarDataFrame& df, uint64_t seed) {
+  TaxiColumns cols;
+  cols.hour = df.AddI32("pickup_hour");
+  cols.passengers = df.AddI32("passenger_count");
+  cols.distance = df.AddF64("trip_distance");
+  cols.fare = df.AddF64("fare_amount");
+  cols.duration = df.AddF64("trip_duration_min");
+  cols.derived = df.AddF64("derived");
+
+  Rng rng(seed);
+  for (uint64_t r = 0; r < df.rows(); ++r) {
+    // Rush-hour-skewed pickup times.
+    int32_t hour = static_cast<int32_t>(rng.NextBelow(24));
+    if (rng.NextDouble() < 0.35) {
+      hour = static_cast<int32_t>(8 + rng.NextBelow(3) + (rng.NextDouble() < 0.5 ? 9 : 0));
+    }
+    auto passengers = static_cast<int32_t>(1 + rng.NextBelow(6));
+    // Log-normal-ish trip distance, mostly short.
+    double u = rng.NextDouble();
+    double dist = std::exp(u * 2.7) - 0.9;  // ~0.1 .. ~14 miles.
+    double fare = 2.5 + 2.8 * dist + rng.NextDouble() * 3.0;
+    double speed = (hour >= 8 && hour <= 18) ? 9.0 : 16.0;  // mph, traffic.
+    double duration = dist / speed * 60.0 + rng.NextDouble() * 4.0;
+
+    df.SetI32(cols.hour, r, hour % 24);
+    df.SetI32(cols.passengers, r, passengers);
+    df.SetF64(cols.distance, r, dist);
+    df.SetF64(cols.fare, r, fare);
+    df.SetF64(cols.duration, r, duration);
+    df.SetF64(cols.derived, r, 0.0);
+  }
+  return cols;
+}
+
+TaxiAnalysisResult RunTaxiAnalysis(FarDataFrame& df, const TaxiColumns& cols) {
+  Clock& clk = df.runtime().clock();
+  uint64_t t0 = clk.now();
+  TaxiAnalysisResult res;
+  res.long_trips = df.CountIfGreater(cols.distance, 10.0);
+  res.mean_fare = df.MeanF64(cols.fare);
+  res.fare_by_passengers = df.GroupMean(cols.passengers, cols.fare, 7);
+  res.duration_by_hour = df.GroupMean(cols.hour, cols.duration, 24);
+  res.fare_distance_corr = df.Correlation(cols.distance, cols.fare);
+  df.DeriveColumn(cols.derived, cols.distance, cols.duration);
+  res.top_fares = df.TopK(cols.fare, 10);
+  res.elapsed_ns = clk.now() - t0;
+  return res;
+}
+
+}  // namespace dilos

@@ -1,0 +1,93 @@
+// Columnar dataframe over far memory (paper Fig. 8: the C++ DataFrame
+// library running the NYC taxi trip analysis, ~40 GB working set).
+//
+// Columns are typed far arrays; operations stream or gather over them,
+// charging per-row compute. GenerateTaxi() synthesizes a table with the
+// statistical shape of the NYC yellow-cab data (hour-of-day, passenger
+// count, distance, fare, duration), and RunTaxiAnalysis() performs the
+// notebook's pipeline: filters, group-by aggregations, correlation, a
+// derived column, and a top-K selection.
+#ifndef DILOS_SRC_APPS_DATAFRAME_H_
+#define DILOS_SRC_APPS_DATAFRAME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/far_runtime.h"
+
+namespace dilos {
+
+class FarDataFrame {
+ public:
+  FarDataFrame(FarRuntime& rt, uint64_t rows) : rt_(&rt), rows_(rows) {}
+
+  // Column creation (allocates far memory immediately).
+  size_t AddF64(const std::string& name);
+  size_t AddI32(const std::string& name);
+  size_t ColumnIndex(const std::string& name) const;
+
+  void SetF64(size_t col, uint64_t row, double v) { f64_[col]->Set(row, v); }
+  double GetF64(size_t col, uint64_t row) const { return f64_[col]->Get(row); }
+  void SetI32(size_t col, uint64_t row, int32_t v) { i32_[col]->Set(row, v); }
+  int32_t GetI32(size_t col, uint64_t row) const { return i32_[col]->Get(row); }
+
+  uint64_t rows() const { return rows_; }
+  FarRuntime& runtime() { return *rt_; }
+
+  // --- Analytics (all charge kRowComputeNs per touched row) ----------------
+  double MeanF64(size_t col);
+  uint64_t CountIfGreater(size_t col, double threshold);
+  // Mean of `val` grouped by the (small-domain, non-negative) int key.
+  std::vector<double> GroupMean(size_t key_i32, size_t val_f64, uint32_t groups);
+  double Correlation(size_t col_a, size_t col_b);
+  // dst[i] = f-like transform of two sources (a haversine-style kernel).
+  void DeriveColumn(size_t dst_f64, size_t src_a, size_t src_b);
+  // Values of the K largest entries of `col`, descending.
+  std::vector<double> TopK(size_t col, uint32_t k);
+
+  static constexpr uint64_t kRowComputeNs = 2;
+
+ private:
+  // Parallel name/type bookkeeping; indices into the per-type vectors.
+  struct Meta {
+    std::string name;
+    bool is_f64;
+    size_t idx;
+  };
+
+  FarRuntime* rt_;
+  uint64_t rows_;
+  std::vector<Meta> meta_;
+  std::vector<std::unique_ptr<FarArray<double>>> f64_;
+  std::vector<std::unique_ptr<FarArray<int32_t>>> i32_;
+};
+
+// Column indices of the synthetic taxi table.
+struct TaxiColumns {
+  size_t hour;        // i32 [0, 24)
+  size_t passengers;  // i32 [1, 6]
+  size_t distance;    // f64 miles
+  size_t fare;        // f64 dollars
+  size_t duration;    // f64 minutes
+  size_t derived;     // f64 scratch output column
+};
+
+TaxiColumns GenerateTaxi(FarDataFrame& df, uint64_t seed = 3);
+
+struct TaxiAnalysisResult {
+  uint64_t elapsed_ns = 0;
+  uint64_t long_trips = 0;
+  double mean_fare = 0.0;
+  double fare_distance_corr = 0.0;
+  std::vector<double> fare_by_passengers;
+  std::vector<double> duration_by_hour;
+  std::vector<double> top_fares;
+};
+
+TaxiAnalysisResult RunTaxiAnalysis(FarDataFrame& df, const TaxiColumns& cols);
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_APPS_DATAFRAME_H_

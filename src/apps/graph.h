@@ -1,0 +1,82 @@
+// Graph processing over far memory (paper Fig. 9: GAPBS PageRank and
+// betweenness centrality on the Twitter graph, 4 threads, 17 GB).
+//
+// The graph is CSR in far memory (offsets + edge targets); rank/score
+// arrays are far too. PageRank is the pull variant; BC is Brandes' with
+// sampled sources. Multi-threading follows the simulator's model: vertex
+// ranges (PR) or sources (BC) are assigned to cores, each charging its own
+// clock against the shared fabric; a barrier aligns clocks per iteration.
+#ifndef DILOS_SRC_APPS_GRAPH_H_
+#define DILOS_SRC_APPS_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/far_runtime.h"
+
+namespace dilos {
+
+class FarGraph {
+ public:
+  // Builds CSR in far memory from an edge list (u -> v), n vertices.
+  FarGraph(FarRuntime& rt, uint64_t n, const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  // Synthesizes an R-MAT graph (a=.57 b=.19 c=.19) with ~`avg_degree` * n
+  // edges — the standard stand-in for Twitter-like power-law graphs.
+  static std::vector<std::pair<uint32_t, uint32_t>> Rmat(uint64_t n, uint64_t avg_degree,
+                                                         uint64_t seed = 4);
+
+  // Reverses every edge (for building the in-edge CSR pull PageRank needs).
+  static std::vector<std::pair<uint32_t, uint32_t>> Transpose(
+      const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  // Out-degree histogram of the *source* endpoints of `edges` (host-side
+  // preprocessing, as GAPBS does at load time).
+  static std::vector<uint64_t> OutDegrees(
+      uint64_t n, const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  uint64_t num_vertices() const { return n_; }
+  uint64_t num_edges() const { return m_; }
+  uint64_t OutDegree(uint32_t v, int core = 0);
+  // Neighbors of v copied into `out` (reads the far edge array).
+  void Neighbors(uint32_t v, std::vector<uint32_t>* out, int core = 0);
+
+  FarRuntime& runtime() { return *rt_; }
+
+ private:
+  friend struct PageRank;
+  FarRuntime* rt_;
+  uint64_t n_;
+  uint64_t m_;
+  std::unique_ptr<FarArray<uint64_t>> offsets_;  // n+1.
+  std::unique_ptr<FarArray<uint32_t>> edges_;    // m (in-edges for pull PR).
+};
+
+struct PageRankResult {
+  uint64_t elapsed_ns = 0;
+  uint32_t iterations = 0;
+  double sum = 0.0;  // Should stay ~1.0.
+  std::vector<double> top_ranks;
+};
+
+// Pull-based PageRank: `in_csr` is the in-edge CSR (build from
+// Transpose(edges)); `out_degree` the per-vertex out-degrees. Each vertex
+// gathers its in-neighbors' ranks — random reads of the far rank array,
+// the access pattern that stresses the paging system.
+PageRankResult RunPageRank(FarGraph& in_csr, const std::vector<uint64_t>& out_degree,
+                           uint32_t iters = 5, double damping = 0.85);
+
+struct BcResult {
+  uint64_t elapsed_ns = 0;
+  uint32_t sources = 0;
+  double max_centrality = 0.0;
+};
+
+// Brandes betweenness centrality from `num_sources` sampled sources,
+// distributed round-robin across cores.
+BcResult RunBetweennessCentrality(FarGraph& g, uint32_t num_sources = 4);
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_APPS_GRAPH_H_

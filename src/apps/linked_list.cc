@@ -1,0 +1,31 @@
+#include "src/apps/linked_list.h"
+
+#include <numeric>
+#include <vector>
+
+#include "src/rdma/verbs.h"
+#include "src/sim/rng.h"
+
+namespace dilos {
+
+LinkedListWorkload::LinkedListWorkload(FarRuntime& rt, uint64_t n, uint64_t seed) : rt_(rt) {
+  uint64_t region = rt_.AllocRegion(n * kPageSize);
+  // Fisher-Yates shuffle of page slots: node i lives on page perm[i].
+  std::vector<uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(seed);
+  for (uint64_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextBelow(i)]);
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t node = region + perm[i] * kPageSize;
+    uint64_t next = i + 1 < n ? region + perm[i + 1] * kPageSize : 0;
+    uint64_t payload = i * 2654435761ULL + 17;
+    rt_.Write<uint64_t>(node + kListNextOffset, next);
+    rt_.Write<uint64_t>(node + kListPayloadOffset, payload);
+    expected_sum_ += payload;
+  }
+  head_ = n > 0 ? region + perm[0] * kPageSize : 0;
+}
+
+}  // namespace dilos

@@ -1,0 +1,67 @@
+// Pointer-chasing microworkload — the paper's Fig. 5 scenario: a linked
+// list whose nodes each sit on a different page, traversed in pointer
+// order. History-based prefetchers see noise; the list guide sees the
+// future.
+#ifndef DILOS_SRC_APPS_LINKED_LIST_H_
+#define DILOS_SRC_APPS_LINKED_LIST_H_
+
+#include <cstdint>
+
+#include "src/sim/far_runtime.h"
+
+namespace dilos {
+
+// Node layout in far memory:
+//   0:  uint64_t next (far address, 0 = end)
+//   8:  uint64_t payload
+inline constexpr uint32_t kListNextOffset = 0;
+inline constexpr uint32_t kListPayloadOffset = 8;
+
+class LinkedListWorkload {
+ public:
+  // Builds a list of `n` nodes, one per page, in a pseudo-random page order
+  // so consecutive nodes are never on adjacent pages.
+  LinkedListWorkload(FarRuntime& rt, uint64_t n, uint64_t seed = 6);
+
+  struct Result {
+    uint64_t sum = 0;
+    uint64_t nodes = 0;
+    uint64_t elapsed_ns = 0;
+  };
+
+  // Walks the list, summing payloads. `visit_hook` (if non-null) is called
+  // with each node's address before dereferencing it — the attachment point
+  // for a ListGuide.
+  template <typename VisitHook>
+  Result Traverse(VisitHook&& visit_hook) {
+    Clock& clk = rt_.clock();
+    uint64_t t0 = clk.now();
+    Result res;
+    uint64_t node = head_;
+    while (node != 0) {
+      visit_hook(node);
+      res.sum += rt_.Read<uint64_t>(node + kListPayloadOffset);
+      res.nodes++;
+      node = rt_.Read<uint64_t>(node + kListNextOffset);
+      clk.Advance(2);  // Loop arithmetic.
+    }
+    res.elapsed_ns = clk.now() - t0;
+    return res;
+  }
+
+  Result Traverse() {
+    return Traverse([](uint64_t) {});
+  }
+
+  uint64_t head() const { return head_; }
+  uint64_t expected_sum() const { return expected_sum_; }
+
+ private:
+  FarRuntime& rt_;
+  uint64_t head_ = 0;
+  uint64_t expected_sum_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_APPS_LINKED_LIST_H_

@@ -1,0 +1,114 @@
+#include "src/apps/quicksort.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace dilos {
+
+namespace {
+constexpr int64_t kInsertionThreshold = 16;
+}  // namespace
+
+QuicksortWorkload::QuicksortWorkload(FarRuntime& rt, uint64_t count, uint64_t seed)
+    : rt_(rt), data_(rt, count) {
+  Rng rng(seed);
+  for (uint64_t i = 0; i < count; ++i) {
+    data_.Set(i, static_cast<int32_t>(rng.Next()));
+  }
+}
+
+void QuicksortWorkload::InsertionSort(int64_t lo, int64_t hi) {
+  Clock& clk = rt_.clock();
+  for (int64_t i = lo + 1; i <= hi; ++i) {
+    int32_t key = data_.Get(static_cast<uint64_t>(i));
+    int64_t j = i - 1;
+    while (j >= lo) {
+      int32_t v = data_.Get(static_cast<uint64_t>(j));
+      clk.Advance(costs_.compare_ns);
+      if (v <= key) {
+        break;
+      }
+      data_.Set(static_cast<uint64_t>(j + 1), v);
+      clk.Advance(costs_.swap_ns);
+      --j;
+    }
+    data_.Set(static_cast<uint64_t>(j + 1), key);
+  }
+}
+
+void QuicksortWorkload::Sort(int64_t lo_in, int64_t hi_in) {
+  Clock& clk = rt_.clock();
+  std::vector<std::pair<int64_t, int64_t>> stack;
+  stack.emplace_back(lo_in, hi_in);
+  while (!stack.empty()) {
+    auto [lo, hi] = stack.back();
+    stack.pop_back();
+    while (hi - lo > kInsertionThreshold) {
+      // Median-of-three pivot.
+      int64_t mid = lo + (hi - lo) / 2;
+      int32_t a = data_.Get(static_cast<uint64_t>(lo));
+      int32_t b = data_.Get(static_cast<uint64_t>(mid));
+      int32_t c = data_.Get(static_cast<uint64_t>(hi));
+      clk.Advance(3 * costs_.compare_ns);
+      int32_t pivot = std::max(std::min(a, b), std::min(std::max(a, b), c));
+
+      int64_t i = lo;
+      int64_t j = hi;
+      while (i <= j) {
+        int32_t vi;
+        while (vi = data_.Get(static_cast<uint64_t>(i)), clk.Advance(costs_.compare_ns),
+               vi < pivot) {
+          ++i;
+        }
+        int32_t vj;
+        while (vj = data_.Get(static_cast<uint64_t>(j)), clk.Advance(costs_.compare_ns),
+               vj > pivot) {
+          --j;
+        }
+        if (i <= j) {
+          data_.Set(static_cast<uint64_t>(i), vj);
+          data_.Set(static_cast<uint64_t>(j), vi);
+          clk.Advance(costs_.swap_ns);
+          ++i;
+          --j;
+        }
+      }
+      // Recurse into the smaller side; loop on the larger (bounded stack).
+      if (j - lo < hi - i) {
+        if (lo < j) {
+          stack.emplace_back(lo, j);
+        }
+        lo = i;
+      } else {
+        if (i < hi) {
+          stack.emplace_back(i, hi);
+        }
+        hi = j;
+      }
+    }
+    if (lo < hi) {
+      InsertionSort(lo, hi);
+    }
+  }
+}
+
+uint64_t QuicksortWorkload::Run() {
+  uint64_t t0 = rt_.clock().now();
+  if (data_.size() > 1) {
+    Sort(0, static_cast<int64_t>(data_.size()) - 1);
+  }
+  return rt_.clock().now() - t0;
+}
+
+bool QuicksortWorkload::IsSorted() {
+  for (uint64_t i = 1; i < data_.size(); ++i) {
+    if (data_.Get(i - 1) > data_.Get(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dilos

@@ -1,0 +1,39 @@
+#include "src/apps/seqrw.h"
+
+#include "src/rdma/verbs.h"
+
+namespace dilos {
+
+SeqWorkload::SeqWorkload(FarRuntime& rt, uint64_t bytes) : rt_(rt), bytes_(bytes) {
+  region_ = rt_.AllocRegion(bytes_);
+  // Populate: the paper's workload first writes the full region.
+  for (uint64_t off = 0; off < bytes_; off += kPageSize) {
+    rt_.Write<uint64_t>(region_ + off, off);
+  }
+}
+
+SeqResult SeqWorkload::Sweep(bool write) {
+  RuntimeStats& st = rt_.stats();
+  uint64_t major0 = st.major_faults;
+  uint64_t minor0 = st.minor_faults;
+  uint64_t t0 = rt_.clock().now();
+  for (uint64_t off = 0; off < bytes_; off += kPageSize) {
+    if (write) {
+      rt_.Write<uint64_t>(region_ + off, off ^ 0x5A5A);
+    } else {
+      volatile uint64_t v = rt_.Read<uint64_t>(region_ + off);
+      (void)v;
+    }
+  }
+  SeqResult r;
+  r.elapsed_ns = rt_.clock().now() - t0;
+  r.bytes = bytes_;
+  r.major_faults = st.major_faults - major0;
+  r.minor_faults = st.minor_faults - minor0;
+  return r;
+}
+
+SeqResult SeqWorkload::Read() { return Sweep(false); }
+SeqResult SeqWorkload::Write() { return Sweep(true); }
+
+}  // namespace dilos

@@ -1,0 +1,49 @@
+// Sequential read/write kernel (paper Sec. 6.1): populate a region, then
+// stream over it with 4 KB strides. Drives Table 1, Table 2, Table 3, and
+// the Fig. 1/6 latency-breakdown experiments.
+#ifndef DILOS_SRC_APPS_SEQRW_H_
+#define DILOS_SRC_APPS_SEQRW_H_
+
+#include <cstdint>
+
+#include "src/sim/far_runtime.h"
+
+namespace dilos {
+
+struct SeqResult {
+  uint64_t elapsed_ns = 0;
+  uint64_t bytes = 0;
+  uint64_t major_faults = 0;
+  uint64_t minor_faults = 0;
+
+  double GBps() const {
+    return elapsed_ns == 0 ? 0.0
+                           : static_cast<double>(bytes) / static_cast<double>(elapsed_ns);
+  }
+};
+
+class SeqWorkload {
+ public:
+  // Allocates and populates `bytes` of far memory (the working set). With a
+  // local cache smaller than the working set, population alone leaves the
+  // head of the region evicted, so the measured sweep starts cold.
+  SeqWorkload(FarRuntime& rt, uint64_t bytes);
+
+  // Streams the region with 4 KB strides; fault counters are measured over
+  // the sweep only.
+  SeqResult Read();
+  SeqResult Write();
+
+  uint64_t region() const { return region_; }
+
+ private:
+  SeqResult Sweep(bool write);
+
+  FarRuntime& rt_;
+  uint64_t bytes_;
+  uint64_t region_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_APPS_SEQRW_H_

@@ -1,0 +1,170 @@
+#include "src/apps/szip.h"
+
+#include <cstring>
+
+namespace dilos {
+
+namespace {
+
+// Tags: low bit 0 = literal run, 1 = match. Remaining bits via varint.
+void PutVarint(std::vector<uint8_t>* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(const uint8_t*& p, const uint8_t* end, uint32_t* v) {
+  uint32_t result = 0;
+  int shift = 0;
+  while (p < end && shift <= 28) {
+    uint8_t b = *p++;
+    result |= static_cast<uint32_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 0x9E3779B1u) >> 18;  // 14-bit table.
+}
+
+constexpr size_t kHashSize = 1u << 14;
+constexpr size_t kMinMatch = 4;
+
+}  // namespace
+
+size_t SzipCompressBlock(const uint8_t* src, size_t n, std::vector<uint8_t>* out) {
+  size_t start = out->size();
+  // 32-bit positions so inputs of any size work; matches are still limited
+  // to a 64 KB back-window (classic LZ77 distance cap).
+  std::vector<uint32_t> table(kHashSize, UINT32_MAX);
+
+  size_t i = 0;
+  size_t lit_start = 0;
+  auto flush_literals = [&](size_t upto) {
+    if (upto > lit_start) {
+      uint32_t len = static_cast<uint32_t>(upto - lit_start);
+      PutVarint(out, len << 1);  // Tag bit 0: literal run.
+      out->insert(out->end(), src + lit_start, src + upto);
+    }
+  };
+
+  while (i + kMinMatch <= n) {
+    uint32_t h = Hash4(src + i);
+    uint32_t cand32 = table[h];
+    table[h] = static_cast<uint32_t>(i);
+    size_t cand = cand32;
+    if (cand32 != UINT32_MAX && cand < i && i - cand <= 0xFFFF &&
+        std::memcmp(src + cand, src + i, kMinMatch) == 0) {
+      size_t len = kMinMatch;
+      while (i + len < n && src[cand + len] == src[i + len] && len < 0x7FFF) {
+        ++len;
+      }
+      flush_literals(i);
+      uint32_t offset = static_cast<uint32_t>(i - cand);
+      PutVarint(out, (static_cast<uint32_t>(len) << 1) | 1);  // Tag bit 1: match.
+      PutVarint(out, offset);
+      i += len;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(n);
+  return out->size() - start;
+}
+
+size_t SzipDecompressBlock(const uint8_t* src, size_t n, std::vector<uint8_t>* out) {
+  size_t start = out->size();
+  const uint8_t* p = src;
+  const uint8_t* end = src + n;
+  while (p < end) {
+    uint32_t tag;
+    if (!GetVarint(p, end, &tag)) {
+      return 0;
+    }
+    if (tag & 1) {  // Match.
+      uint32_t len = tag >> 1;
+      uint32_t offset;
+      if (!GetVarint(p, end, &offset) || offset == 0 || offset > out->size() - start) {
+        return 0;
+      }
+      size_t from = out->size() - offset;
+      for (uint32_t k = 0; k < len; ++k) {
+        out->push_back((*out)[from + k]);  // Overlapping copies are legal.
+      }
+    } else {  // Literal run.
+      uint32_t len = tag >> 1;
+      if (p + len > end) {
+        return 0;
+      }
+      out->insert(out->end(), p, p + len);
+      p += len;
+    }
+  }
+  return out->size() - start;
+}
+
+SzipResult SzipFar::Compress(uint64_t src, uint64_t len, uint64_t dst) {
+  Clock& clk = rt_->clock();
+  uint64_t t0 = clk.now();
+  SzipResult res;
+  res.in_bytes = len;
+  std::vector<uint8_t> in_buf(kSzipBlock);
+  std::vector<uint8_t> out_buf;
+  uint64_t dst_cursor = dst;
+  for (uint64_t off = 0; off < len; off += kSzipBlock) {
+    uint32_t block = static_cast<uint32_t>(std::min<uint64_t>(kSzipBlock, len - off));
+    rt_->ReadBytes(src + off, in_buf.data(), block);
+    out_buf.clear();
+    SzipCompressBlock(in_buf.data(), block, &out_buf);
+    clk.Advance(static_cast<uint64_t>(costs_.compress_ns_per_byte * block));
+    uint32_t csize = static_cast<uint32_t>(out_buf.size());
+    rt_->Write<uint32_t>(dst_cursor, block);
+    rt_->Write<uint32_t>(dst_cursor + 4, csize);
+    rt_->WriteBytes(dst_cursor + 8, out_buf.data(), csize);
+    dst_cursor += 8 + csize;
+  }
+  res.out_bytes = dst_cursor - dst;
+  res.elapsed_ns = clk.now() - t0;
+  return res;
+}
+
+SzipResult SzipFar::Decompress(uint64_t src, uint64_t clen, uint64_t dst) {
+  Clock& clk = rt_->clock();
+  uint64_t t0 = clk.now();
+  SzipResult res;
+  res.in_bytes = clen;
+  std::vector<uint8_t> in_buf;
+  std::vector<uint8_t> out_buf;
+  uint64_t cursor = src;
+  uint64_t dst_cursor = dst;
+  while (cursor < src + clen) {
+    uint32_t usize = rt_->Read<uint32_t>(cursor);
+    uint32_t csize = rt_->Read<uint32_t>(cursor + 4);
+    in_buf.resize(csize);
+    rt_->ReadBytes(cursor + 8, in_buf.data(), csize);
+    out_buf.clear();
+    size_t got = SzipDecompressBlock(in_buf.data(), csize, &out_buf);
+    if (got != usize) {
+      break;  // Corrupt stream; stop (callers verify sizes).
+    }
+    clk.Advance(static_cast<uint64_t>(costs_.decompress_ns_per_byte * usize));
+    rt_->WriteBytes(dst_cursor, out_buf.data(), usize);
+    cursor += 8 + csize;
+    dst_cursor += usize;
+  }
+  res.out_bytes = dst_cursor - dst;
+  res.elapsed_ns = clk.now() - t0;
+  return res;
+}
+
+}  // namespace dilos

@@ -1,0 +1,59 @@
+// szip: an LZ77 block compressor in the style of Snappy (paper Fig. 7(c/d)
+// compresses sixteen 1 GB files and decompresses thirty 0.5 GB files with
+// Snappy 1.1.8). Greedy hash-chain matching inside 64 KB blocks, byte-
+// oriented tag/varint encoding, no entropy stage — the same design point as
+// Snappy: speed over ratio.
+//
+// The core codec is pure (host buffers); SzipFar streams blocks through a
+// FarRuntime, which is where the far-memory traffic comes from.
+#ifndef DILOS_SRC_APPS_SZIP_H_
+#define DILOS_SRC_APPS_SZIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/far_runtime.h"
+
+namespace dilos {
+
+inline constexpr uint32_t kSzipBlock = 64 * 1024;
+
+// Compresses `n` bytes of `src`, appending to `out`. Returns bytes appended.
+size_t SzipCompressBlock(const uint8_t* src, size_t n, std::vector<uint8_t>* out);
+
+// Decompresses a block produced by SzipCompressBlock, appending to `out`.
+// Returns bytes appended; 0 on malformed input.
+size_t SzipDecompressBlock(const uint8_t* src, size_t n, std::vector<uint8_t>* out);
+
+// Modeled codec speeds (Snappy-era: ~1 GB/s compress, ~2 GB/s decompress
+// per core on the paper's Xeon).
+struct SzipCosts {
+  double compress_ns_per_byte = 1.0;
+  double decompress_ns_per_byte = 0.5;
+};
+
+struct SzipResult {
+  uint64_t in_bytes = 0;
+  uint64_t out_bytes = 0;
+  uint64_t elapsed_ns = 0;
+};
+
+// Streams far-memory data through the codec block by block. The framed
+// stream layout is [u32 usize][u32 csize][csize bytes]*.
+class SzipFar {
+ public:
+  explicit SzipFar(FarRuntime& rt, SzipCosts costs = {}) : rt_(&rt), costs_(costs) {}
+
+  // Compresses [src, src+len) into dst; returns sizes and simulated time.
+  SzipResult Compress(uint64_t src, uint64_t len, uint64_t dst);
+  // Decompresses a framed stream at src (clen bytes) into dst.
+  SzipResult Decompress(uint64_t src, uint64_t clen, uint64_t dst);
+
+ private:
+  FarRuntime* rt_;
+  SzipCosts costs_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_APPS_SZIP_H_

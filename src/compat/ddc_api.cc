@@ -1,0 +1,93 @@
+#include "src/compat/ddc_api.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "src/ddc_alloc/far_heap.h"
+#include "src/dilos/readahead.h"
+#include "src/dilos/trend.h"
+
+namespace dilos {
+
+namespace {
+
+struct GlobalInstance {
+  std::unique_ptr<Fabric> fabric;
+  std::unique_ptr<DilosRuntime> runtime;
+  std::unique_ptr<FarHeap> heap;
+};
+
+GlobalInstance* g_instance = nullptr;
+
+std::unique_ptr<Prefetcher> MakeNamedPrefetcher(const char* name) {
+  if (name != nullptr && std::strcmp(name, "none") == 0) {
+    return std::make_unique<NullPrefetcher>();
+  }
+  if (name != nullptr && std::strcmp(name, "trend") == 0) {
+    return std::make_unique<TrendPrefetcher>();
+  }
+  return std::make_unique<ReadaheadPrefetcher>();
+}
+
+}  // namespace
+
+bool ddc_init(const DdcOptions& options) {
+  if (g_instance != nullptr) {
+    return false;
+  }
+  auto inst = std::make_unique<GlobalInstance>();
+  inst->fabric = std::make_unique<Fabric>(CostModel::Default(), options.memory_nodes);
+  DilosConfig cfg;
+  cfg.local_mem_bytes = options.local_mem_bytes;
+  cfg.num_cores = options.num_cores;
+  cfg.replication = options.replication;
+  inst->runtime = std::make_unique<DilosRuntime>(*inst->fabric, cfg,
+                                                 MakeNamedPrefetcher(options.prefetcher));
+  inst->heap = std::make_unique<FarHeap>(*inst->runtime);
+  g_instance = inst.release();
+  return true;
+}
+
+void ddc_shutdown() {
+  delete g_instance;
+  g_instance = nullptr;
+}
+
+bool ddc_initialized() { return g_instance != nullptr; }
+
+DilosRuntime& ddc_runtime() {
+  if (g_instance == nullptr) {
+    std::abort();  // Programming error: ddc_init() was never called.
+  }
+  return *g_instance->runtime;
+}
+
+FarHeap& ddc_heap() {
+  if (g_instance == nullptr) {
+    std::abort();
+  }
+  return *g_instance->heap;
+}
+
+uint64_t ddc_mmap(uint64_t bytes) { return ddc_runtime().AllocRegion(bytes); }
+
+void ddc_munmap(uint64_t addr, uint64_t bytes) { ddc_runtime().FreeRegion(addr, bytes); }
+
+uint64_t ddc_malloc(size_t size) { return ddc_heap().Malloc(size); }
+
+void ddc_free(uint64_t addr) { ddc_heap().Free(addr); }
+
+size_t ddc_usable_size(uint64_t addr) { return ddc_heap().UsableSize(addr); }
+
+void ddc_read(uint64_t addr, void* dst, size_t len) { ddc_runtime().ReadBytes(addr, dst, len); }
+
+void ddc_write(uint64_t addr, const void* src, size_t len) {
+  ddc_runtime().WriteBytes(addr, src, len);
+}
+
+const RuntimeStats& ddc_stats() { return ddc_runtime().stats(); }
+
+uint64_t ddc_now_ns() { return ddc_runtime().clock().now(); }
+
+}  // namespace dilos

@@ -1,0 +1,62 @@
+// The ddc_* compatibility layer (paper Sec. 5 "Compatibility layer").
+//
+// In DiLOS, applications call ddc_malloc/ddc_free (or have their malloc
+// patched to these by the ELF loader) and dereference the returned pointers
+// like any heap memory. The simulator has no MMU, so "dereference" is the
+// pin/read/write family below — but the lifecycle API is the paper's:
+// one process-global LibOS instance, mmap-style regions, and a heap whose
+// allocations are transparently disaggregated.
+//
+// Everything here forwards to a global DilosRuntime configured once by
+// ddc_init(). C++ callers wanting multiple runtimes should use DilosRuntime
+// directly; this layer exists for the single-instance, drop-in usage the
+// paper targets.
+#ifndef DILOS_SRC_COMPAT_DDC_API_H_
+#define DILOS_SRC_COMPAT_DDC_API_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/ddc_alloc/far_heap.h"
+#include "src/dilos/runtime.h"
+
+namespace dilos {
+
+struct DdcOptions {
+  uint64_t local_mem_bytes = 64ULL << 20;
+  // "readahead" (default), "trend", or "none".
+  const char* prefetcher = "readahead";
+  int num_cores = 1;
+  int memory_nodes = 1;
+  int replication = 1;
+};
+
+// Boots the global LibOS instance (idempotent: returns false if already
+// initialized).
+bool ddc_init(const DdcOptions& options = {});
+// Tears the instance down (all far addresses become invalid).
+void ddc_shutdown();
+bool ddc_initialized();
+
+// mmap/munmap of disaggregated regions (MAP_DDC in the paper).
+uint64_t ddc_mmap(uint64_t bytes);
+void ddc_munmap(uint64_t addr, uint64_t bytes);
+
+// Heap API — the calls the ELF loader patches malloc/free to.
+uint64_t ddc_malloc(size_t size);
+void ddc_free(uint64_t addr);
+size_t ddc_usable_size(uint64_t addr);
+
+// Access (the simulator's stand-in for pointer dereference).
+void ddc_read(uint64_t addr, void* dst, size_t len);
+void ddc_write(uint64_t addr, const void* src, size_t len);
+
+// Introspection.
+DilosRuntime& ddc_runtime();  // Aborts if not initialized.
+FarHeap& ddc_heap();
+const RuntimeStats& ddc_stats();
+uint64_t ddc_now_ns();
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_COMPAT_DDC_API_H_

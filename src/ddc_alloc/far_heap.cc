@@ -1,0 +1,181 @@
+#include "src/ddc_alloc/far_heap.h"
+
+#include <cstddef>
+
+namespace dilos {
+
+namespace {
+constexpr uint64_t kSlabPages = 1024;  // Far-region carve granularity.
+}  // namespace
+
+size_t FarHeap::ClassFor(uint64_t size) {
+  for (size_t i = 0; i < kSizeClasses.size(); ++i) {
+    if (size <= kSizeClasses[i]) {
+      return i;
+    }
+  }
+  return kSizeClasses.size();  // Large.
+}
+
+uint64_t FarHeap::CarvePage() {
+  if (!empty_pages_.empty()) {
+    uint64_t va = empty_pages_.back();
+    empty_pages_.pop_back();
+    return va;
+  }
+  if (slab_cursor_ >= slab_end_) {
+    slab_cursor_ = rt_->AllocRegion(kSlabPages * kPageSize);
+    slab_end_ = slab_cursor_ + kSlabPages * kPageSize;
+  }
+  uint64_t va = slab_cursor_;
+  slab_cursor_ += kPageSize;
+  return va;
+}
+
+uint64_t FarHeap::Malloc(uint64_t size) {
+  if (size == 0) {
+    size = 1;
+  }
+  size_t cls = ClassFor(size);
+  if (cls == kSizeClasses.size()) {
+    // Large allocation: whole pages, never from bitmap pages.
+    uint64_t npages = (size + kPageSize - 1) / kPageSize;
+    uint64_t base = rt_->AllocRegion(npages * kPageSize);
+    large_[base] = npages;
+    live_bytes_ += npages * kPageSize;
+    live_chunks_++;
+    return base;
+  }
+
+  uint32_t chunk = kSizeClasses[cls];
+  uint32_t per_page = kPageSize / chunk;
+  std::vector<uint64_t>& avail = partial_[cls];
+  while (!avail.empty()) {
+    uint64_t page_va = avail.back();
+    auto it = pages_.find(page_va);
+    if (it == pages_.end() || it->second.class_idx != cls || it->second.used >= per_page) {
+      avail.pop_back();  // Stale entry.
+      continue;
+    }
+    PageMeta& meta = it->second;
+    for (uint32_t i = 0; i < per_page; ++i) {
+      if (!BitGet(meta.bitmap, i)) {
+        BitSet(meta.bitmap, i);
+        meta.used++;
+        if (meta.used >= per_page) {
+          avail.pop_back();
+        }
+        live_bytes_ += chunk;
+        live_chunks_++;
+        return page_va + static_cast<uint64_t>(i) * chunk;
+      }
+    }
+    avail.pop_back();  // Shouldn't happen; defensive.
+  }
+
+  uint64_t page_va = CarvePage();
+  PageMeta meta;
+  meta.class_idx = static_cast<uint16_t>(cls);
+  meta.used = 1;
+  BitSet(meta.bitmap, 0);
+  pages_[page_va] = meta;
+  if (per_page > 1) {
+    avail.push_back(page_va);
+  }
+  live_bytes_ += chunk;
+  live_chunks_++;
+  return page_va;
+}
+
+void FarHeap::Free(uint64_t addr) {
+  uint64_t page_va = addr & ~static_cast<uint64_t>(kPageSize - 1);
+  auto it = pages_.find(page_va);
+  if (it != pages_.end()) {
+    PageMeta& meta = it->second;
+    uint32_t chunk = kSizeClasses[meta.class_idx];
+    uint32_t idx = static_cast<uint32_t>((addr - page_va) / chunk);
+    if (!BitGet(meta.bitmap, idx)) {
+      return;  // Double free: ignore (mimalloc would assert in debug).
+    }
+    BitClear(meta.bitmap, idx);
+    uint32_t per_page = kPageSize / chunk;
+    bool was_full = meta.used >= per_page;
+    meta.used--;
+    live_bytes_ -= chunk;
+    live_chunks_--;
+    if (meta.used == 0) {
+      pages_.erase(it);
+      empty_pages_.push_back(page_va);
+    } else if (was_full) {
+      partial_[meta.class_idx].push_back(page_va);
+    }
+    return;
+  }
+  auto lg = large_.find(addr);
+  if (lg != large_.end()) {
+    live_bytes_ -= lg->second * kPageSize;
+    live_chunks_--;
+    large_.erase(lg);
+  }
+}
+
+uint64_t FarHeap::UsableSize(uint64_t addr) const {
+  uint64_t page_va = addr & ~static_cast<uint64_t>(kPageSize - 1);
+  auto it = pages_.find(page_va);
+  if (it != pages_.end()) {
+    return kSizeClasses[it->second.class_idx];
+  }
+  auto lg = large_.find(addr);
+  if (lg != large_.end()) {
+    return lg->second * kPageSize;
+  }
+  return 0;
+}
+
+bool FarHeap::LiveSegments(uint64_t page_va, std::vector<PageSegment>* segs,
+                           uint32_t max_segs) const {
+  auto it = pages_.find(page_va);
+  if (it == pages_.end()) {
+    return false;  // Large allocation or foreign page: whole-page semantics.
+  }
+  const PageMeta& meta = it->second;
+  uint32_t chunk = kSizeClasses[meta.class_idx];
+  uint32_t per_page = kPageSize / chunk;
+  if (meta.used == 0 || meta.used >= per_page) {
+    return false;  // Fully dead or fully live: no savings from a vector.
+  }
+
+  // Collect maximal runs of live chunks.
+  std::vector<PageSegment> runs;
+  uint32_t run_start = UINT32_MAX;
+  for (uint32_t i = 0; i <= per_page; ++i) {
+    bool live = i < per_page && BitGet(meta.bitmap, i);
+    if (live && run_start == UINT32_MAX) {
+      run_start = i;
+    } else if (!live && run_start != UINT32_MAX) {
+      runs.push_back({run_start * chunk, (i - run_start) * chunk});
+      run_start = UINT32_MAX;
+    }
+  }
+
+  // Merge nearest runs until the vector fits (paying dead bytes for fewer
+  // segments, as the guide does for RDMA efficiency).
+  while (runs.size() > max_segs) {
+    size_t best = 0;
+    uint32_t best_gap = UINT32_MAX;
+    for (size_t i = 0; i + 1 < runs.size(); ++i) {
+      uint32_t gap = runs[i + 1].offset - (runs[i].offset + runs[i].length);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    runs[best].length = runs[best + 1].offset + runs[best + 1].length - runs[best].offset;
+    runs.erase(runs.begin() + static_cast<ptrdiff_t>(best) + 1);
+  }
+
+  *segs = std::move(runs);
+  return true;
+}
+
+}  // namespace dilos

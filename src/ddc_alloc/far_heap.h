@@ -1,0 +1,92 @@
+// mimalloc-style user-level allocator over far memory (paper Sec. 4.4, 5,
+// 6.3 "Guided paging").
+//
+// The allocator is size-class segregated: each 4 KB heap page serves one
+// size class and carries a *live-chunk bitmap*. The paper modified mimalloc
+// to track freed chunks in bitmaps instead of free lists precisely so the
+// paging guide can ask "which bytes of this page are live?" and move only
+// those over the wire. LiveSegments() answers that question, merging chunks
+// into at most `max_segs` extents (the paper found vectors longer than
+// three slow down RDMA, so it caps the vector and pads with dead bytes).
+//
+// Metadata (page tables of the heap, bitmaps) lives on the compute node, as
+// allocator state does in the real system.
+#ifndef DILOS_SRC_DDC_ALLOC_FAR_HEAP_H_
+#define DILOS_SRC_DDC_ALLOC_FAR_HEAP_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dilos/guide.h"
+#include "src/sim/far_runtime.h"
+
+namespace dilos {
+
+class FarHeap {
+ public:
+  // Chunk sizes served from dedicated pages; larger allocations get whole
+  // pages. All multiples of 16 (the allocator's alignment).
+  static constexpr std::array<uint32_t, 14> kSizeClasses = {
+      16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1360, 2048};
+  static constexpr uint32_t kMaxSmall = 2048;
+
+  explicit FarHeap(FarRuntime& rt) : rt_(&rt) {}
+
+  // ddc_malloc: returns a far address of at least `size` bytes.
+  uint64_t Malloc(uint64_t size);
+  // ddc_free: releases the chunk at `addr` (must come from Malloc).
+  void Free(uint64_t addr);
+
+  // Guided-paging query: live extents of the heap page at `page_va`,
+  // merged to at most `max_segs` segments. Returns false when the page is
+  // unknown to the heap, fully live, or fully dead (caller should then move
+  // the whole page).
+  bool LiveSegments(uint64_t page_va, std::vector<PageSegment>* segs,
+                    uint32_t max_segs = 3) const;
+
+  // Size of the chunk at `addr` (0 if unknown).
+  uint64_t UsableSize(uint64_t addr) const;
+
+  uint64_t live_bytes() const { return live_bytes_; }
+  uint64_t live_chunks() const { return live_chunks_; }
+  FarRuntime& runtime() { return *rt_; }
+
+ private:
+  static constexpr uint32_t kBitmapWords = 4;  // 256 chunks max per page.
+
+  struct PageMeta {
+    uint16_t class_idx = 0;
+    uint16_t used = 0;
+    std::array<uint64_t, kBitmapWords> bitmap = {};
+  };
+
+  static size_t ClassFor(uint64_t size);
+  uint64_t CarvePage();
+
+  static bool BitGet(const std::array<uint64_t, kBitmapWords>& bm, uint32_t i) {
+    return (bm[i / 64] >> (i % 64)) & 1;
+  }
+  static void BitSet(std::array<uint64_t, kBitmapWords>& bm, uint32_t i) {
+    bm[i / 64] |= 1ULL << (i % 64);
+  }
+  static void BitClear(std::array<uint64_t, kBitmapWords>& bm, uint32_t i) {
+    bm[i / 64] &= ~(1ULL << (i % 64));
+  }
+
+  FarRuntime* rt_;
+  std::unordered_map<uint64_t, PageMeta> pages_;  // Key: page vaddr.
+  // Pages per class with at least one free chunk.
+  std::array<std::vector<uint64_t>, kSizeClasses.size()> partial_;
+  std::vector<uint64_t> empty_pages_;                 // Fully-freed, reusable.
+  std::unordered_map<uint64_t, uint64_t> large_;      // Base va -> page count.
+  uint64_t slab_cursor_ = 0;
+  uint64_t slab_end_ = 0;
+  uint64_t live_bytes_ = 0;
+  uint64_t live_chunks_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_DDC_ALLOC_FAR_HEAP_H_

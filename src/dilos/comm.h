@@ -1,0 +1,53 @@
+// DiLOS communication module (paper Sec. 4.5).
+//
+// Shared-nothing queue assignment: each (core, module) pair gets its own
+// queue pair so a fault-handler demand fetch is never head-of-line blocked
+// behind prefetcher, manager, or guide traffic in software. (All QPs still
+// share the physical wire; Link arbitrates that.)
+#ifndef DILOS_SRC_DILOS_COMM_H_
+#define DILOS_SRC_DILOS_COMM_H_
+
+#include <array>
+#include <vector>
+
+#include "src/memnode/fabric.h"
+
+namespace dilos {
+
+enum class CommChannel : uint8_t {
+  kFault = 0,
+  kPrefetch,
+  kManager,
+  kGuide,
+  kCount,
+};
+
+class CommModule {
+ public:
+  // `shared_queue` collapses all modules onto one QP per core — the
+  // head-of-line-blocking design DiLOS avoids; kept as an ablation knob.
+  CommModule(Fabric& fabric, int num_cores, bool shared_queue = false)
+      : shared_(shared_queue) {
+    qps_.resize(static_cast<size_t>(num_cores));
+    for (auto& per_core : qps_) {
+      per_core[0] = fabric.CreateQp();
+      for (size_t ch = 1; ch < per_core.size(); ++ch) {
+        per_core[ch] = shared_ ? per_core[0] : fabric.CreateQp();
+      }
+    }
+  }
+
+  QueuePair* qp(int core, CommChannel ch) {
+    return qps_[static_cast<size_t>(core)][shared_ ? 0 : static_cast<size_t>(ch)];
+  }
+
+  int num_cores() const { return static_cast<int>(qps_.size()); }
+
+ private:
+  bool shared_;
+  std::vector<std::array<QueuePair*, static_cast<size_t>(CommChannel::kCount)>> qps_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_DILOS_COMM_H_

@@ -1,0 +1,81 @@
+// App-aware guide API (paper Sec. 4.1, 4.3, 4.4, Fig. 5/11).
+//
+// A guide is a pluggable third-party module loaded next to the application.
+// It can (a) refine prefetching at fault time — issuing *subpage* reads on
+// its own per-core queue pair to chase pointers ahead of the full-page
+// fetch, then posting page prefetches once the pointed-to addresses are
+// known — and (b) implement guided paging: telling the cleaner which chunks
+// of a page are live (from allocator bitmaps) so eviction and the later
+// action-PTE fetch move only live bytes via vectorized RDMA.
+#ifndef DILOS_SRC_DILOS_GUIDE_H_
+#define DILOS_SRC_DILOS_GUIDE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rdma/verbs.h"
+
+namespace dilos {
+
+// A live extent within one page, offset/length in bytes.
+struct PageSegment {
+  uint32_t offset = 0;
+  uint32_t length = 0;
+};
+
+// Handed to Guide::OnFault. Models the causality of subpage prefetching:
+// each SubpageRead's result only becomes usable at its completion time, and
+// prefetches the guide issues after it are posted no earlier than that.
+class GuideContext {
+ public:
+  virtual ~GuideContext() = default;
+
+  // Issues a subpage read of [vaddr, vaddr+len) on the guide's queue and
+  // copies the bytes into `dst`. Advances the context's causality cursor to
+  // the read's completion; returns that time.
+  virtual uint64_t SubpageRead(uint64_t vaddr, uint32_t len, void* dst) = 0;
+
+  // Requests an asynchronous full-page prefetch of the page containing
+  // `vaddr`, posted at the current causality cursor. Returns false if the
+  // page is already local/in-flight (nothing to do).
+  virtual bool PrefetchPage(uint64_t vaddr) = 0;
+
+  // True if the page containing `vaddr` is already resident or in flight —
+  // lets guides stop chasing early.
+  virtual bool IsResident(uint64_t vaddr) = 0;
+
+  // Reads [vaddr, vaddr+len) from local DRAM if the page is mapped (the
+  // guide runs in the LibOS' single address space, so mapped memory is one
+  // load away). Returns false if the page is not local; `len` must stay
+  // within one page.
+  virtual bool ReadResident(uint64_t vaddr, uint32_t len, void* dst) = 0;
+
+  // Current causality cursor (simulated ns).
+  virtual uint64_t now() const = 0;
+};
+
+class Guide {
+ public:
+  virtual ~Guide() = default;
+
+  // Fault-time hook: runs while the demand fetch for `vaddr`'s page is in
+  // flight. Default: no guidance.
+  virtual void OnFault(GuideContext& ctx, uint64_t vaddr, bool write) {
+    (void)ctx;
+    (void)vaddr;
+    (void)write;
+  }
+
+  // Guided-paging hook used by the cleaner/reclaimer: fills `segs` with the
+  // live extents of the page at `page_vaddr` and returns true to enable
+  // vectorized eviction; returning false evicts the whole page.
+  virtual bool LiveSegments(uint64_t page_vaddr, std::vector<PageSegment>* segs) {
+    (void)page_vaddr;
+    (void)segs;
+    return false;
+  }
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_DILOS_GUIDE_H_

@@ -1,0 +1,213 @@
+#include "src/dilos/page_manager.h"
+
+namespace dilos {
+
+PageManager::PageManager(FramePool& pool, PageTable& pt, ShardRouter& router,
+                         RuntimeStats& stats, Tracer* tracer, PageManagerConfig cfg)
+    : pool_(pool), pt_(pt), router_(router), stats_(stats), tracer_(tracer), cfg_(cfg) {
+  if (tracer_ == nullptr) {
+    static Tracer null_tracer(0);
+    tracer_ = &null_tracer;
+  }
+}
+
+void PageManager::OnMapped(uint64_t page_va) {
+  auto it = where_.find(page_va);
+  if (it != where_.end()) {
+    lru_.erase(it->second);
+    where_.erase(it);
+  }
+  lru_.push_back(page_va);
+  where_[page_va] = std::prev(lru_.end());
+}
+
+void PageManager::OnUnmapped(uint64_t page_va) {
+  auto it = where_.find(page_va);
+  if (it != where_.end()) {
+    lru_.erase(it->second);
+    where_.erase(it);
+  }
+  vector_cleaned_.erase(page_va);
+}
+
+uint64_t PageManager::AllocActionSlot(std::vector<PageSegment> segs) {
+  uint64_t idx;
+  if (!action_free_.empty()) {
+    idx = action_free_.back();
+    action_free_.pop_back();
+    action_log_[idx] = std::move(segs);
+  } else {
+    idx = action_log_.size();
+    action_log_.push_back(std::move(segs));
+  }
+  return idx;
+}
+
+const std::vector<PageSegment>* PageManager::ActionSegments(uint64_t log_idx) const {
+  if (log_idx >= action_log_.size()) {
+    return nullptr;
+  }
+  return &action_log_[log_idx];
+}
+
+void PageManager::ReleaseAction(uint64_t log_idx) {
+  if (log_idx < action_log_.size()) {
+    action_log_[log_idx].clear();
+    action_free_.push_back(log_idx);
+  }
+}
+
+void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
+  if ((*e & kPteDirty) == 0) {
+    return;
+  }
+  uint32_t frame = static_cast<uint32_t>(PtePayload(*e));
+  uint64_t frame_addr = pool_.Addr(frame);
+
+  std::vector<PageSegment> segs;
+  bool vectored = guide_ != nullptr && guide_->LiveSegments(page_va, &segs) && !segs.empty() &&
+                  segs.size() <= cfg_.max_vector_segs;
+  // A whole-page segment list degenerates to a plain write.
+  if (vectored && segs.size() == 1 && segs[0].offset == 0 && segs[0].length == kPageSize) {
+    vectored = false;
+  }
+
+  // Fan the write-back out to every live replica of the page.
+  router_.WriteQps(/*core=*/0, CommChannel::kManager, page_va, &write_qps_);
+  if (vectored) {
+    for (QueuePair* qp : write_qps_) {
+      WorkRequest wr;
+      wr.wr_id = ++wr_id_;
+      wr.opcode = RdmaOpcode::kWrite;
+      wr.rkey = qp->remote_rkey();
+      for (const PageSegment& s : segs) {
+        wr.local.push_back({frame_addr + s.offset, s.length});
+        wr.remote.push_back({page_va + s.offset, s.length});
+      }
+      qp->PostSend(wr, now);
+      stats_.vectored_ops++;
+      stats_.bytes_written += wr.TotalBytes();
+    }
+    stats_.writebacks++;
+    tracer_->Record(now, TraceEvent::kWriteback, page_va, 1);
+    // Remember the valid extents so eviction produces an action PTE.
+    auto old = vector_cleaned_.find(page_va);
+    if (old != vector_cleaned_.end()) {
+      ReleaseAction(old->second);
+    }
+    vector_cleaned_[page_va] = AllocActionSlot(std::move(segs));
+  } else {
+    for (QueuePair* qp : write_qps_) {
+      qp->PostWrite(++wr_id_, frame_addr, page_va, kPageSize, now);
+      stats_.bytes_written += kPageSize;
+    }
+    stats_.writebacks++;
+    tracer_->Record(now, TraceEvent::kWriteback, page_va, 0);
+    auto old = vector_cleaned_.find(page_va);
+    if (old != vector_cleaned_.end()) {
+      ReleaseAction(old->second);
+      vector_cleaned_.erase(old);
+    }
+  }
+  *e &= ~kPteDirty;
+}
+
+bool PageManager::EvictOne(uint64_t now, uint64_t pinned_va) {
+  size_t scanned = 0;
+  size_t limit = lru_.size() * 2 + 1;
+  while (!lru_.empty() && scanned < limit) {
+    ++scanned;
+    uint64_t page_va = lru_.front();
+    lru_.pop_front();
+    where_.erase(page_va);
+    Pte* e = pt_.Entry(page_va, /*create=*/false);
+    if (e == nullptr || PteTagOf(*e) != PteTag::kLocal) {
+      continue;  // Page vanished (unmapped); drop the stale entry.
+    }
+    if (page_va == pinned_va) {
+      lru_.push_back(page_va);
+      where_[page_va] = std::prev(lru_.end());
+      continue;
+    }
+    if (*e & kPteAccessed) {
+      // Second chance: clear the accessed bit and rotate to the back.
+      *e &= ~kPteAccessed;
+      lru_.push_back(page_va);
+      where_[page_va] = std::prev(lru_.end());
+      continue;
+    }
+    // Victim found. Ensure the memory-node copy is current.
+    if (*e & kPteDirty) {
+      Clean(page_va, e, now);
+    }
+    uint32_t frame = static_cast<uint32_t>(PtePayload(*e));
+    auto vec = vector_cleaned_.find(page_va);
+    if (vec != vector_cleaned_.end()) {
+      *pt_.Entry(page_va, true) = MakeActionPte(vec->second);
+      vector_cleaned_.erase(vec);
+    } else {
+      // Even a clean page can evict to an action PTE: the memory node holds
+      // the full (current) content, and the guide's live map tells the later
+      // re-fetch which bytes are worth moving.
+      std::vector<PageSegment> segs;
+      if (guide_ != nullptr && guide_->LiveSegments(page_va, &segs) && !segs.empty() &&
+          segs.size() <= cfg_.max_vector_segs &&
+          !(segs.size() == 1 && segs[0].offset == 0 && segs[0].length == kPageSize)) {
+        *pt_.Entry(page_va, true) = MakeActionPte(AllocActionSlot(std::move(segs)));
+      } else {
+        *pt_.Entry(page_va, true) = MakeRemotePte(page_va >> kPageShift);
+      }
+    }
+    pool_.Free(frame);
+    stats_.evictions++;
+    tracer_->Record(now, TraceEvent::kEvict, page_va);
+    return true;
+  }
+  return false;
+}
+
+void PageManager::BackgroundTick(uint64_t now, uint64_t pinned_va) {
+  // Cleaner: sweep a batch of the oldest pages, writing back dirty ones so
+  // the reclaimer always finds clean victims.
+  size_t cleaned = 0;
+  for (auto it = lru_.begin(); it != lru_.end() && cleaned < cfg_.clean_batch; ++it) {
+    Pte* e = pt_.Entry(*it, /*create=*/false);
+    if (e != nullptr && PteTagOf(*e) == PteTag::kLocal && (*e & kPteDirty) &&
+        (*e & kPteAccessed) == 0) {
+      Clean(*it, e, now);
+      ++cleaned;
+    }
+  }
+  // Reclaimer: eagerly evict until the free target is met.
+  size_t target = cfg_.free_target;
+  size_t cap = pool_.total() / 4 + 1;
+  if (target > cap) {
+    target = cap;  // Never hold more than a quarter of a tiny pool free.
+  }
+  while (pool_.free_count() < target) {
+    if (!EvictOne(now, pinned_va)) {
+      break;
+    }
+  }
+}
+
+uint32_t PageManager::AllocFrame(Clock& clk, LatencyBreakdown* bd) {
+  std::optional<uint32_t> fid = pool_.Alloc();
+  if (!fid.has_value()) {
+    // The background thread fell behind: direct reclaim in the fault path.
+    ++direct_reclaims_;
+    while (!fid.has_value()) {
+      if (!EvictOne(clk.now())) {
+        break;  // Nothing evictable: the pool is truly exhausted.
+      }
+      clk.Advance(cfg_.direct_reclaim_ns);
+      if (bd != nullptr) {
+        bd->Add(LatComp::kReclaim, cfg_.direct_reclaim_ns);
+      }
+      fid = pool_.Alloc();
+    }
+  }
+  return fid.value();
+}
+
+}  // namespace dilos

@@ -1,0 +1,113 @@
+// DiLOS page manager (paper Sec. 4.4).
+//
+// The allocator hands out free frames; a background *cleaner* writes dirty
+// pages back to the memory node and clears their dirty bits; a background
+// *reclaimer* evicts the least-recently-used clean pages with a clock
+// (second-chance) sweep over the LRU list. Both run eagerly so the fault
+// handler virtually always finds a free frame — reclamation never shows up
+// in the fault path (paper Fig. 6 shows zero reclaim time for DiLOS).
+//
+// Guided paging: when a guide supplies per-page live segments (from the
+// allocator's bitmaps), the cleaner writes back only live bytes with one
+// vectorized RDMA write (≤ max_vector_segs segments; the paper measured a
+// sharp slowdown past three), and the reclaimer evicts the page to an
+// *action* PTE holding an index into the vector log, so the later re-fetch
+// also moves only live bytes.
+#ifndef DILOS_SRC_DILOS_PAGE_MANAGER_H_
+#define DILOS_SRC_DILOS_PAGE_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dilos/guide.h"
+#include "src/dilos/shard.h"
+#include "src/pt/frame_pool.h"
+#include "src/pt/page_table.h"
+#include "src/rdma/queue_pair.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
+
+namespace dilos {
+
+struct PageManagerConfig {
+  size_t free_target = 64;       // Keep at least this many frames free.
+  size_t clean_batch = 32;       // Dirty pages cleaned per background tick.
+  uint32_t max_vector_segs = 3;  // Longest scatter/gather vector to use.
+  uint64_t direct_reclaim_ns = 1800;  // Fault-path cost per direct-reclaim victim.
+};
+
+class PageManager {
+ public:
+  // Write-backs go through `router` on the manager channel — to every live
+  // replica when replication is enabled.
+  PageManager(FramePool& pool, PageTable& pt, ShardRouter& router, RuntimeStats& stats,
+              Tracer* tracer = nullptr, PageManagerConfig cfg = {});
+
+  void set_guide(Guide* guide) { guide_ = guide; }
+
+  // Registers a page that just became resident (most recently used).
+  void OnMapped(uint64_t page_va);
+  // Drops tracking for a page unmapped outside reclamation.
+  void OnUnmapped(uint64_t page_va);
+
+  // Background cleaner + reclaimer work at simulated time `now`. CPU time is
+  // not charged to any application core (it runs on spare cores); write-back
+  // traffic occupies the shared link. `pinned_va` (the page a fault handler
+  // is currently operating on) is never evicted.
+  void BackgroundTick(uint64_t now, uint64_t pinned_va = UINT64_MAX);
+
+  // Allocates a frame for the fault handler. On the eager-eviction fast path
+  // this is a free-list pop; if the pool is exhausted (the background thread
+  // fell behind) a direct reclaim runs in the fault path, charging `clk` and
+  // recording LatComp::kReclaim in `bd`.
+  uint32_t AllocFrame(Clock& clk, LatencyBreakdown* bd);
+
+  // Action-log access for the runtime's action-PTE fault path.
+  const std::vector<PageSegment>* ActionSegments(uint64_t log_idx) const;
+  void ReleaseAction(uint64_t log_idx);
+
+  size_t resident_count() const { return lru_.size(); }
+  uint64_t direct_reclaims() const { return direct_reclaims_; }
+
+ private:
+  // Writes the page back if dirty (full page, or vectorized live segments if
+  // the guide provides them), clearing the dirty bit. Records the vector in
+  // the action log so eviction can use it.
+  void Clean(uint64_t page_va, Pte* e, uint64_t now);
+
+  // One clock-algorithm step; returns true if a page was evicted.
+  bool EvictOne(uint64_t now, uint64_t pinned_va = UINT64_MAX);
+
+  uint64_t AllocActionSlot(std::vector<PageSegment> segs);
+
+  FramePool& pool_;
+  PageTable& pt_;
+  ShardRouter& router_;
+  RuntimeStats& stats_;
+  Tracer* tracer_;
+  std::vector<QueuePair*> write_qps_;  // Scratch for replica fan-out.
+  PageManagerConfig cfg_;
+  Guide* guide_ = nullptr;
+
+  // LRU order: front = oldest. The clock hand sweeps from the front.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where_;
+
+  // Pages cleaned via a vectorized write: page_va -> action-log index whose
+  // segments describe the valid bytes on the memory node.
+  std::unordered_map<uint64_t, uint64_t> vector_cleaned_;
+
+  std::vector<std::vector<PageSegment>> action_log_;
+  std::vector<uint64_t> action_free_;
+
+  uint64_t wr_id_ = 0;
+  uint64_t direct_reclaims_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_DILOS_PAGE_MANAGER_H_

@@ -1,0 +1,53 @@
+// Prefetcher interface (paper Sec. 4.3).
+//
+// DiLOS consults the prefetcher from inside the fault handler, during the
+// RDMA wait window of the demand fetch, so prefetch decision work is hidden.
+// The runtime supplies fault address, fault kind, and the PTE-hit-tracker
+// ratio; the prefetcher returns candidate pages to fetch.
+#ifndef DILOS_SRC_DILOS_PREFETCHER_H_
+#define DILOS_SRC_DILOS_PREFETCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace dilos {
+
+struct FaultInfo {
+  uint64_t vaddr = 0;      // Faulting address (not page-aligned).
+  bool write = false;
+  bool major = true;       // false: fault on an in-flight (fetching) page.
+  double hit_ratio = 1.0;  // From the PTE hit tracker.
+};
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  // Appends page-aligned virtual addresses to prefetch. Called on every
+  // fault (major and minor); minor faults let window-based policies issue
+  // ahead asynchronously, like Linux readahead's marker pages.
+  virtual void OnFault(const FaultInfo& info, std::vector<uint64_t>* out) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  // Fresh instance with the same configuration: prefetcher state (windows,
+  // history) is per-core, so the runtime clones one per core.
+  virtual std::unique_ptr<Prefetcher> Clone() const = 0;
+};
+
+// No prefetching ("no-prefetch" configurations in the paper).
+class NullPrefetcher : public Prefetcher {
+ public:
+  void OnFault(const FaultInfo& info, std::vector<uint64_t>* out) override {
+    (void)info;
+    (void)out;
+  }
+  std::string_view name() const override { return "no-prefetch"; }
+  std::unique_ptr<Prefetcher> Clone() const override { return std::make_unique<NullPrefetcher>(); }
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_DILOS_PREFETCHER_H_

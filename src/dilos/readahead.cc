@@ -1,0 +1,41 @@
+#include "src/dilos/readahead.h"
+
+#include "src/rdma/verbs.h"
+
+namespace dilos {
+
+void ReadaheadPrefetcher::EmitWindow(uint64_t start_page_va, uint32_t count,
+                                     std::vector<uint64_t>* out) {
+  for (uint32_t i = 0; i < count; ++i) {
+    out->push_back(start_page_va + static_cast<uint64_t>(i) * kPageSize);
+  }
+  ahead_page_ = start_page_va + static_cast<uint64_t>(count) * kPageSize;
+  marker_page_ = start_page_va + static_cast<uint64_t>(count / 2) * kPageSize;
+}
+
+void ReadaheadPrefetcher::OnFault(const FaultInfo& info, std::vector<uint64_t>* out) {
+  uint64_t page = info.vaddr & ~static_cast<uint64_t>(kPageSize - 1);
+
+  if (!info.major) {
+    // Swap readahead only triggers from the major-fault path (do_swap_page
+    // on a page not yet in flight); in-flight hits just update the stream
+    // position.
+    last_fault_page_ = page;
+    return;
+  }
+
+  // The stream continues if this major fault landed within (or right at the
+  // edge of) the previous window — for a steady sequential reader, majors
+  // arrive exactly one window apart.
+  bool stream_continues = last_fault_page_ != UINT64_MAX && page > last_fault_page_ &&
+                          page <= last_fault_page_ + static_cast<uint64_t>(window_) * kPageSize;
+  if (stream_continues) {
+    window_ = window_ * 2 > max_window_ ? max_window_ : window_ * 2;
+  } else if (info.hit_ratio < 0.25) {
+    window_ = 2;
+  }
+  last_fault_page_ = page;
+  EmitWindow(page + kPageSize, window_ - 1, out);
+}
+
+}  // namespace dilos

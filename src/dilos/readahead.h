@@ -1,0 +1,40 @@
+// Linux-style readahead prefetcher (paper Sec. 4.3; Linux "VMA based swap
+// readahead").
+//
+// On a major fault it reads ahead a cluster of pages following the fault and
+// plants an async-ahead marker in the middle of the cluster; a fault (or
+// in-flight hit) on the marker page triggers the next cluster, giving the
+// double-buffering that lets sequential readers stream. The window grows on
+// sequential hits and shrinks when the hit tracker reports waste.
+#ifndef DILOS_SRC_DILOS_READAHEAD_H_
+#define DILOS_SRC_DILOS_READAHEAD_H_
+
+#include "src/dilos/prefetcher.h"
+
+namespace dilos {
+
+class ReadaheadPrefetcher : public Prefetcher {
+ public:
+  // `max_window` matches Linux's default swap readahead cluster (2^3 = 8).
+  explicit ReadaheadPrefetcher(uint32_t max_window = 8) : max_window_(max_window) {}
+
+  void OnFault(const FaultInfo& info, std::vector<uint64_t>* out) override;
+
+  std::string_view name() const override { return "readahead"; }
+  std::unique_ptr<Prefetcher> Clone() const override {
+    return std::make_unique<ReadaheadPrefetcher>(max_window_);
+  }
+
+ private:
+  void EmitWindow(uint64_t start_page_va, uint32_t count, std::vector<uint64_t>* out);
+
+  uint32_t max_window_;
+  uint32_t window_ = 2;
+  uint64_t last_fault_page_ = UINT64_MAX;
+  uint64_t marker_page_ = UINT64_MAX;   // Page that triggers async readahead.
+  uint64_t ahead_page_ = UINT64_MAX;    // First page after the issued window.
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_DILOS_READAHEAD_H_

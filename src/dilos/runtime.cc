@@ -1,0 +1,365 @@
+#include "src/dilos/runtime.h"
+
+#include <cstring>
+
+namespace dilos {
+
+namespace {
+
+uint64_t PageOf(uint64_t vaddr) { return vaddr & ~static_cast<uint64_t>(kPageSize - 1); }
+
+}  // namespace
+
+// Causality-tracking context handed to app-aware guides at fault time.
+class RuntimeGuideContext : public GuideContext {
+ public:
+  RuntimeGuideContext(DilosRuntime& rt, int core, uint64_t start_ns)
+      : rt_(rt), core_(core), cursor_ns_(start_ns) {}
+
+  uint64_t SubpageRead(uint64_t vaddr, uint32_t len, void* dst) override {
+    QueuePair* qp = rt_.router_.ReadQp(core_, CommChannel::kGuide, vaddr);
+    Completion c = qp->PostRead(++rt_.wr_id_, reinterpret_cast<uint64_t>(scratch_), vaddr, len,
+                                cursor_ns_);
+    std::memcpy(dst, scratch_, len);
+    rt_.stats_.subpage_fetches++;
+    rt_.stats_.bytes_fetched += len;
+    cursor_ns_ = c.completion_time_ns;
+    return cursor_ns_;
+  }
+
+  bool PrefetchPage(uint64_t vaddr) override {
+    // Full-page fetches ride the prefetch queue; the guide queue is kept
+    // for subpage reads so the pointer-chasing chain is never serialized
+    // behind its own page fills (Sec. 4.5: guides get separate queues).
+    return rt_.StartPrefetch(PageOf(vaddr), cursor_ns_, core_, CommChannel::kPrefetch);
+  }
+
+  bool IsResident(uint64_t vaddr) override {
+    Pte pte = rt_.pt_.Get(vaddr);
+    PteTag tag = PteTagOf(pte);
+    return tag == PteTag::kLocal || tag == PteTag::kFetching;
+  }
+
+  bool ReadResident(uint64_t vaddr, uint32_t len, void* dst) override {
+    Pte pte = rt_.pt_.Get(vaddr);
+    if (PteTagOf(pte) != PteTag::kLocal) {
+      return false;
+    }
+    uint32_t off = static_cast<uint32_t>(vaddr & (kPageSize - 1));
+    if (off + len > kPageSize) {
+      return false;
+    }
+    auto frame = static_cast<uint32_t>(PtePayload(pte & ~(kPteAccessed | kPteDirty)));
+    std::memcpy(dst, rt_.pool_.Data(frame) + off, len);
+    return true;
+  }
+
+  uint64_t now() const override { return cursor_ns_; }
+
+ private:
+  DilosRuntime& rt_;
+  int core_;
+  uint64_t cursor_ns_;
+  uint8_t scratch_[kPageSize];
+};
+
+DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
+                           std::unique_ptr<Prefetcher> prefetcher)
+    : fabric_(fabric),
+      cfg_(cfg),
+      cost_(fabric.cost()),
+      tracer_(cfg.trace_capacity),
+      pool_(cfg.local_mem_bytes / kPageSize),
+      clocks_(static_cast<size_t>(cfg.num_cores)),
+      router_(fabric, cfg.num_cores, cfg.replication, cfg.shared_queue),
+      pm_(pool_, pt_, router_, stats_, &tracer_,
+          [&cfg] {
+            // Each core keeps a readahead window in flight; the eager free
+            // pool must cover all of them or prefetching self-throttles.
+            PageManagerConfig pm = cfg.pm;
+            uint64_t per_core = 32;
+            if (pm.free_target < per_core * static_cast<uint64_t>(cfg.num_cores)) {
+              pm.free_target = per_core * static_cast<uint64_t>(cfg.num_cores);
+            }
+            return pm;
+          }()),
+      tracker_(cfg.hit_tracker_window) {
+  prefetchers_.push_back(std::move(prefetcher));
+  for (int c = 1; c < cfg.num_cores; ++c) {
+    prefetchers_.push_back(prefetchers_[0]->Clone());
+  }
+}
+
+uint64_t DilosRuntime::AllocRegion(uint64_t bytes) {
+  uint64_t base = next_region_;
+  uint64_t pages = (bytes + kPageSize - 1) / kPageSize;
+  next_region_ += (pages + 16) * kPageSize;  // Guard gap between regions.
+  return base;
+}
+
+void DilosRuntime::FreeRegion(uint64_t addr, uint64_t bytes) {
+  uint64_t end = addr + bytes;
+  for (uint64_t page_va = PageOf(addr); page_va < end; page_va += kPageSize) {
+    Pte* e = pt_.Entry(page_va, /*create=*/false);
+    if (e == nullptr) {
+      continue;
+    }
+    switch (PteTagOf(*e)) {
+      case PteTag::kLocal:
+        pool_.Free(static_cast<uint32_t>(PtePayload(*e & ~(kPteAccessed | kPteDirty))));
+        pm_.OnUnmapped(page_va);
+        break;
+      case PteTag::kFetching: {
+        // Let the in-flight fill land in its frame, then drop it.
+        auto it = inflight_.find(page_va);
+        if (it != inflight_.end()) {
+          pool_.Free(it->second.frame);
+          inflight_.erase(it);
+        }
+        break;
+      }
+      case PteTag::kAction:
+        pm_.ReleaseAction(PtePayload(*e));
+        break;
+      case PteTag::kRemote:
+      case PteTag::kEmpty:
+        break;
+    }
+    *e = 0;
+  }
+}
+
+uint64_t DilosRuntime::MaxTimeNs() const {
+  uint64_t t = 0;
+  for (const Clock& c : clocks_) {
+    t = c.now() > t ? c.now() : t;
+  }
+  return t;
+}
+
+uint8_t* DilosRuntime::Pin(uint64_t vaddr, uint32_t len, bool write, int core) {
+  Clock& clk = clocks_[static_cast<size_t>(core)];
+  Pte* e = pt_.Entry(vaddr, /*create=*/true);
+  if (PteTagOf(*e) == PteTag::kLocal) {
+    // Fast path: the software stand-in for the MMU walk.
+    *e |= kPteAccessed | (write ? kPteDirty : 0);
+    clk.Advance(cost_.local_pin_ns +
+                static_cast<uint64_t>(cost_.local_per_byte_ns * static_cast<double>(len)));
+    return pool_.Data(static_cast<uint32_t>(PtePayload(*e))) + (vaddr & (kPageSize - 1));
+  }
+  return HandleFault(vaddr, len, write, core);
+}
+
+void DilosRuntime::MapInflight(uint64_t page_va, const Inflight& inf, bool as_write) {
+  Pte pte = MakeLocalPte(inf.frame, /*writable=*/true) | kPteAccessed;
+  if (as_write || inf.write) {
+    pte |= kPteDirty;
+  }
+  *pt_.Entry(page_va, true) = pte;
+  pm_.OnMapped(page_va);
+}
+
+void DilosRuntime::DrainArrivals(uint64_t now) {
+  // The fault handler maps arrived prefetches while it waits; pages mapped
+  // here are never faulted on at all (Table 3's "fewer minor faults").
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (!it->second.demand && it->second.done_ns <= now) {
+      MapInflight(it->first, it->second, /*as_write=*/false);
+      // Mapping from the handler does not set the accessed bit: the app has
+      // not touched the page yet, so the hit tracker can still observe it.
+      Pte* e = pt_.Entry(it->first, true);
+      *e &= ~kPteAccessed;
+      stats_.prefetch_mapped_early++;
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool DilosRuntime::StartPrefetch(uint64_t page_va, uint64_t issue_ns, int core,
+                                 CommChannel ch) {
+  Pte* e = pt_.Entry(page_va, /*create=*/true);
+  if (PteTagOf(*e) != PteTag::kRemote) {
+    return false;  // Local, in flight, empty, or action-tagged: nothing to do.
+  }
+  QueuePair* qp = router_.ReadQp(core, ch, page_va);
+  if (qp == nullptr) {
+    return false;  // Every replica is down; the demand path will report it.
+  }
+  size_t reserve = cfg_.prefetch_free_reserve;
+  size_t cap = pool_.total() / 8 + 1;
+  if (reserve > cap) {
+    reserve = cap;  // Scale the reserve down for tiny pools.
+  }
+  if (pool_.free_count() <= reserve) {
+    return false;  // Don't thrash the resident set for speculation.
+  }
+  std::optional<uint32_t> fid = pool_.Alloc();
+  if (!fid.has_value()) {
+    return false;
+  }
+  Completion c = qp->PostRead(++wr_id_, pool_.Addr(*fid), page_va, kPageSize, issue_ns);
+  *e = MakeFetchingPte(*fid);
+  inflight_[page_va] = Inflight{*fid, c.completion_time_ns, false, false};
+  stats_.prefetch_issued++;
+  stats_.bytes_fetched += kPageSize;
+  tracer_.Record(issue_ns, TraceEvent::kPrefetchIssue, page_va);
+  tracker_.Observe(page_va);
+  return true;
+}
+
+void DilosRuntime::RunPrefetcher(const FaultInfo& info, int core) {
+  std::vector<uint64_t> pages;
+  prefetchers_[static_cast<size_t>(core)]->OnFault(info, &pages);
+  Clock& clk = clocks_[static_cast<size_t>(core)];
+  uint64_t issue_work = 0;
+  for (uint64_t p : pages) {
+    if (StartPrefetch(PageOf(p), clk.now() + issue_work, core, CommChannel::kPrefetch)) {
+      issue_work += cost_.dilos_prefetch_issue_ns;
+    }
+  }
+  if (issue_work > 0) {
+    clk.Advance(issue_work);
+    stats_.fault_breakdown.Add(LatComp::kPrefetch, issue_work);
+  }
+}
+
+uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int core) {
+  Clock& clk = clocks_[static_cast<size_t>(core)];
+  uint64_t page_va = PageOf(vaddr);
+  LatencyBreakdown& bd = stats_.fault_breakdown;
+
+  clk.Advance(cost_.hw_exception_ns + cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
+
+  Pte* e = pt_.Entry(page_va, /*create=*/true);
+  switch (PteTagOf(*e)) {
+    case PteTag::kLocal:
+      break;  // Raced with a concurrent map; fall through to return below.
+
+    case PteTag::kEmpty: {
+      // Anonymous first touch: allocate a zero frame, no network.
+      stats_.zero_fill_faults++;
+      tracer_.Record(clk.now(), TraceEvent::kZeroFill, page_va);
+      uint32_t frame = pm_.AllocFrame(clk, nullptr);
+      std::memset(pool_.Data(frame), 0, kPageSize);
+      *pt_.Entry(page_va, true) =
+          MakeLocalPte(frame, true) | kPteAccessed | kPteDirty;  // Content exists only locally.
+      pm_.OnMapped(page_va);
+      clk.Advance(cost_.zero_fill_ns);
+      pm_.BackgroundTick(clk.now(), page_va);
+      break;
+    }
+
+    case PteTag::kFetching: {
+      // Minor fault: the page is in flight (prefetch or another core's
+      // demand). Let window prefetchers stream ahead while we wait.
+      stats_.minor_faults++;
+      tracer_.Record(clk.now(), TraceEvent::kMinorFault, page_va);
+      auto it = inflight_.find(page_va);
+      if (it == inflight_.end()) {
+        // Another core mapped it between our check and now (model artifact);
+        // retry the walk.
+        return Pin(vaddr, len, write, core);
+      }
+      FaultInfo info{vaddr, write, /*major=*/false, tracker_.hit_ratio()};
+      RunPrefetcher(info, core);
+      if (guide_ != nullptr) {
+        // Guides keep chasing while we wait for the in-flight page, just as
+        // they do inside a major fault's fetch window.
+        RuntimeGuideContext ctx(*this, core, clk.now());
+        guide_->OnFault(ctx, vaddr, write);
+      }
+      Inflight inf = it->second;
+      inflight_.erase(it);
+      clk.AdvanceTo(inf.done_ns);
+      MapInflight(page_va, inf, write);
+      clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
+      DrainArrivals(clk.now());
+      pm_.BackgroundTick(clk.now(), page_va);
+      break;
+    }
+
+    case PteTag::kAction: {
+      // Guided paging re-fetch: move only the live segments recorded at
+      // eviction time, zero the rest (it was dead to the allocator).
+      stats_.major_faults++;
+      tracer_.Record(clk.now(), TraceEvent::kActionFetch, page_va);
+      bd.CountEvent();
+      bd.Add(LatComp::kHwException, cost_.hw_exception_ns);
+      bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
+      uint64_t log_idx = PtePayload(*e);
+      const std::vector<PageSegment>* segs = pm_.ActionSegments(log_idx);
+      uint32_t frame = pm_.AllocFrame(clk, &bd);
+      std::memset(pool_.Data(frame), 0, kPageSize);
+      WorkRequest wr;
+      wr.wr_id = ++wr_id_;
+      wr.opcode = RdmaOpcode::kRead;
+      QueuePair* fault_qp = router_.ReadQp(core, CommChannel::kFault, page_va);
+      wr.rkey = fault_qp->remote_rkey();
+      uint64_t frame_addr = pool_.Addr(frame);
+      for (const PageSegment& s : *segs) {
+        wr.local.push_back({frame_addr + s.offset, s.length});
+        wr.remote.push_back({page_va + s.offset, s.length});
+      }
+      Completion c = fault_qp->PostSend(wr, clk.now());
+      stats_.vectored_ops++;
+      stats_.bytes_fetched += wr.TotalBytes();
+      uint64_t done = c.completion_time_ns + (cfg_.tcp_emulation ? cost_.tcp_delay_ns : 0);
+      bd.Add(LatComp::kFetch, clk.AdvanceTo(done));
+      pm_.ReleaseAction(log_idx);
+      *pt_.Entry(page_va, true) =
+          MakeLocalPte(frame, true) | kPteAccessed | (write ? kPteDirty : 0);
+      pm_.OnMapped(page_va);
+      clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
+      bd.Add(LatComp::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
+      DrainArrivals(clk.now());
+      pm_.BackgroundTick(clk.now(), page_va);
+      break;
+    }
+
+    case PteTag::kRemote: {
+      // Major fault: mark fetching, post the read, then hide every other
+      // piece of work inside the fetch window.
+      stats_.major_faults++;
+      tracer_.Record(clk.now(), TraceEvent::kMajorFault, page_va);
+      bd.CountEvent();
+      bd.Add(LatComp::kHwException, cost_.hw_exception_ns);
+      bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
+      uint32_t frame = pm_.AllocFrame(clk, &bd);
+      Completion c = router_.ReadQp(core, CommChannel::kFault, page_va)
+                         ->PostRead(++wr_id_, pool_.Addr(frame), page_va, kPageSize, clk.now());
+      stats_.bytes_fetched += kPageSize;
+      *pt_.Entry(page_va, true) = MakeFetchingPte(frame);
+      inflight_[page_va] = Inflight{frame, c.completion_time_ns, write, true};
+
+      // Work hidden in the fetch window: guide, hit tracker, prefetcher,
+      // background manager.
+      if (guide_ != nullptr) {
+        RuntimeGuideContext ctx(*this, core, clk.now());
+        guide_->OnFault(ctx, vaddr, write);
+      }
+      tracker_.Scan(pt_);
+      clk.Advance(cost_.dilos_hit_tracker_ns);
+      bd.Add(LatComp::kPrefetch, cost_.dilos_hit_tracker_ns);
+      FaultInfo info{vaddr, write, /*major=*/true, tracker_.hit_ratio()};
+      RunPrefetcher(info, core);
+      pm_.BackgroundTick(clk.now(), page_va);
+
+      uint64_t done = c.completion_time_ns + (cfg_.tcp_emulation ? cost_.tcp_delay_ns : 0);
+      bd.Add(LatComp::kFetch, clk.AdvanceTo(done));
+      inflight_.erase(page_va);
+      MapInflight(page_va, Inflight{frame, done, write, true}, write);
+      clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
+      bd.Add(LatComp::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
+      DrainArrivals(clk.now());
+      break;
+    }
+  }
+
+  e = pt_.Entry(page_va, true);
+  *e |= kPteAccessed | (write ? kPteDirty : 0);
+  return pool_.Data(static_cast<uint32_t>(PtePayload(*e))) + (vaddr & (kPageSize - 1));
+}
+
+}  // namespace dilos

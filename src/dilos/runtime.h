@@ -1,0 +1,121 @@
+// DilosRuntime: the specialized paging subsystem (paper Sec. 4).
+//
+// The fault handler checks exactly one data structure — the unified page
+// table — before posting the asynchronous RDMA read (Sec. 4.2). While the
+// demand fetch is in flight it runs the PTE hit tracker, consults the
+// prefetcher, lets the app-aware guide chase pointers with subpage reads,
+// maps any prefetched pages that have arrived, and lets the page manager do
+// background cleaning/eviction: all of it hidden inside the 4 KB fetch
+// window (Sec. 4.3-4.4). Prefetched pages are mapped directly into the page
+// table — there is no swap cache and hence no swap-cache minor faults.
+#ifndef DILOS_SRC_DILOS_RUNTIME_H_
+#define DILOS_SRC_DILOS_RUNTIME_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dilos/guide.h"
+#include "src/dilos/page_manager.h"
+#include "src/dilos/prefetcher.h"
+#include "src/dilos/shard.h"
+#include "src/memnode/fabric.h"
+#include "src/pt/frame_pool.h"
+#include "src/pt/hit_tracker.h"
+#include "src/pt/page_table.h"
+#include "src/sim/far_runtime.h"
+#include "src/sim/trace.h"
+
+namespace dilos {
+
+struct DilosConfig {
+  uint64_t local_mem_bytes = 64ULL << 20;
+  int num_cores = 1;
+  bool tcp_emulation = false;  // Adds the TCP delay after each demand completion.
+  bool shared_queue = false;   // Ablation: one QP for all modules (HoL blocking).
+  // Replicas per page (Sec. 5.1 extension); requires a Fabric with at least
+  // this many memory nodes. 1 = the paper's single-node configuration.
+  int replication = 1;
+  PageManagerConfig pm;
+  // Do not start new prefetches when free frames would drop below this
+  // (prevents prefetch-driven thrash of the resident set).
+  size_t prefetch_free_reserve = 16;
+  size_t hit_tracker_window = 256;
+  // Paging-event trace ring capacity (0 = tracing off).
+  size_t trace_capacity = 0;
+};
+
+class DilosRuntime : public FarRuntime {
+ public:
+  DilosRuntime(Fabric& fabric, DilosConfig cfg, std::unique_ptr<Prefetcher> prefetcher);
+
+  // -- FarRuntime ------------------------------------------------------------
+  uint64_t AllocRegion(uint64_t bytes) override;
+  void FreeRegion(uint64_t addr, uint64_t bytes) override;
+  uint8_t* Pin(uint64_t vaddr, uint32_t len, bool write, int core) override;
+  using FarRuntime::clock;
+  Clock& clock(int core) override { return clocks_[static_cast<size_t>(core)]; }
+  RuntimeStats& stats() override { return stats_; }
+  int num_cores() const override { return cfg_.num_cores; }
+
+  void set_guide(Guide* guide) {
+    guide_ = guide;
+    pm_.set_guide(guide);
+  }
+
+  PageTable& page_table() { return pt_; }
+  PageManager& page_manager() { return pm_; }
+  HitTracker& hit_tracker() { return tracker_; }
+  FramePool& frame_pool() { return pool_; }
+  Prefetcher& prefetcher(int core = 0) { return *prefetchers_[static_cast<size_t>(core)]; }
+  ShardRouter& router() { return router_; }
+  Tracer& tracer() { return tracer_; }
+  const CostModel& cost() const { return cost_; }
+
+  // Highest clock across cores — the workload completion time.
+  uint64_t MaxTimeNs() const;
+
+ private:
+  friend class RuntimeGuideContext;
+
+  struct Inflight {
+    uint32_t frame = 0;
+    uint64_t done_ns = 0;
+    bool write = false;
+    bool demand = false;
+  };
+
+  uint8_t* HandleFault(uint64_t vaddr, uint32_t len, bool write, int core);
+  // Marks `page_va` fetching and posts an async read at `issue_ns` on the
+  // channel's QP toward the page's live replica. Returns false if the page
+  // is not in kRemote state or no frame is spare.
+  bool StartPrefetch(uint64_t page_va, uint64_t issue_ns, int core, CommChannel ch);
+  void RunPrefetcher(const FaultInfo& info, int core);
+  void DrainArrivals(uint64_t now);
+  void MapInflight(uint64_t page_va, const Inflight& inf, bool as_write);
+
+  Fabric& fabric_;
+  DilosConfig cfg_;
+  CostModel cost_;
+  // Per-core prefetcher instances (index 0 is the one passed in; the rest
+  // are clones): window/history state must not be shared across cores.
+  std::vector<std::unique_ptr<Prefetcher>> prefetchers_;
+  Guide* guide_ = nullptr;
+
+  Tracer tracer_;
+  PageTable pt_;
+  FramePool pool_;
+  RuntimeStats stats_;
+  std::vector<Clock> clocks_;
+  ShardRouter router_;
+  PageManager pm_;
+  HitTracker tracker_;
+
+  std::unordered_map<uint64_t, Inflight> inflight_;  // Key: page vaddr.
+  uint64_t next_region_ = kFarBase;
+  uint64_t wr_id_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_DILOS_RUNTIME_H_

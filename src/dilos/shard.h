@@ -1,0 +1,106 @@
+// Multi-node sharding and replication (paper Sec. 5.1: "Extending DiLOS to
+// support multiple memory nodes for replication or sharding is a future
+// research direction" — implemented here).
+//
+// Pages are sharded across memory nodes at 2 MB granularity (matching the
+// leaf-table/huge-page unit). With replication R > 1, every page also
+// lives on the R-1 nodes following its home node; evictions and cleanings
+// write all replicas, demand fetches read the first *live* replica — so a
+// memory-node failure loses nothing (Infiniswap/Carbink-style redundancy,
+// without the erasure coding).
+//
+// This subsumes the communication module's shared-nothing queue layout:
+// one QP per (core, module, node).
+#ifndef DILOS_SRC_DILOS_SHARD_H_
+#define DILOS_SRC_DILOS_SHARD_H_
+
+#include <vector>
+
+#include "src/dilos/comm.h"
+#include "src/memnode/fabric.h"
+
+namespace dilos {
+
+class ShardRouter {
+ public:
+  ShardRouter(Fabric& fabric, int num_cores, int replication, bool shared_queue)
+      : num_nodes_(fabric.num_nodes()),
+        replication_(replication < 1 ? 1
+                     : replication > num_nodes_ ? num_nodes_
+                                                : replication),
+        shared_(shared_queue),
+        live_(static_cast<size_t>(num_nodes_), true) {
+    qps_.resize(static_cast<size_t>(num_cores));
+    for (auto& per_core : qps_) {
+      per_core.resize(static_cast<size_t>(CommChannel::kCount));
+      for (size_t ch = 0; ch < per_core.size(); ++ch) {
+        per_core[ch].resize(static_cast<size_t>(num_nodes_));
+        for (int n = 0; n < num_nodes_; ++n) {
+          per_core[ch][static_cast<size_t>(n)] =
+              (shared_ && ch > 0) ? per_core[0][static_cast<size_t>(n)] : fabric.CreateQp(n);
+        }
+      }
+    }
+  }
+
+  // Home node of the page containing `vaddr` (256 KB shard granularity,
+  // hash-placed so strided or aligned access streams spread across nodes
+  // instead of marching on one node in lockstep).
+  int NodeOf(uint64_t vaddr) const {
+    uint64_t granule = vaddr >> 18;
+    granule *= 0x9E3779B97F4A7C15ULL;
+    granule ^= granule >> 29;
+    return static_cast<int>(granule % static_cast<uint64_t>(num_nodes_));
+  }
+
+  // QP toward the first live replica of `vaddr` for reads. Returns nullptr
+  // only if every replica is dead.
+  QueuePair* ReadQp(int core, CommChannel ch, uint64_t vaddr) {
+    int home = NodeOf(vaddr);
+    for (int r = 0; r < replication_; ++r) {
+      int n = (home + r) % num_nodes_;
+      if (live_[static_cast<size_t>(n)]) {
+        return Qp(core, ch, n);
+      }
+    }
+    return nullptr;
+  }
+
+  // QPs toward every live replica of `vaddr` for writes.
+  void WriteQps(int core, CommChannel ch, uint64_t vaddr, std::vector<QueuePair*>* out) {
+    out->clear();
+    int home = NodeOf(vaddr);
+    for (int r = 0; r < replication_; ++r) {
+      int n = (home + r) % num_nodes_;
+      if (live_[static_cast<size_t>(n)]) {
+        out->push_back(Qp(core, ch, n));
+      }
+    }
+  }
+
+  // Simulated memory-node crash / recovery.
+  void FailNode(int node) { live_[static_cast<size_t>(node)] = false; }
+  void RecoverNode(int node) { live_[static_cast<size_t>(node)] = true; }
+  bool IsLive(int node) const { return live_[static_cast<size_t>(node)]; }
+
+  int num_nodes() const { return num_nodes_; }
+  int replication() const { return replication_; }
+  int num_cores() const { return static_cast<int>(qps_.size()); }
+
+ private:
+  QueuePair* Qp(int core, CommChannel ch, int node) {
+    return qps_[static_cast<size_t>(core)][shared_ ? 0 : static_cast<size_t>(ch)]
+               [static_cast<size_t>(node)];
+  }
+
+  int num_nodes_;
+  int replication_;
+  bool shared_;
+  std::vector<bool> live_;
+  // [core][channel][node].
+  std::vector<std::vector<std::vector<QueuePair*>>> qps_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_DILOS_SHARD_H_

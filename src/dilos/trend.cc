@@ -1,0 +1,79 @@
+#include "src/dilos/trend.h"
+
+#include "src/rdma/verbs.h"
+
+namespace dilos {
+
+int64_t TrendPrefetcher::MajorityDelta() const {
+  int64_t candidate = 0;
+  int count = 0;
+  for (size_t i = 0; i < delta_count_; ++i) {
+    if (count == 0) {
+      candidate = deltas_[i];
+      count = 1;
+    } else if (deltas_[i] == candidate) {
+      ++count;
+    } else {
+      --count;
+    }
+  }
+  if (candidate == 0) {
+    return 0;
+  }
+  // Verify it is a strict majority, as Leap requires.
+  size_t votes = 0;
+  for (size_t i = 0; i < delta_count_; ++i) {
+    if (deltas_[i] == candidate) {
+      ++votes;
+    }
+  }
+  return votes * 2 > delta_count_ ? candidate : 0;
+}
+
+void TrendPrefetcher::OnFault(const FaultInfo& info, std::vector<uint64_t>* out) {
+  uint64_t page = info.vaddr & ~static_cast<uint64_t>(kPageSize - 1);
+
+  // Leap learns the trend from the full fault history (major and minor),
+  // but only issues prefetch windows from the major-fault path.
+  if (last_page_ != UINT64_MAX && page != last_page_) {
+    int64_t d = static_cast<int64_t>(page) - static_cast<int64_t>(last_page_);
+    deltas_[delta_pos_] = d;
+    delta_pos_ = (delta_pos_ + 1) % kHistory;
+    if (delta_count_ < kHistory) {
+      ++delta_count_;
+    }
+  }
+  last_page_ = page;
+  if (!info.major) {
+    return;
+  }
+
+  int64_t delta = MajorityDelta();
+  if (delta == 0) {
+    // No trend: fall back to a minimal forward window, as Leap does when it
+    // cannot find a majority.
+    window_ = 2;
+    out->push_back(page + kPageSize);
+    ahead_page_ = UINT64_MAX;
+    return;
+  }
+
+  // Efficiency feedback: grow the window while the tracker says prefetches
+  // are being used; shrink otherwise.
+  if (info.hit_ratio > 0.5) {
+    window_ = window_ * 2 > max_window_ ? max_window_ : window_ * 2;
+  } else if (info.hit_ratio < 0.25 && window_ > 2) {
+    window_ /= 2;
+  }
+
+  uint64_t next = static_cast<uint64_t>(static_cast<int64_t>(page) + delta);
+  for (uint32_t i = 0; i < window_; ++i) {
+    out->push_back(next);
+    next = static_cast<uint64_t>(static_cast<int64_t>(next) + delta);
+  }
+  ahead_page_ = next;
+  ahead_delta_ = delta;
+  marker_page_ = page + static_cast<uint64_t>(static_cast<int64_t>(window_ / 2) * delta);
+}
+
+}  // namespace dilos

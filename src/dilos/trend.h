@@ -1,0 +1,48 @@
+// Leap's majority-trend prefetcher (Maruf & Chowdhury, ATC '20), the second
+// general-purpose prefetcher DiLOS ships (paper Sec. 4.3, 5).
+//
+// Keeps a short history of fault-address deltas, finds the majority delta
+// with Boyer–Moore voting, and — if a majority exists — prefetches along
+// that stride. The prefetch window grows/shrinks with prefetch efficiency,
+// as in Leap.
+#ifndef DILOS_SRC_DILOS_TREND_H_
+#define DILOS_SRC_DILOS_TREND_H_
+
+#include <array>
+
+#include "src/dilos/prefetcher.h"
+
+namespace dilos {
+
+class TrendPrefetcher : public Prefetcher {
+ public:
+  explicit TrendPrefetcher(uint32_t max_window = 8) : max_window_(max_window) {}
+
+  void OnFault(const FaultInfo& info, std::vector<uint64_t>* out) override;
+
+  std::string_view name() const override { return "trend-based"; }
+  std::unique_ptr<Prefetcher> Clone() const override {
+    return std::make_unique<TrendPrefetcher>(max_window_);
+  }
+
+ private:
+  // Boyer–Moore majority vote over the delta history; returns 0 if no
+  // majority (no detectable trend).
+  int64_t MajorityDelta() const;
+
+  static constexpr size_t kHistory = 8;
+
+  uint32_t max_window_;
+  uint32_t window_ = 2;
+  std::array<int64_t, kHistory> deltas_ = {};
+  size_t delta_count_ = 0;
+  size_t delta_pos_ = 0;
+  uint64_t last_page_ = UINT64_MAX;
+  uint64_t ahead_page_ = UINT64_MAX;
+  uint64_t marker_page_ = UINT64_MAX;
+  int64_t ahead_delta_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_DILOS_TREND_H_

@@ -1,0 +1,317 @@
+#include "src/fastswap/fastswap.h"
+
+#include <cstring>
+
+namespace dilos {
+
+namespace {
+
+uint64_t PageOf(uint64_t vaddr) { return vaddr & ~static_cast<uint64_t>(kPageSize - 1); }
+
+}  // namespace
+
+FastswapRuntime::FastswapRuntime(Fabric& fabric, FastswapConfig cfg)
+    : fabric_(fabric),
+      cfg_(cfg),
+      cost_(fabric.cost()),
+      pool_(cfg.local_mem_bytes / kPageSize),
+      clocks_(static_cast<size_t>(cfg.num_cores)),
+      qp_(fabric.CreateQp()) {}
+
+uint64_t FastswapRuntime::AllocRegion(uint64_t bytes) {
+  uint64_t base = next_region_;
+  uint64_t pages = (bytes + kPageSize - 1) / kPageSize;
+  next_region_ += (pages + 16) * kPageSize;
+  return base;
+}
+
+void FastswapRuntime::FreeRegion(uint64_t addr, uint64_t bytes) {
+  uint64_t end = addr + bytes;
+  for (uint64_t page_va = PageOf(addr); page_va < end; page_va += kPageSize) {
+    auto cached = swap_cache_.find(page_va);
+    if (cached != swap_cache_.end()) {
+      pool_.Free(cached->second.frame);
+      swap_cache_.erase(cached);
+      auto w = cache_where_.find(page_va);
+      if (w != cache_where_.end()) {
+        cache_lru_.erase(w->second);
+        cache_where_.erase(w);
+      }
+    }
+    Pte* e = pt_.Entry(page_va, /*create=*/false);
+    if (e == nullptr) {
+      continue;
+    }
+    if (PteTagOf(*e) == PteTag::kLocal) {
+      pool_.Free(static_cast<uint32_t>(PtePayload(*e & ~(kPteAccessed | kPteDirty))));
+      auto it = where_.find(page_va);
+      if (it != where_.end()) {
+        lru_.erase(it->second);
+        where_.erase(it);
+      }
+    }
+    *e = 0;
+  }
+}
+
+uint64_t FastswapRuntime::MaxTimeNs() const {
+  uint64_t t = 0;
+  for (const Clock& c : clocks_) {
+    t = c.now() > t ? c.now() : t;
+  }
+  return t;
+}
+
+void FastswapRuntime::MapFrame(uint64_t page_va, uint32_t frame, bool write) {
+  *pt_.Entry(page_va, true) =
+      MakeLocalPte(frame, true) | kPteAccessed | (write ? kPteDirty : 0);
+  auto it = where_.find(page_va);
+  if (it != where_.end()) {
+    lru_.erase(it->second);
+    where_.erase(it);
+  }
+  lru_.push_back(page_va);
+  where_[page_va] = std::prev(lru_.end());
+}
+
+bool FastswapRuntime::EvictOne(Clock& clk, bool charged) {
+  // Sweep mapped pages with second chance (the inactive list analogue).
+  size_t limit = lru_.size() * 2 + 1;
+  for (size_t scanned = 0; scanned < limit && !lru_.empty(); ++scanned) {
+    uint64_t page_va = lru_.front();
+    lru_.pop_front();
+    where_.erase(page_va);
+    Pte* e = pt_.Entry(page_va, /*create=*/false);
+    if (e == nullptr || PteTagOf(*e) != PteTag::kLocal) {
+      continue;
+    }
+    if (*e & kPteAccessed) {
+      *e &= ~kPteAccessed;
+      lru_.push_back(page_va);
+      where_[page_va] = std::prev(lru_.end());
+      continue;
+    }
+    uint32_t frame = static_cast<uint32_t>(PtePayload(*e));
+    bool dirty = (*e & kPteDirty) != 0;
+    if (charged) {
+      clk.Advance(cost_.fsw_direct_reclaim_ns);
+      stats_.fault_breakdown.Add(LatComp::kReclaim, cost_.fsw_direct_reclaim_ns);
+    }
+    *pt_.Entry(page_va, true) = MakeRemotePte(page_va >> kPageShift);
+    if (dirty) {
+      // Frontswap stores are synchronous: direct reclaim polls the write to
+      // completion in the fault path; the offload thread parks the frame
+      // until its write completes.
+      Completion c = qp_->PostWrite(++wr_id_, pool_.Addr(frame), page_va, kPageSize, clk.now());
+      stats_.writebacks++;
+      stats_.bytes_written += kPageSize;
+      if (charged) {
+        uint64_t waited = clk.AdvanceTo(c.completion_time_ns);
+        stats_.fault_breakdown.Add(LatComp::kReclaim, waited);
+        pool_.Free(frame);
+      } else {
+        pending_free_.emplace_back(frame, c.completion_time_ns);
+      }
+    } else {
+      pool_.Free(frame);
+    }
+    stats_.evictions++;
+    return true;
+  }
+  // Fallback: drop a clean, never-touched swap-cache fill.
+  while (!cache_lru_.empty()) {
+    uint64_t page_va = cache_lru_.front();
+    cache_lru_.pop_front();
+    cache_where_.erase(page_va);
+    auto it = swap_cache_.find(page_va);
+    if (it == swap_cache_.end()) {
+      continue;
+    }
+    pool_.Free(it->second.frame);
+    swap_cache_.erase(it);
+    stats_.evictions++;
+    ra_dropped_++;
+    if (charged) {
+      clk.Advance(cost_.fsw_direct_reclaim_ns / 2);  // Cache drop is cheaper.
+      stats_.fault_breakdown.Add(LatComp::kReclaim, cost_.fsw_direct_reclaim_ns / 2);
+    }
+    return true;
+  }
+  return false;
+}
+
+void FastswapRuntime::DrainPendingFrees(uint64_t now) {
+  while (!pending_free_.empty() && pending_free_.front().second <= now) {
+    pool_.Free(pending_free_.front().first);
+    pending_free_.pop_front();
+  }
+}
+
+std::optional<uint32_t> FastswapRuntime::EnsureFrame(Clock& clk, bool in_fault_path) {
+  // Fastswap reclaims one page per fault while under memory pressure: the
+  // offload thread absorbs (1 - fraction) of those events, the rest run as
+  // direct reclamation inside the fault handler (charged). Deterministic
+  // rotation via a debt accumulator.
+  DrainPendingFrees(clk.now());
+  size_t watermark = cfg_.free_target;
+  size_t cap = pool_.total() / 8 + 1;
+  if (watermark > cap) {
+    watermark = cap;
+  }
+  if (pool_.free_count() + pending_free_.size() < watermark) {
+    ++reclaim_events_;
+    reclaim_debt_ += cfg_.direct_reclaim_fraction;
+    bool direct = in_fault_path && reclaim_debt_ >= 1.0;
+    if (direct) {
+      reclaim_debt_ -= 1.0;
+      ++direct_reclaims_;
+    }
+    EvictOne(clk, /*charged=*/direct);
+    DrainPendingFrees(clk.now());
+  }
+  std::optional<uint32_t> fid = pool_.Alloc();
+  while (!fid.has_value()) {
+    // Pool drained: wait for an in-flight swap-out, or reclaim synchronously.
+    if (!pending_free_.empty()) {
+      uint64_t waited = clk.AdvanceTo(pending_free_.front().second);
+      if (in_fault_path && waited > 0) {
+        stats_.fault_breakdown.Add(LatComp::kReclaim, waited);
+      }
+      DrainPendingFrees(clk.now());
+    } else {
+      ++reclaim_events_;
+      ++direct_reclaims_;
+      if (!EvictOne(clk, /*charged=*/in_fault_path)) {
+        break;
+      }
+      DrainPendingFrees(clk.now());
+    }
+    fid = pool_.Alloc();
+  }
+  return fid;
+}
+
+void FastswapRuntime::Readahead(uint64_t fault_page, Clock& clk) {
+  if (!cfg_.readahead_enabled) {
+    return;
+  }
+  // Adapt the window to the recent fill hit rate (swap_vma_readahead).
+  if (ra_consumed_ + ra_dropped_ >= 64) {
+    double ratio = static_cast<double>(ra_consumed_) /
+                   static_cast<double>(ra_consumed_ + ra_dropped_);
+    ra_window_ = ratio > 0.8 ? cfg_.readahead_cluster : ratio > 0.5 ? 4 : ratio > 0.2 ? 2 : 1;
+    ra_consumed_ = 0;
+    ra_dropped_ = 0;
+  }
+  for (uint32_t i = 1; i < ra_window_; ++i) {
+    uint64_t page_va = fault_page + static_cast<uint64_t>(i) * kPageSize;
+    Pte pte = pt_.Get(page_va);
+    if (PteTagOf(pte) != PteTag::kRemote || swap_cache_.count(page_va) != 0) {
+      continue;
+    }
+    // Readahead pages go through the same allocation path as the demand
+    // page: under memory pressure that means reclamation work, a share of
+    // which runs right here in the fault context.
+    std::optional<uint32_t> fid = EnsureFrame(clk, /*in_fault_path=*/true);
+    if (!fid.has_value()) {
+      break;
+    }
+    // Page allocation + swap-cache insertion for every readahead page costs
+    // fault-path CPU (the Linux swap path's per-page software overhead).
+    clk.Advance(cost_.fsw_page_alloc_ns + cost_.fsw_swapcache_mgmt_ns);
+    Completion c = qp_->PostRead(++wr_id_, pool_.Addr(*fid), page_va, kPageSize, clk.now());
+    stats_.prefetch_issued++;
+    stats_.bytes_fetched += kPageSize;
+    swap_cache_[page_va] = CacheEntry{*fid, c.completion_time_ns};
+    cache_lru_.push_back(page_va);
+    cache_where_[page_va] = std::prev(cache_lru_.end());
+  }
+}
+
+uint8_t* FastswapRuntime::Pin(uint64_t vaddr, uint32_t len, bool write, int core) {
+  Clock& clk = clocks_[static_cast<size_t>(core)];
+  Pte* e = pt_.Entry(vaddr, /*create=*/true);
+  if (PteTagOf(*e) == PteTag::kLocal) {
+    *e |= kPteAccessed | (write ? kPteDirty : 0);
+    clk.Advance(cost_.local_pin_ns +
+                static_cast<uint64_t>(cost_.local_per_byte_ns * static_cast<double>(len)));
+    return pool_.Data(static_cast<uint32_t>(PtePayload(*e))) + (vaddr & (kPageSize - 1));
+  }
+  return HandleFault(vaddr, len, write, core);
+}
+
+uint8_t* FastswapRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int core) {
+  (void)len;
+  Clock& clk = clocks_[static_cast<size_t>(core)];
+  uint64_t page_va = PageOf(vaddr);
+  LatencyBreakdown& bd = stats_.fault_breakdown;
+
+  clk.Advance(cost_.hw_exception_ns + cost_.os_trap_entry_ns);
+
+  // Minor fault: the page sits in the swap cache (filled or filling).
+  auto cached = swap_cache_.find(page_va);
+  if (cached != swap_cache_.end()) {
+    stats_.minor_faults++;
+    ra_consumed_++;
+    clk.Advance(cost_.fsw_minor_fault_sw_ns);
+    clk.AdvanceTo(cached->second.done_ns);
+    uint32_t frame = cached->second.frame;
+    auto w = cache_where_.find(page_va);
+    if (w != cache_where_.end()) {
+      cache_lru_.erase(w->second);
+      cache_where_.erase(w);
+    }
+    swap_cache_.erase(cached);
+    MapFrame(page_va, frame, write);
+    clk.Advance(cost_.map_tlb_flush_ns);
+    return pool_.Data(frame) + (vaddr & (kPageSize - 1));
+  }
+
+  Pte* e = pt_.Entry(page_va, /*create=*/true);
+  if (PteTagOf(*e) == PteTag::kLocal) {
+    // Raced with our own earlier map (page-crossing pin); just return.
+    return pool_.Data(static_cast<uint32_t>(PtePayload(*e))) + (vaddr & (kPageSize - 1));
+  }
+
+  if (PteTagOf(*e) == PteTag::kEmpty) {
+    // Anonymous zero-fill, no swap entry yet.
+    stats_.zero_fill_faults++;
+    uint32_t frame = EnsureFrame(clk, /*in_fault_path=*/true).value();
+    std::memset(pool_.Data(frame), 0, kPageSize);
+    clk.Advance(cost_.zero_fill_ns);
+    MapFrame(page_va, frame, /*write=*/true);  // Content exists only locally.
+    return pool_.Data(frame) + (vaddr & (kPageSize - 1));
+  }
+
+  // Major fault through the swap subsystem.
+  stats_.major_faults++;
+  bd.CountEvent();
+  bd.Add(LatComp::kHwException, cost_.hw_exception_ns);
+  bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns);
+
+  clk.Advance(cost_.fsw_swap_entry_ns);
+  bd.Add(LatComp::kSwapEntry, cost_.fsw_swap_entry_ns);
+
+  uint32_t frame = EnsureFrame(clk, /*in_fault_path=*/true).value();
+  clk.Advance(cost_.fsw_page_alloc_ns);
+  bd.Add(LatComp::kPageAlloc, cost_.fsw_page_alloc_ns);
+
+  clk.Advance(cost_.fsw_swapcache_mgmt_ns);
+  bd.Add(LatComp::kSwapCacheMgmt, cost_.fsw_swapcache_mgmt_ns);
+
+  Completion c = qp_->PostRead(++wr_id_, pool_.Addr(frame), page_va, kPageSize, clk.now());
+  stats_.bytes_fetched += kPageSize;
+
+  // Readahead issues cluster fills while the demand fetch is in flight.
+  Readahead(page_va, clk);
+
+  uint64_t waited = clk.AdvanceTo(c.completion_time_ns);
+  bd.Add(LatComp::kFetch, waited);
+
+  MapFrame(page_va, frame, write);
+  clk.Advance(cost_.map_tlb_flush_ns);
+  bd.Add(LatComp::kMap, cost_.map_tlb_flush_ns);
+  return pool_.Data(frame) + (vaddr & (kPageSize - 1));
+}
+
+}  // namespace dilos

@@ -1,0 +1,32 @@
+// Guided paging from allocator semantics (paper Sec. 4.4, Fig. 12).
+//
+// Uses the FarHeap's per-page live-chunk bitmaps to tell the page manager
+// which bytes are worth moving. Applicable to any application using the
+// ddc allocator — no application semantics needed, only allocator state.
+#ifndef DILOS_SRC_GUIDES_ALLOCATOR_GUIDE_H_
+#define DILOS_SRC_GUIDES_ALLOCATOR_GUIDE_H_
+
+#include "src/ddc_alloc/far_heap.h"
+#include "src/dilos/guide.h"
+
+namespace dilos {
+
+class AllocatorGuide : public Guide {
+ public:
+  // `max_segs` caps the scatter/gather vector; the paper measured a sharp
+  // slowdown past three segments.
+  explicit AllocatorGuide(FarHeap& heap, uint32_t max_segs = 3)
+      : heap_(&heap), max_segs_(max_segs) {}
+
+  bool LiveSegments(uint64_t page_vaddr, std::vector<PageSegment>* segs) override {
+    return heap_->LiveSegments(page_vaddr, segs, max_segs_);
+  }
+
+ private:
+  FarHeap* heap_;
+  uint32_t max_segs_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_GUIDES_ALLOCATOR_GUIDE_H_

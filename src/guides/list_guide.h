@@ -1,0 +1,89 @@
+// Generic linked-list prefetch guide — the paper's motivating example
+// (Sec. 4.3, Fig. 5): while Page #1 is being fetched, subpage-read just the
+// node's `next` pointer (which arrives ahead of the full page) and start
+// fetching Page #2 immediately, repeating a few hops ahead of the
+// traversal.
+//
+// Works for any intrusive list: the guide only needs the byte offset of
+// the `next` field within a node. The traversal position comes from a hook
+// (`OnVisit`), standing in for the ELF-loader function hook of Sec. 5.
+#ifndef DILOS_SRC_GUIDES_LIST_GUIDE_H_
+#define DILOS_SRC_GUIDES_LIST_GUIDE_H_
+
+#include "src/dilos/guide.h"
+
+namespace dilos {
+
+class ListGuide : public Guide {
+ public:
+  // `next_offset`: offset of the 8-byte far-address `next` field within a
+  // node; `chase_depth`: how many hops to run ahead of the application.
+  explicit ListGuide(uint32_t next_offset = 0, uint32_t chase_depth = 4)
+      : next_offset_(next_offset), chase_depth_(chase_depth) {}
+
+  // Hook: the application is about to dereference the node at `node_addr`
+  // (0 ends the traversal).
+  void OnVisit(uint64_t node_addr) {
+    current_node_ = node_addr;
+    if (ahead_ > 0) {
+      --ahead_;  // The traversal consumed one node of the chased window.
+    }
+  }
+
+  void OnFault(GuideContext& ctx, uint64_t vaddr, bool write) override {
+    (void)vaddr;
+    (void)write;
+    // Resume from the furthest chased node (keeping a pipeline of
+    // chase_depth_ nodes in flight ahead of the traversal), or start at the
+    // node being visited.
+    uint64_t node = ahead_ > 0 ? chase_cursor_ : current_node_;
+    if (node == 0) {
+      return;
+    }
+    for (uint32_t hop = ahead_; hop < chase_depth_ && node != 0; ++hop) {
+      uint64_t next = 0;
+      uint64_t ptr_addr = node + next_offset_;
+      // The pointer field must not straddle a page for a single subpage
+      // read; split if it does.
+      if ((ptr_addr & (kPageSize - 1)) + sizeof(next) <= kPageSize) {
+        if (!ctx.ReadResident(ptr_addr, sizeof(next), &next)) {
+          ctx.SubpageRead(ptr_addr, sizeof(next), &next);
+        }
+      } else {
+        uint32_t first = static_cast<uint32_t>(kPageSize - (ptr_addr & (kPageSize - 1)));
+        uint8_t* raw = reinterpret_cast<uint8_t*>(&next);
+        if (!ctx.ReadResident(ptr_addr, first, raw)) {
+          ctx.SubpageRead(ptr_addr, first, raw);
+        }
+        if (!ctx.ReadResident(ptr_addr + first, static_cast<uint32_t>(sizeof(next)) - first,
+                              raw + first)) {
+          ctx.SubpageRead(ptr_addr + first, static_cast<uint32_t>(sizeof(next)) - first,
+                          raw + first);
+        }
+      }
+      if (next == 0) {
+        node = 0;
+        break;
+      }
+      ctx.PrefetchPage(next);
+      node = next;
+      ++hops_;
+      ++ahead_;
+    }
+    chase_cursor_ = node;
+  }
+
+  uint64_t hops() const { return hops_; }
+
+ private:
+  uint32_t next_offset_;
+  uint32_t chase_depth_;
+  uint64_t current_node_ = 0;
+  uint64_t chase_cursor_ = 0;  // Furthest node reached by the chase.
+  uint32_t ahead_ = 0;         // Chased nodes not yet visited.
+  uint64_t hops_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_GUIDES_LIST_GUIDE_H_

@@ -1,0 +1,98 @@
+#include "src/guides/redis_guide.h"
+
+#include "src/rdma/verbs.h"
+#include "src/redis/sds.h"
+#include "src/redis/ziplist.h"
+
+namespace dilos {
+
+namespace {
+
+uint64_t PageOf(uint64_t vaddr) { return vaddr & ~static_cast<uint64_t>(kPageSize - 1); }
+
+// Prefetches every page overlapping [begin, end).
+void PrefetchSpan(GuideContext& ctx, uint64_t begin, uint64_t end, uint32_t max_pages) {
+  uint64_t page = PageOf(begin);
+  for (uint32_t n = 0; page < end && n < max_pages; page += kPageSize, ++n) {
+    ctx.PrefetchPage(page);
+  }
+}
+
+// Splits a read at page boundaries (guide reads are small; 2 pieces max in
+// practice for a 32 B struct straddling pages).
+struct NodeStruct {
+  uint64_t prev;
+  uint64_t next;
+  uint64_t zl;
+  uint32_t count;
+  uint32_t pad;
+};
+
+}  // namespace
+
+void RedisGuide::GuideRead(GuideContext& ctx, uint64_t vaddr, uint32_t len, void* dst) {
+  if (ctx.ReadResident(vaddr, len, dst)) {
+    return;
+  }
+  ctx.SubpageRead(vaddr, len, dst);
+}
+
+void RedisGuide::PrefetchValue(GuideContext& ctx, uint64_t fault_vaddr) {
+  // Header first: its subpage arrives ahead of the faulted full page, so
+  // the exact page count is known almost immediately (paper Sec. 6.3).
+  uint32_t len = 0;
+  GuideRead(ctx, current_sds_, sizeof(uint32_t), &len);
+  uint64_t value_end = current_sds_ + kSdsHeader + len + 1;
+  if (fault_vaddr >= value_end) {
+    return;  // Fault past this value (stale hint).
+  }
+  PrefetchSpan(ctx, PageOf(fault_vaddr) + kPageSize, value_end, max_value_pages_);
+  value_prefetches_++;
+}
+
+void RedisGuide::ChaseQuicklist(GuideContext& ctx) {
+  uint64_t node = current_node_;
+  if (node == last_chase_start_ || elems_covered_ >= elems_needed_) {
+    return;  // Already chased from here, or the range is fully covered.
+  }
+  last_chase_start_ = node;
+  for (uint32_t depth = 0; depth < chase_depth_ && node != 0; ++depth) {
+    // The 32 B node struct may straddle a page boundary; read both halves.
+    NodeStruct ns{};
+    uint32_t first = static_cast<uint32_t>(
+        std::min<uint64_t>(sizeof(NodeStruct), kPageSize - (node & (kPageSize - 1))));
+    GuideRead(ctx, node, first, &ns);
+    if (first < sizeof(NodeStruct)) {
+      GuideRead(ctx, node + first, static_cast<uint32_t>(sizeof(NodeStruct)) - first,
+                reinterpret_cast<uint8_t*>(&ns) + first);
+    }
+    if (ns.zl != 0) {
+      // A ziplist (capacity + header) fits one page, so its page can be
+      // prefetched the moment the node struct arrives — no extra subpage
+      // round trip in the chain.
+      PrefetchSpan(ctx, ns.zl, ns.zl + kZiplistHeader + kZiplistCapBytes, 2);
+    }
+    elems_covered_ += ns.count;
+    chases_++;
+    if (elems_covered_ >= elems_needed_) {
+      break;  // Enough nodes for the requested range; don't waste the wire.
+    }
+    if (ns.next != 0) {
+      ctx.PrefetchPage(ns.next);
+    }
+    node = ns.next;
+  }
+}
+
+void RedisGuide::OnFault(GuideContext& ctx, uint64_t vaddr, bool write) {
+  (void)write;
+  if (traversing_ && current_node_ != 0) {
+    ChaseQuicklist(ctx);
+    return;
+  }
+  if (current_sds_ != 0 && vaddr >= current_sds_) {
+    PrefetchValue(ctx, vaddr);
+  }
+}
+
+}  // namespace dilos

@@ -1,0 +1,85 @@
+// App-aware Redis guide (paper Sec. 6.3, Figs. 5 and 11).
+//
+// A single pluggable module providing:
+//  * GET prefetching: at the first fault of a value sds, subpage-read the
+//    8-byte SDS header (which arrives ahead of the full page), learn the
+//    value length, and prefetch exactly the remaining pages.
+//  * LRANGE prefetching: chase the quicklist from the node being traversed —
+//    subpage-read the 32 B node struct, prefetch its ziplist's pages, hop to
+//    the next node, and repeat a few hops ahead of the application.
+//  * Optionally, guided paging through the allocator's bitmaps (composes
+//    the AllocatorGuide behavior so one guide object serves both roles).
+//
+// It learns where the application is from RedisHooks — the stand-in for the
+// ELF-loader function hooks of Sec. 5 ("no modification of the Redis main
+// code").
+#ifndef DILOS_SRC_GUIDES_REDIS_GUIDE_H_
+#define DILOS_SRC_GUIDES_REDIS_GUIDE_H_
+
+#include "src/ddc_alloc/far_heap.h"
+#include "src/dilos/guide.h"
+#include "src/redis/hooks.h"
+
+namespace dilos {
+
+class RedisGuide : public Guide, public RedisHooks {
+ public:
+  // `heap` (optional) additionally enables allocator-guided paging.
+  explicit RedisGuide(FarHeap* heap = nullptr, uint32_t chase_depth = 3,
+                      uint32_t max_value_pages = 40)
+      : heap_(heap), chase_depth_(chase_depth), max_value_pages_(max_value_pages) {}
+
+  // -- RedisHooks ------------------------------------------------------------
+  void OnCommandBegin() override {
+    current_sds_ = 0;
+    current_node_ = 0;
+    traversing_ = false;
+    last_chase_start_ = 0;
+  }
+  void OnValueAccessBegin(uint64_t sds_addr) override {
+    current_sds_ = sds_addr;
+    traversing_ = false;
+  }
+  void OnListTraverseBegin(uint64_t node_addr, uint32_t count) override {
+    current_node_ = node_addr;
+    traversing_ = true;
+    current_sds_ = 0;
+    elems_needed_ = count;
+    elems_covered_ = 0;
+  }
+  void OnListTraverseNode(uint64_t node_addr) override { current_node_ = node_addr; }
+
+  // -- Guide ------------------------------------------------------------------
+  void OnFault(GuideContext& ctx, uint64_t vaddr, bool write) override;
+  bool LiveSegments(uint64_t page_vaddr, std::vector<PageSegment>* segs) override {
+    return heap_ != nullptr && heap_->LiveSegments(page_vaddr, segs, 3);
+  }
+
+  uint64_t chases() const { return chases_; }
+  uint64_t value_prefetches() const { return value_prefetches_; }
+
+ private:
+  void ChaseQuicklist(GuideContext& ctx);
+  void PrefetchValue(GuideContext& ctx, uint64_t fault_vaddr);
+  // Reads [vaddr, vaddr+len) preferring resident memory, else subpage RDMA.
+  // `len` must not cross a page boundary.
+  void GuideRead(GuideContext& ctx, uint64_t vaddr, uint32_t len, void* dst);
+
+  FarHeap* heap_;
+  uint32_t chase_depth_;
+  uint32_t max_value_pages_;
+
+  uint64_t current_sds_ = 0;
+  uint64_t current_node_ = 0;
+  bool traversing_ = false;
+  uint64_t last_chase_start_ = 0;  // Avoid re-chasing the same node.
+  uint32_t elems_needed_ = 0;      // Stop chasing once the range is covered.
+  uint32_t elems_covered_ = 0;
+
+  uint64_t chases_ = 0;
+  uint64_t value_prefetches_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_GUIDES_REDIS_GUIDE_H_

@@ -1,0 +1,53 @@
+// Fabric: the two-node testbed in one object — a compute-node local resolver,
+// a memory node, and the 100 GbE link connecting them. Queue pairs created
+// here model DiLOS' per-core, per-module QPs (Sec. 4.5): each CreateQp()
+// returns an independent QP whose ops never queue behind another QP's
+// software path, though all share the physical wire.
+#ifndef DILOS_SRC_MEMNODE_FABRIC_H_
+#define DILOS_SRC_MEMNODE_FABRIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/memnode/memory_node.h"
+#include "src/rdma/link.h"
+#include "src/rdma/queue_pair.h"
+#include "src/sim/cost_model.h"
+
+namespace dilos {
+
+class Fabric {
+ public:
+  // `num_nodes` memory nodes, each on its own 100 GbE port (the Sec. 5.1
+  // multi-node extension; the default single node matches the paper's
+  // testbed).
+  explicit Fabric(const CostModel& cost = CostModel::Default(), int num_nodes = 1)
+      : cost_(cost) {
+    for (int i = 0; i < num_nodes; ++i) {
+      links_.push_back(std::make_unique<Link>(cost));
+      nodes_.push_back(std::make_unique<MemoryNode>(static_cast<uint32_t>(0x5EED + i)));
+    }
+  }
+
+  QueuePair* CreateQp(int node = 0) {
+    qps_.push_back(std::make_unique<QueuePair>(links_[static_cast<size_t>(node)].get(),
+                                               &local_, &nodes_[static_cast<size_t>(node)]->mr()));
+    return qps_.back().get();
+  }
+
+  Link& link(int node = 0) { return *links_[static_cast<size_t>(node)]; }
+  MemoryNode& node(int i = 0) { return *nodes_[static_cast<size_t>(i)]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const CostModel& cost() const { return cost_; }
+
+ private:
+  CostModel cost_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<MemoryNode>> nodes_;
+  IdentityResolver local_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_MEMNODE_FABRIC_H_

@@ -1,0 +1,38 @@
+// The memory node: a page store registered as one rkey-protected region.
+#ifndef DILOS_SRC_MEMNODE_MEMORY_NODE_H_
+#define DILOS_SRC_MEMNODE_MEMORY_NODE_H_
+
+#include <cstdint>
+
+#include "src/memnode/page_store.h"
+#include "src/rdma/memory_region.h"
+
+namespace dilos {
+
+// Base of the far virtual address space served by the memory node. Compute
+// nodes use far addresses directly as remote addresses, so the single
+// registered region spans the whole far heap.
+inline constexpr uint64_t kFarBase = 1ULL << 40;
+inline constexpr uint64_t kFarSpan = 1ULL << 38;  // 256 GB of far address space.
+
+class MemoryNode {
+ public:
+  explicit MemoryNode(uint32_t rkey = 0x5EED) {
+    mr_.key = rkey;
+    mr_.base = kFarBase;
+    mr_.length = kFarSpan;
+    mr_.resolver = &store_;
+  }
+
+  const MemoryRegion& mr() const { return mr_; }
+  PageStore& store() { return store_; }
+  const PageStore& store() const { return store_; }
+
+ private:
+  PageStore store_;
+  MemoryRegion mr_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_MEMNODE_MEMORY_NODE_H_

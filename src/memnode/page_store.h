@@ -1,0 +1,61 @@
+// Backing page store of the memory node.
+//
+// The memory node registers one large region with its RNIC and then serves
+// all one-sided READ/WRITE traffic without CPU involvement (Sec. 5 "Memory
+// node"). Pages materialize lazily, zero-filled, mirroring a freshly
+// registered (and zeroed) hugepage region.
+#ifndef DILOS_SRC_MEMNODE_PAGE_STORE_H_
+#define DILOS_SRC_MEMNODE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/rdma/memory_region.h"
+#include "src/rdma/verbs.h"
+
+namespace dilos {
+
+class PageStore : public AddressResolver {
+ public:
+  PageStore() = default;
+
+  // A segment must lie within one 4 KB page: the store's registration is
+  // page-granular, matching how the RNIC DMA-scatters into host pages.
+  uint8_t* Resolve(uint64_t addr, uint32_t len, bool for_write) override {
+    (void)for_write;
+    if (len == 0 || len > kPageSize) {
+      return nullptr;
+    }
+    uint64_t page = addr >> kPageShift;
+    uint32_t off = static_cast<uint32_t>(addr & (kPageSize - 1));
+    if (off + len > kPageSize) {
+      return nullptr;  // Crosses a page boundary.
+    }
+    return PageData(page) + off;
+  }
+
+  // Returns the backing bytes of `page`, materializing zeros on first use.
+  uint8_t* PageData(uint64_t page) {
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+      auto mem = std::make_unique<uint8_t[]>(kPageSize);
+      uint8_t* raw = mem.get();
+      pages_.emplace(page, std::move(mem));
+      return raw;
+    }
+    return it->second.get();
+  }
+
+  bool Materialized(uint64_t page) const { return pages_.count(page) != 0; }
+  size_t page_count() const { return pages_.size(); }
+
+  void Drop(uint64_t page) { pages_.erase(page); }
+
+ private:
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_MEMNODE_PAGE_STORE_H_

@@ -1,0 +1,47 @@
+#include "src/pt/page_table.h"
+
+namespace dilos {
+
+Pte PageTable::Get(uint64_t vaddr) const {
+  const auto& l3 = root_.e[Idx(vaddr, 3)];
+  if (!l3) {
+    return 0;
+  }
+  const auto& l2 = l3->e[Idx(vaddr, 2)];
+  if (!l2) {
+    return 0;
+  }
+  const auto& l1 = l2->e[Idx(vaddr, 1)];
+  if (!l1) {
+    return 0;
+  }
+  return l1->pte[Idx(vaddr, 0)];
+}
+
+Pte* PageTable::Entry(uint64_t vaddr, bool create) {
+  auto& l3 = root_.e[Idx(vaddr, 3)];
+  if (!l3) {
+    if (!create) {
+      return nullptr;
+    }
+    l3 = std::make_unique<L3>();
+  }
+  auto& l2 = l3->e[Idx(vaddr, 2)];
+  if (!l2) {
+    if (!create) {
+      return nullptr;
+    }
+    l2 = std::make_unique<L2>();
+  }
+  auto& l1 = l2->e[Idx(vaddr, 1)];
+  if (!l1) {
+    if (!create) {
+      return nullptr;
+    }
+    l1 = std::make_unique<L1>();
+    ++leaf_count_;
+  }
+  return &l1->pte[Idx(vaddr, 0)];
+}
+
+}  // namespace dilos

@@ -1,0 +1,52 @@
+// Registered memory regions with protection keys.
+//
+// A memory region maps a contiguous [base, base+length) address range to
+// backing bytes through an AddressResolver. The NIC refuses any access whose
+// rkey does not match or whose range escapes the region — modeling the
+// isolation property the paper relies on for sharing one RNIC among
+// LibOSes (Sec. 5).
+#ifndef DILOS_SRC_RDMA_MEMORY_REGION_H_
+#define DILOS_SRC_RDMA_MEMORY_REGION_H_
+
+#include <cstdint>
+
+namespace dilos {
+
+// Resolves simulated addresses to host memory. Implementations: the memory
+// node's page store (far addresses) and the compute node's identity resolver
+// (host pointers used as addresses).
+class AddressResolver {
+ public:
+  virtual ~AddressResolver() = default;
+
+  // Returns a pointer to `len` contiguous bytes backing [addr, addr+len),
+  // or nullptr if the range is unmapped or crosses a backing boundary.
+  // `for_write` lets stores materialize pages on demand.
+  virtual uint8_t* Resolve(uint64_t addr, uint32_t len, bool for_write) = 0;
+};
+
+// Identity resolver: the address *is* a host pointer. Used for compute-node
+// local buffers (DRAM frames).
+class IdentityResolver : public AddressResolver {
+ public:
+  uint8_t* Resolve(uint64_t addr, uint32_t len, bool for_write) override {
+    (void)len;
+    (void)for_write;
+    return reinterpret_cast<uint8_t*>(addr);
+  }
+};
+
+struct MemoryRegion {
+  uint32_t key = 0;
+  uint64_t base = 0;
+  uint64_t length = 0;
+  AddressResolver* resolver = nullptr;
+
+  bool Contains(uint64_t addr, uint32_t len) const {
+    return addr >= base && addr + len <= base + length;
+  }
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_RDMA_MEMORY_REGION_H_

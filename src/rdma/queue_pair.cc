@@ -1,0 +1,84 @@
+#include "src/rdma/queue_pair.h"
+
+#include <cstring>
+
+namespace dilos {
+
+Completion QueuePair::Fail(uint64_t wr_id, WcStatus status, uint64_t now_ns) {
+  Completion c{wr_id, status, now_ns};
+  cq_.Push(c);
+  return c;
+}
+
+Completion QueuePair::PostSend(const WorkRequest& wr, uint64_t now_ns) {
+  if (wr.local.size() != wr.remote.size() || wr.local.empty()) {
+    return Fail(wr.wr_id, WcStatus::kLocalError, now_ns);
+  }
+  if (wr.rkey != remote_mr_->key) {
+    return Fail(wr.wr_id, WcStatus::kRemoteAccessError, now_ns);
+  }
+  // Validate and move the payload segment by segment.
+  for (size_t i = 0; i < wr.local.size(); ++i) {
+    const Sge& l = wr.local[i];
+    const Sge& r = wr.remote[i];
+    if (l.length != r.length || l.length == 0) {
+      return Fail(wr.wr_id, WcStatus::kLocalError, now_ns);
+    }
+    if (!remote_mr_->Contains(r.addr, r.length)) {
+      return Fail(wr.wr_id, WcStatus::kRemoteAccessError, now_ns);
+    }
+    bool is_write = wr.opcode == RdmaOpcode::kWrite;
+    uint8_t* lp = local_->Resolve(l.addr, l.length, /*for_write=*/!is_write);
+    uint8_t* rp = remote_mr_->resolver->Resolve(r.addr, r.length, /*for_write=*/is_write);
+    if (lp == nullptr || rp == nullptr) {
+      return Fail(wr.wr_id, WcStatus::kRemoteAccessError, now_ns);
+    }
+    if (is_write) {
+      std::memcpy(rp, lp, l.length);
+    } else {
+      std::memcpy(lp, rp, l.length);
+    }
+  }
+
+  uint64_t bytes = wr.TotalBytes();
+  auto nsegs = static_cast<uint32_t>(wr.local.size());
+  bool is_write = wr.opcode == RdmaOpcode::kWrite;
+  uint64_t fabric = is_write ? link_->cost().WriteLatencyNs(bytes, nsegs)
+                             : link_->cost().ReadLatencyNs(bytes, nsegs);
+  uint64_t wire_done = link_->Occupy(now_ns, bytes, nsegs, is_write);
+  uint64_t done = now_ns + fabric;
+  if (wire_done > done) {
+    done = wire_done;
+  }
+  if (done < last_completion_ns_) {
+    done = last_completion_ns_;  // RC in-order completion.
+  }
+  last_completion_ns_ = done;
+  Completion c{wr.wr_id, WcStatus::kSuccess, done};
+  cq_.Push(c);
+  return c;
+}
+
+Completion QueuePair::PostRead(uint64_t wr_id, uint64_t local_addr, uint64_t remote_addr,
+                               uint32_t len, uint64_t now_ns) {
+  WorkRequest wr;
+  wr.wr_id = wr_id;
+  wr.opcode = RdmaOpcode::kRead;
+  wr.local.push_back({local_addr, len});
+  wr.remote.push_back({remote_addr, len});
+  wr.rkey = remote_mr_->key;
+  return PostSend(wr, now_ns);
+}
+
+Completion QueuePair::PostWrite(uint64_t wr_id, uint64_t local_addr, uint64_t remote_addr,
+                                uint32_t len, uint64_t now_ns) {
+  WorkRequest wr;
+  wr.wr_id = wr_id;
+  wr.opcode = RdmaOpcode::kWrite;
+  wr.local.push_back({local_addr, len});
+  wr.remote.push_back({remote_addr, len});
+  wr.rkey = remote_mr_->key;
+  return PostSend(wr, now_ns);
+}
+
+}  // namespace dilos

@@ -1,0 +1,100 @@
+// Reliable-connected queue pair + completion queue.
+//
+// DiLOS' communication module creates one QP per (core, module) so that
+// fault-handler traffic is never head-of-line blocked behind prefetcher or
+// reclaimer traffic (Sec. 4.5). In the model each QP issues ops onto the
+// shared Link; data movement happens eagerly but the completion carries the
+// simulated arrival timestamp.
+#ifndef DILOS_SRC_RDMA_QUEUE_PAIR_H_
+#define DILOS_SRC_RDMA_QUEUE_PAIR_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/rdma/link.h"
+#include "src/rdma/memory_region.h"
+#include "src/rdma/verbs.h"
+#include "src/sim/clock.h"
+
+namespace dilos {
+
+class CompletionQueue {
+ public:
+  void Push(Completion c) {
+    // RC QPs complete in order; clamp to enforce monotonicity.
+    if (!queue_.empty() && c.completion_time_ns < queue_.back().completion_time_ns) {
+      c.completion_time_ns = queue_.back().completion_time_ns;
+    }
+    queue_.push_back(c);
+  }
+
+  // Non-blocking poll: returns the next completion if it has arrived by
+  // `now_ns`.
+  std::optional<Completion> Poll(uint64_t now_ns) {
+    if (queue_.empty() || queue_.front().completion_time_ns > now_ns) {
+      return std::nullopt;
+    }
+    Completion c = queue_.front();
+    queue_.pop_front();
+    return c;
+  }
+
+  // Blocking poll: waits (advancing `clock`) for the next completion.
+  std::optional<Completion> BlockingPoll(Clock& clock) {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    Completion c = queue_.front();
+    queue_.pop_front();
+    clock.AdvanceTo(c.completion_time_ns);
+    return c;
+  }
+
+  size_t outstanding() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  std::deque<Completion> queue_;
+};
+
+class QueuePair {
+ public:
+  // `local` resolves compute-node buffer addresses; `remote_mr` is the
+  // memory-node region this QP is connected to.
+  QueuePair(Link* link, AddressResolver* local, const MemoryRegion* remote_mr)
+      : link_(link), local_(local), remote_mr_(remote_mr) {}
+
+  // Posts a one-sided work request at simulated time `now_ns`. Data movement
+  // is performed immediately; the completion time reflects fabric latency
+  // plus wire serialization. Returns the completion (also pushed to cq()).
+  Completion PostSend(const WorkRequest& wr, uint64_t now_ns);
+
+  CompletionQueue& cq() { return cq_; }
+  Link* link() { return link_; }
+  // rkey of the connected remote region (the connection handshake result).
+  uint32_t remote_rkey() const { return remote_mr_->key; }
+
+  // Convenience: single-segment page-sized or subpage ops.
+  Completion PostRead(uint64_t wr_id, uint64_t local_addr, uint64_t remote_addr, uint32_t len,
+                      uint64_t now_ns);
+  Completion PostWrite(uint64_t wr_id, uint64_t local_addr, uint64_t remote_addr, uint32_t len,
+                       uint64_t now_ns);
+
+ private:
+  Completion Fail(uint64_t wr_id, WcStatus status, uint64_t now_ns);
+
+  Link* link_;
+  AddressResolver* local_;
+  const MemoryRegion* remote_mr_;
+  CompletionQueue cq_;
+  // RC QPs complete strictly in post order: a READ posted after a WRITE on
+  // the same QP cannot complete before it. This is the head-of-line
+  // blocking a single shared (kernel swap) queue suffers, and why DiLOS
+  // gives each module its own QP (Sec. 4.5).
+  uint64_t last_completion_ns_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_RDMA_QUEUE_PAIR_H_

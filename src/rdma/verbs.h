@@ -1,0 +1,63 @@
+// Simulated one-sided RDMA verbs: the request/completion vocabulary shared by
+// queue pairs, completion queues, and memory regions.
+//
+// The model follows the subset of ibverbs the paper's systems use: reliable
+// connected QPs, one-sided READ/WRITE, scatter/gather lists, rkey-protected
+// memory regions (Sec. 5 "Low-latency RDMA driver" / "Memory node").
+#ifndef DILOS_SRC_RDMA_VERBS_H_
+#define DILOS_SRC_RDMA_VERBS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dilos {
+
+inline constexpr uint32_t kPageSize = 4096;
+inline constexpr uint32_t kPageShift = 12;
+
+enum class RdmaOpcode : uint8_t {
+  kRead,   // Remote -> local (fetch).
+  kWrite,  // Local -> remote (evict / write-back).
+};
+
+enum class WcStatus : uint8_t {
+  kSuccess,
+  kRemoteAccessError,  // rkey mismatch or out-of-region access.
+  kLocalError,
+};
+
+// One scatter/gather element. On the remote side a segment must not cross a
+// 4 KB page boundary (the memory node registers page-granular backing).
+struct Sge {
+  uint64_t addr = 0;
+  uint32_t length = 0;
+};
+
+struct WorkRequest {
+  uint64_t wr_id = 0;
+  RdmaOpcode opcode = RdmaOpcode::kRead;
+  // Local segments (compute-node buffers) and matching remote segments.
+  // Segment i on the local side pairs with segment i on the remote side;
+  // lengths must match element-wise.
+  std::vector<Sge> local;
+  std::vector<Sge> remote;
+  uint32_t rkey = 0;
+
+  uint64_t TotalBytes() const {
+    uint64_t n = 0;
+    for (const Sge& s : local) {
+      n += s.length;
+    }
+    return n;
+  }
+};
+
+struct Completion {
+  uint64_t wr_id = 0;
+  WcStatus status = WcStatus::kSuccess;
+  uint64_t completion_time_ns = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_RDMA_VERBS_H_

@@ -1,0 +1,143 @@
+#include "src/redis/dict.h"
+
+namespace dilos {
+
+namespace {
+constexpr uint32_t kEntrySize = 32;
+constexpr uint64_t kRehashStepBuckets = 2;  // Buckets migrated per operation.
+}  // namespace
+
+FarDict::FarDict(FarHeap& heap, uint64_t buckets) : heap_(heap) {
+  uint64_t cap = 1;
+  while (cap < buckets) {
+    cap <<= 1;
+  }
+  mask_ = cap - 1;
+  table_ = std::make_unique<FarArray<uint64_t>>(heap.runtime(), cap);
+  // Bucket pages are zero-filled on first touch; no explicit init needed.
+}
+
+uint64_t FarDict::Hash(const std::string& key) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a.
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void FarDict::MaybeStartRehash() {
+  if (new_table_ != nullptr || count_ <= mask_ + 1) {
+    return;  // Already rehashing, or load factor still <= 1.
+  }
+  uint64_t new_cap = (mask_ + 1) * 2;
+  new_mask_ = new_cap - 1;
+  new_table_ = std::make_unique<FarArray<uint64_t>>(rt(), new_cap);
+  rehash_pos_ = 0;
+}
+
+void FarDict::RehashStep(uint64_t buckets) {
+  if (new_table_ == nullptr) {
+    return;
+  }
+  for (uint64_t b = 0; b < buckets && rehash_pos_ <= mask_; ++b, ++rehash_pos_) {
+    uint64_t entry = table_->Get(rehash_pos_);
+    table_->Set(rehash_pos_, 0);
+    while (entry != 0) {
+      uint64_t next = rt().Read<uint64_t>(entry + 16);
+      uint64_t key_sds = rt().Read<uint64_t>(entry);
+      // Re-read the key bytes to recompute its hash, as Redis does (the
+      // entry does not cache the hash).
+      std::string key;
+      SdsRead(rt(), key_sds, &key);
+      uint64_t bucket = Hash(key) & new_mask_;
+      rt().Write<uint64_t>(entry + 16, new_table_->Get(bucket));
+      new_table_->Set(bucket, entry);
+      entry = next;
+      ++rehash_steps_;
+    }
+  }
+  if (rehash_pos_ > mask_) {
+    // Migration finished: the new table becomes the table.
+    table_ = std::move(new_table_);
+    mask_ = new_mask_;
+    new_table_.reset();
+  }
+}
+
+FarArray<uint64_t>* FarDict::TableFor(uint64_t hash, uint64_t* index) {
+  if (new_table_ != nullptr) {
+    uint64_t old_bucket = hash & mask_;
+    if (old_bucket < rehash_pos_) {
+      *index = hash & new_mask_;
+      return new_table_.get();
+    }
+    *index = old_bucket;
+    return table_.get();
+  }
+  *index = hash & mask_;
+  return table_.get();
+}
+
+uint64_t FarDict::Find(const std::string& key) {
+  RehashStep(kRehashStepBuckets);
+  uint64_t index;
+  FarArray<uint64_t>* table = TableFor(Hash(key), &index);
+  uint64_t entry = table->Get(index);
+  while (entry != 0) {
+    uint64_t key_sds = rt().Read<uint64_t>(entry);
+    if (SdsEquals(rt(), key_sds, key.data(), static_cast<uint32_t>(key.size()))) {
+      return entry;
+    }
+    entry = rt().Read<uint64_t>(entry + 16);
+  }
+  return 0;
+}
+
+uint64_t FarDict::Insert(const std::string& key, uint64_t val, uint32_t flags) {
+  MaybeStartRehash();
+  RehashStep(kRehashStepBuckets);
+  uint64_t index;
+  FarArray<uint64_t>* table = TableFor(Hash(key), &index);
+  uint64_t head = table->Get(index);
+  uint64_t key_sds = SdsNew(heap_, key.data(), static_cast<uint32_t>(key.size()));
+  uint64_t entry = heap_.Malloc(kEntrySize);
+  rt().Write<uint64_t>(entry, key_sds);
+  rt().Write<uint64_t>(entry + 8, val);
+  rt().Write<uint64_t>(entry + 16, head);
+  rt().Write<uint32_t>(entry + 24, flags);
+  rt().Write<uint32_t>(entry + 28, 0);
+  table->Set(index, entry);
+  ++count_;
+  return entry;
+}
+
+bool FarDict::Remove(const std::string& key, uint64_t* old_val, uint32_t* old_flags) {
+  RehashStep(kRehashStepBuckets);
+  uint64_t index;
+  FarArray<uint64_t>* table = TableFor(Hash(key), &index);
+  uint64_t entry = table->Get(index);
+  uint64_t prev = 0;
+  while (entry != 0) {
+    uint64_t key_sds = rt().Read<uint64_t>(entry);
+    uint64_t next = rt().Read<uint64_t>(entry + 16);
+    if (SdsEquals(rt(), key_sds, key.data(), static_cast<uint32_t>(key.size()))) {
+      if (prev == 0) {
+        table->Set(index, next);
+      } else {
+        rt().Write<uint64_t>(prev + 16, next);
+      }
+      *old_val = rt().Read<uint64_t>(entry + 8);
+      *old_flags = rt().Read<uint32_t>(entry + 24);
+      SdsFree(heap_, key_sds);
+      heap_.Free(entry);
+      --count_;
+      return true;
+    }
+    prev = entry;
+    entry = next;
+  }
+  return false;
+}
+
+}  // namespace dilos

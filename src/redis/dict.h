@@ -1,0 +1,78 @@
+// Chained hash table on the far heap — Redis' main keyspace dict.
+//
+// Bucket array and entries live in far memory; a GET therefore walks
+// bucket -> entry -> key-sds -> value-sds, each hop a potential remote page
+// (the pointer-chasing the paper's Sec. 6.2 calls "highly irregular").
+//
+// Entry layout (32 B, one size-class chunk):
+//   0:  uint64_t key_sds
+//   8:  uint64_t val      (sds addr or quicklist root addr)
+//   16: uint64_t next     (0 = end of chain)
+//   24: uint32_t flags    (kValString / kValList)
+//   28: uint32_t pad
+#ifndef DILOS_SRC_REDIS_DICT_H_
+#define DILOS_SRC_REDIS_DICT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/ddc_alloc/far_heap.h"
+#include "src/redis/sds.h"
+
+namespace dilos {
+
+inline constexpr uint32_t kValString = 0;
+inline constexpr uint32_t kValList = 1;
+
+class FarDict {
+ public:
+  // `buckets` is rounded up to a power of two. The table grows by
+  // incremental rehashing, Redis-style: when the load factor exceeds 1, a
+  // double-size table is allocated and every subsequent operation migrates
+  // a few buckets, so no single command pays the full rehash.
+  FarDict(FarHeap& heap, uint64_t buckets);
+
+  // Far address of the entry for `key`, or 0.
+  uint64_t Find(const std::string& key);
+
+  // Inserts `key` (must not exist) with `val`/`flags`; returns entry addr.
+  uint64_t Insert(const std::string& key, uint64_t val, uint32_t flags);
+
+  // Unlinks `key`; outputs its value and flags. Frees the entry and key sds
+  // (the caller owns freeing the value). False if absent.
+  bool Remove(const std::string& key, uint64_t* old_val, uint32_t* old_flags);
+
+  uint64_t EntryVal(uint64_t entry) { return rt().Read<uint64_t>(entry + 8); }
+  uint32_t EntryFlags(uint64_t entry) { return rt().Read<uint32_t>(entry + 24); }
+  void SetEntryVal(uint64_t entry, uint64_t val) { rt().Write<uint64_t>(entry + 8, val); }
+
+  size_t size() const { return count_; }
+  uint64_t buckets() const { return mask_ + 1; }
+  bool rehashing() const { return new_table_ != nullptr; }
+  uint64_t rehash_steps() const { return rehash_steps_; }
+
+ private:
+  FarRuntime& rt() { return heap_.runtime(); }
+  static uint64_t Hash(const std::string& key);
+
+  // Bucket that `hash` lives in *now* (old table until its bucket has been
+  // migrated, new table afterwards). Returns the table and index.
+  FarArray<uint64_t>* TableFor(uint64_t hash, uint64_t* index);
+  void MaybeStartRehash();
+  // Migrates up to `buckets` old-table buckets into the new table.
+  void RehashStep(uint64_t buckets);
+
+  FarHeap& heap_;
+  std::unique_ptr<FarArray<uint64_t>> table_;
+  uint64_t mask_;
+  std::unique_ptr<FarArray<uint64_t>> new_table_;  // Non-null while rehashing.
+  uint64_t new_mask_ = 0;
+  uint64_t rehash_pos_ = 0;  // Next old bucket to migrate.
+  uint64_t rehash_steps_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_REDIS_DICT_H_

@@ -1,0 +1,38 @@
+// Hook points the app-aware guides attach to.
+//
+// In the paper, DiLOS' ELF loader patches application functions so a guide
+// (a third-party shared object) observes the data structures the app is
+// about to traverse — "we need not modify the Redis main code" (Sec. 6.3).
+// The simulator models those patched call sites as explicit hook
+// invocations from Redis-lite; the guide implements this interface.
+#ifndef DILOS_SRC_REDIS_HOOKS_H_
+#define DILOS_SRC_REDIS_HOOKS_H_
+
+#include <cstdint>
+
+namespace dilos {
+
+class RedisHooks {
+ public:
+  virtual ~RedisHooks() = default;
+
+  // A new command is being dispatched; prior traversal state is stale.
+  virtual void OnCommandBegin() {}
+
+  // A GET is about to read the value sds at `sds_addr`.
+  virtual void OnValueAccessBegin(uint64_t sds_addr) { (void)sds_addr; }
+
+  // An LRANGE traversal is starting at quicklist node `node_addr`, needing
+  // `count` elements (hooked from the command's arguments).
+  virtual void OnListTraverseBegin(uint64_t node_addr, uint32_t count) {
+    (void)node_addr;
+    (void)count;
+  }
+
+  // The traversal moved to `node_addr`.
+  virtual void OnListTraverseNode(uint64_t node_addr) { (void)node_addr; }
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_REDIS_HOOKS_H_

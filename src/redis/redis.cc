@@ -1,0 +1,155 @@
+#include "src/redis/redis.h"
+
+namespace dilos {
+
+namespace {
+constexpr uint32_t kRootSize = 32;
+constexpr uint32_t kNodeSize = 32;
+}  // namespace
+
+RedisLite::RedisLite(FarRuntime& rt, uint64_t expected_keys)
+    : rt_(rt), heap_(rt), dict_(heap_, expected_keys + expected_keys / 2) {}
+
+void RedisLite::FreeValue(uint64_t val, uint32_t flags) {
+  if (flags == kValString) {
+    SdsFree(heap_, val);
+    return;
+  }
+  // List: free every node's ziplist, the nodes, and the root.
+  uint64_t node = rt_.Read<uint64_t>(val);  // root.head
+  while (node != 0) {
+    uint64_t next = rt_.Read<uint64_t>(node + 8);
+    uint64_t zl = rt_.Read<uint64_t>(node + 16);
+    ZiplistFree(heap_, zl);
+    heap_.Free(node);
+    node = next;
+  }
+  heap_.Free(val);
+}
+
+void RedisLite::Set(const std::string& key, const std::string& value) {
+  rt_.clock().Advance(costs_.cmd_overhead_ns);
+  if (hooks_ != nullptr) {
+    hooks_->OnCommandBegin();
+  }
+  uint64_t entry = dict_.Find(key);
+  uint64_t sds = SdsNew(heap_, value.data(), static_cast<uint32_t>(value.size()));
+  if (entry != 0) {
+    FreeValue(dict_.EntryVal(entry), dict_.EntryFlags(entry));
+    dict_.SetEntryVal(entry, sds);
+  } else {
+    dict_.Insert(key, sds, kValString);
+  }
+}
+
+bool RedisLite::Get(const std::string& key, std::string* out) {
+  rt_.clock().Advance(costs_.cmd_overhead_ns);
+  if (hooks_ != nullptr) {
+    hooks_->OnCommandBegin();
+  }
+  uint64_t entry = dict_.Find(key);
+  if (entry == 0 || dict_.EntryFlags(entry) != kValString) {
+    return false;
+  }
+  uint64_t sds = dict_.EntryVal(entry);
+  if (hooks_ != nullptr) {
+    hooks_->OnValueAccessBegin(sds);
+  }
+  SdsRead(rt_, sds, out);
+  return true;
+}
+
+bool RedisLite::Del(const std::string& key) {
+  rt_.clock().Advance(costs_.cmd_overhead_ns);
+  if (hooks_ != nullptr) {
+    hooks_->OnCommandBegin();
+  }
+  uint64_t val = 0;
+  uint32_t flags = 0;
+  if (!dict_.Remove(key, &val, &flags)) {
+    return false;
+  }
+  FreeValue(val, flags);
+  return true;
+}
+
+uint64_t RedisLite::NewListNode(uint64_t prev) {
+  uint64_t node = heap_.Malloc(kNodeSize);
+  uint64_t zl = ZiplistNew(heap_);
+  rt_.Write<uint64_t>(node, prev);
+  rt_.Write<uint64_t>(node + 8, 0);
+  rt_.Write<uint64_t>(node + 16, zl);
+  rt_.Write<uint32_t>(node + 24, 0);
+  rt_.Write<uint32_t>(node + 28, 0);
+  return node;
+}
+
+void RedisLite::Rpush(const std::string& key, const std::string& value) {
+  rt_.clock().Advance(costs_.cmd_overhead_ns);
+  if (hooks_ != nullptr) {
+    hooks_->OnCommandBegin();
+  }
+  uint64_t entry = dict_.Find(key);
+  uint64_t root;
+  if (entry == 0) {
+    root = heap_.Malloc(kRootSize);
+    uint64_t node = NewListNode(0);
+    rt_.Write<uint64_t>(root, node);       // head
+    rt_.Write<uint64_t>(root + 8, node);   // tail
+    rt_.Write<uint64_t>(root + 16, 0);     // count
+    rt_.Write<uint32_t>(root + 24, 1);     // nnodes
+    rt_.Write<uint32_t>(root + 28, 0);
+    dict_.Insert(key, root, kValList);
+  } else {
+    root = dict_.EntryVal(entry);
+  }
+
+  uint64_t tail = rt_.Read<uint64_t>(root + 8);
+  uint64_t zl = rt_.Read<uint64_t>(tail + 16);
+  if (!ZiplistAppend(rt_, zl, value.data(), static_cast<uint16_t>(value.size()))) {
+    uint64_t node = NewListNode(tail);
+    rt_.Write<uint64_t>(tail + 8, node);  // tail.next
+    rt_.Write<uint64_t>(root + 8, node);  // root.tail
+    rt_.Write<uint32_t>(root + 24, rt_.Read<uint32_t>(root + 24) + 1);
+    tail = node;
+    zl = rt_.Read<uint64_t>(tail + 16);
+    ZiplistAppend(rt_, zl, value.data(), static_cast<uint16_t>(value.size()));
+  }
+  rt_.Write<uint32_t>(tail + 24, rt_.Read<uint32_t>(tail + 24) + 1);
+  rt_.Write<uint64_t>(root + 16, rt_.Read<uint64_t>(root + 16) + 1);
+}
+
+uint32_t RedisLite::Lrange(const std::string& key, uint32_t start, uint32_t count,
+                           std::vector<std::string>* out) {
+  rt_.clock().Advance(costs_.cmd_overhead_ns);
+  if (hooks_ != nullptr) {
+    hooks_->OnCommandBegin();
+  }
+  uint64_t entry = dict_.Find(key);
+  if (entry == 0 || dict_.EntryFlags(entry) != kValList) {
+    return 0;
+  }
+  uint64_t root = dict_.EntryVal(entry);
+  uint64_t node = rt_.Read<uint64_t>(root);  // head
+  if (hooks_ != nullptr && node != 0) {
+    hooks_->OnListTraverseBegin(node, start + count);
+  }
+  uint32_t skipped = 0;
+  uint32_t emitted = 0;
+  while (node != 0 && emitted < count) {
+    if (hooks_ != nullptr) {
+      hooks_->OnListTraverseNode(node);
+    }
+    uint64_t zl = rt_.Read<uint64_t>(node + 16);
+    uint32_t node_count = rt_.Read<uint32_t>(node + 24);
+    if (skipped + node_count > start) {
+      uint32_t local_start = start > skipped ? start - skipped : 0;
+      emitted += ZiplistRange(rt_, zl, local_start, count - emitted, out);
+    }
+    skipped += node_count;
+    node = rt_.Read<uint64_t>(node + 8);
+  }
+  return emitted;
+}
+
+}  // namespace dilos

@@ -1,0 +1,60 @@
+// Redis-lite: an in-memory key-value store whose keyspace, strings, and
+// lists live entirely on the far heap (paper Sec. 6.2-6.3). Supports the
+// commands the evaluation uses: SET/GET/DEL for strings, RPUSH/LRANGE for
+// quicklists.
+//
+// Quicklist far layout:
+//   root (32 B): 0: u64 head; 8: u64 tail; 16: u64 count; 24: u32 nnodes
+//   node (32 B): 0: u64 prev; 8: u64 next; 16: u64 ziplist; 24: u32 count
+#ifndef DILOS_SRC_REDIS_REDIS_H_
+#define DILOS_SRC_REDIS_REDIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ddc_alloc/far_heap.h"
+#include "src/redis/dict.h"
+#include "src/redis/hooks.h"
+#include "src/redis/ziplist.h"
+
+namespace dilos {
+
+struct RedisCosts {
+  uint64_t cmd_overhead_ns = 300;  // Parse + dispatch + reply framing.
+};
+
+class RedisLite {
+ public:
+  explicit RedisLite(FarRuntime& rt, uint64_t expected_keys = 1 << 16);
+
+  void Set(const std::string& key, const std::string& value);
+  // Returns false if the key is missing or not a string.
+  bool Get(const std::string& key, std::string* out);
+  bool Del(const std::string& key);
+
+  void Rpush(const std::string& key, const std::string& value);
+  // Fills `out` with up to `count` elements from `start`; returns how many.
+  uint32_t Lrange(const std::string& key, uint32_t start, uint32_t count,
+                  std::vector<std::string>* out);
+
+  void set_hooks(RedisHooks* hooks) { hooks_ = hooks; }
+
+  FarHeap& heap() { return heap_; }
+  FarDict& dict() { return dict_; }
+  FarRuntime& runtime() { return rt_; }
+
+ private:
+  void FreeValue(uint64_t val, uint32_t flags);
+  uint64_t NewListNode(uint64_t prev);
+
+  FarRuntime& rt_;
+  FarHeap heap_;
+  FarDict dict_;
+  RedisCosts costs_;
+  RedisHooks* hooks_ = nullptr;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_REDIS_REDIS_H_

@@ -1,0 +1,43 @@
+#include "src/redis/sds.h"
+
+#include <cstring>
+#include <vector>
+
+namespace dilos {
+
+uint64_t SdsNew(FarHeap& heap, const void* data, uint32_t len) {
+  uint64_t addr = heap.Malloc(kSdsHeader + len + 1);
+  FarRuntime& rt = heap.runtime();
+  rt.Write<uint32_t>(addr, len);
+  rt.Write<uint32_t>(addr + 4, len + 1);
+  if (len > 0) {
+    rt.WriteBytes(addr + kSdsHeader, data, len);
+  }
+  rt.Write<uint8_t>(addr + kSdsHeader + len, 0);  // Terminator, as in Redis.
+  return addr;
+}
+
+void SdsFree(FarHeap& heap, uint64_t sds) { heap.Free(sds); }
+
+uint32_t SdsLen(FarRuntime& rt, uint64_t sds) { return rt.Read<uint32_t>(sds); }
+
+void SdsRead(FarRuntime& rt, uint64_t sds, std::string* out) {
+  uint32_t len = SdsLen(rt, sds);
+  out->resize(len);
+  if (len > 0) {
+    rt.ReadBytes(sds + kSdsHeader, out->data(), len);
+  }
+}
+
+bool SdsEquals(FarRuntime& rt, uint64_t sds, const void* data, uint32_t len) {
+  if (SdsLen(rt, sds) != len) {
+    return false;
+  }
+  std::vector<uint8_t> buf(len);
+  if (len > 0) {
+    rt.ReadBytes(sds + kSdsHeader, buf.data(), len);
+  }
+  return len == 0 || std::memcmp(buf.data(), data, len) == 0;
+}
+
+}  // namespace dilos

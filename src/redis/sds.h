@@ -1,0 +1,41 @@
+// Simple Dynamic Strings on the far heap (Redis' string representation;
+// paper Sec. 6.3 "App-aware prefetcher for Redis").
+//
+// Layout, kept deliberately close to real SDS so the GET guide can read the
+// header with one subpage fetch and learn the exact value length:
+//
+//   offset 0: uint32_t len     (bytes of payload)
+//   offset 4: uint32_t alloc   (capacity)
+//   offset 8: payload bytes
+//
+// An "sds address" is the far address of the header.
+#ifndef DILOS_SRC_REDIS_SDS_H_
+#define DILOS_SRC_REDIS_SDS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/ddc_alloc/far_heap.h"
+
+namespace dilos {
+
+inline constexpr uint32_t kSdsHeader = 8;
+
+// Allocates an sds holding `len` bytes of `data`. Returns its far address.
+uint64_t SdsNew(FarHeap& heap, const void* data, uint32_t len);
+
+// Frees an sds.
+void SdsFree(FarHeap& heap, uint64_t sds);
+
+// Payload length (reads the header from far memory).
+uint32_t SdsLen(FarRuntime& rt, uint64_t sds);
+
+// Copies the payload into `out` (replaces contents).
+void SdsRead(FarRuntime& rt, uint64_t sds, std::string* out);
+
+// True if the payload equals [data, data+len). Short-circuits on length.
+bool SdsEquals(FarRuntime& rt, uint64_t sds, const void* data, uint32_t len);
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_REDIS_SDS_H_

@@ -1,0 +1,57 @@
+#include "src/redis/ziplist.h"
+
+namespace dilos {
+
+uint64_t ZiplistNew(FarHeap& heap) {
+  uint64_t zl = heap.Malloc(kZiplistHeader + kZiplistCapBytes);
+  FarRuntime& rt = heap.runtime();
+  rt.Write<uint32_t>(zl, 0);
+  rt.Write<uint32_t>(zl + 4, 0);
+  return zl;
+}
+
+void ZiplistFree(FarHeap& heap, uint64_t zl) { heap.Free(zl); }
+
+uint32_t ZiplistCount(FarRuntime& rt, uint64_t zl) { return rt.Read<uint32_t>(zl + 4); }
+uint32_t ZiplistUsed(FarRuntime& rt, uint64_t zl) { return rt.Read<uint32_t>(zl); }
+
+bool ZiplistAppend(FarRuntime& rt, uint64_t zl, const void* data, uint16_t len) {
+  uint32_t used = rt.Read<uint32_t>(zl);
+  uint32_t count = rt.Read<uint32_t>(zl + 4);
+  if (count >= kZiplistMaxEntries || used + 2u + len > kZiplistCapBytes) {
+    return false;
+  }
+  uint64_t at = zl + kZiplistHeader + used;
+  rt.Write<uint16_t>(at, len);
+  rt.WriteBytes(at + 2, data, len);
+  rt.Write<uint32_t>(zl, used + 2 + len);
+  rt.Write<uint32_t>(zl + 4, count + 1);
+  return true;
+}
+
+uint32_t ZiplistRange(FarRuntime& rt, uint64_t zl, uint32_t start, uint32_t max_entries,
+                      std::vector<std::string>* out) {
+  uint32_t used = rt.Read<uint32_t>(zl);
+  uint32_t count = rt.Read<uint32_t>(zl + 4);
+  uint64_t p = zl + kZiplistHeader;
+  uint64_t end = p + used;
+  uint32_t idx = 0;
+  uint32_t emitted = 0;
+  while (p < end && idx < count && emitted < max_entries) {
+    uint16_t len = rt.Read<uint16_t>(p);
+    if (idx >= start) {
+      std::string s;
+      s.resize(len);
+      if (len > 0) {
+        rt.ReadBytes(p + 2, s.data(), len);
+      }
+      out->push_back(std::move(s));
+      ++emitted;
+    }
+    p += 2u + len;
+    ++idx;
+  }
+  return emitted;
+}
+
+}  // namespace dilos

@@ -1,0 +1,45 @@
+// Ziplist: Redis' compact list encoding — a contiguous byte buffer of
+// length-prefixed entries. Quicklist nodes each own one ziplist (paper
+// Sec. 6.3: "LRANGE uses a quicklist, which stores strings in a linked
+// list of ziplists").
+//
+// Far layout:
+//   offset 0: uint32_t used    (bytes of entry data after the header)
+//   offset 4: uint32_t count   (number of entries)
+//   offset 8: entries: { uint16_t len; uint8_t data[len] }*
+#ifndef DILOS_SRC_REDIS_ZIPLIST_H_
+#define DILOS_SRC_REDIS_ZIPLIST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ddc_alloc/far_heap.h"
+
+namespace dilos {
+
+inline constexpr uint32_t kZiplistHeader = 8;
+// Capacity per ziplist: sized so a ~32-entry list of ~100 B strings fills
+// roughly one page, giving LRANGE its page-per-node access pattern.
+inline constexpr uint32_t kZiplistCapBytes = 3600;
+inline constexpr uint32_t kZiplistMaxEntries = 32;
+
+// Allocates an empty ziplist with kZiplistCapBytes of capacity.
+uint64_t ZiplistNew(FarHeap& heap);
+void ZiplistFree(FarHeap& heap, uint64_t zl);
+
+uint32_t ZiplistCount(FarRuntime& rt, uint64_t zl);
+uint32_t ZiplistUsed(FarRuntime& rt, uint64_t zl);
+
+// Appends an entry; returns false if it would overflow capacity or the
+// entry cap (caller then starts a new node).
+bool ZiplistAppend(FarRuntime& rt, uint64_t zl, const void* data, uint16_t len);
+
+// Decodes up to `max_entries` entries starting at entry index `start`,
+// appending strings to `out`. Returns entries decoded.
+uint32_t ZiplistRange(FarRuntime& rt, uint64_t zl, uint32_t start, uint32_t max_entries,
+                      std::vector<std::string>* out);
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_REDIS_ZIPLIST_H_

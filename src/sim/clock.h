@@ -1,0 +1,46 @@
+// Simulated per-core nanosecond clock.
+//
+// Every compute core in the simulation owns one Clock. Time only moves
+// forward: workloads charge compute cycles with Advance() and memory-system
+// components charge stall time with AdvanceTo() (e.g. waiting for an RDMA
+// completion timestamp). Background machinery (cleaner, reclaimer, AIFM
+// evacuator) never advances an application clock; it only occupies shared
+// fabric resources (see rdma::Link).
+#ifndef DILOS_SRC_SIM_CLOCK_H_
+#define DILOS_SRC_SIM_CLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace dilos {
+
+class Clock {
+ public:
+  Clock() = default;
+
+  // Current simulated time in nanoseconds since simulation start.
+  uint64_t now() const { return now_ns_; }
+
+  // Charges `ns` of work to this core.
+  void Advance(uint64_t ns) { now_ns_ += ns; }
+
+  // Moves the clock to `t_ns` if `t_ns` is in the future; otherwise a no-op.
+  // Returns the stall time actually waited.
+  uint64_t AdvanceTo(uint64_t t_ns) {
+    if (t_ns <= now_ns_) {
+      return 0;
+    }
+    uint64_t waited = t_ns - now_ns_;
+    now_ns_ = t_ns;
+    return waited;
+  }
+
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_SIM_CLOCK_H_

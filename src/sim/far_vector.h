@@ -1,0 +1,84 @@
+// Growable typed array in far memory — the convenience layer applications
+// use when they don't know their sizes up front (the std::vector of the
+// far-memory world). Growth allocates a double-size region, streams the
+// old contents across (far-to-far through local DRAM, like any memcpy a
+// paged application performs), and munmaps the old region.
+#ifndef DILOS_SRC_SIM_FAR_VECTOR_H_
+#define DILOS_SRC_SIM_FAR_VECTOR_H_
+
+#include <cstdint>
+
+#include "src/sim/far_runtime.h"
+
+namespace dilos {
+
+template <typename T>
+class FarVector {
+ public:
+  explicit FarVector(FarRuntime& rt, uint64_t initial_capacity = 64)
+      : rt_(&rt), capacity_(initial_capacity < 1 ? 1 : initial_capacity) {
+    base_ = rt_->AllocRegion(capacity_ * sizeof(T));
+  }
+
+  void PushBack(const T& v) {
+    if (size_ == capacity_) {
+      Grow(capacity_ * 2);
+    }
+    rt_->Write<T>(base_ + size_ * sizeof(T), v);
+    ++size_;
+  }
+
+  T Get(uint64_t i) const { return rt_->Read<T>(base_ + i * sizeof(T)); }
+  void Set(uint64_t i, const T& v) { rt_->Write<T>(base_ + i * sizeof(T), v); }
+
+  void PopBack() { --size_; }
+
+  // Shrinks or extends the logical size (new elements are zero: far pages
+  // are zero-fill).
+  void Resize(uint64_t n) {
+    if (n > capacity_) {
+      Grow(n);
+    }
+    size_ = n;
+  }
+
+  void Reserve(uint64_t n) {
+    if (n > capacity_) {
+      Grow(n);
+    }
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  uint64_t base() const { return base_; }
+
+  ~FarVector() { rt_->FreeRegion(base_, capacity_ * sizeof(T)); }
+  FarVector(const FarVector&) = delete;
+  FarVector& operator=(const FarVector&) = delete;
+
+ private:
+  void Grow(uint64_t new_capacity) {
+    uint64_t new_base = rt_->AllocRegion(new_capacity * sizeof(T));
+    // Stream the payload across in page-sized chunks.
+    uint8_t buf[4096];
+    uint64_t bytes = size_ * sizeof(T);
+    for (uint64_t off = 0; off < bytes; off += sizeof(buf)) {
+      uint64_t chunk = bytes - off < sizeof(buf) ? bytes - off : sizeof(buf);
+      rt_->ReadBytes(base_ + off, buf, chunk);
+      rt_->WriteBytes(new_base + off, buf, chunk);
+    }
+    rt_->FreeRegion(base_, capacity_ * sizeof(T));
+    base_ = new_base;
+    capacity_ = new_capacity;
+  }
+
+  FarRuntime* rt_;
+  uint64_t base_;
+  uint64_t size_ = 0;
+  uint64_t capacity_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_SIM_FAR_VECTOR_H_

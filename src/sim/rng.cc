@@ -1,0 +1,39 @@
+#include "src/sim/rng.h"
+
+namespace dilos {
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n, theta);
+  double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfSampler::Next() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  auto v = static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace dilos

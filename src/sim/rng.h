@@ -1,0 +1,63 @@
+// Deterministic pseudo-random generators for workload synthesis.
+#ifndef DILOS_SRC_SIM_RNG_H_
+#define DILOS_SRC_SIM_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dilos {
+
+// xorshift64* — fast, deterministic, good enough for workload generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed ? seed : 1) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  // Uniform in [0, n).
+  uint64_t NextBelow(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform in [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipfian sampler over [0, n) with parameter theta, using the Gray et al.
+// rejection-free method (precomputed zeta).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta, uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_SIM_RNG_H_

@@ -1,0 +1,125 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <numeric>
+
+namespace dilos {
+
+std::string_view LatCompName(LatComp c) {
+  switch (c) {
+    case LatComp::kHwException:
+      return "hw-exception";
+    case LatComp::kOsHandler:
+      return "os-handler";
+    case LatComp::kSwapCacheMgmt:
+      return "swap-cache";
+    case LatComp::kPageAlloc:
+      return "page-alloc";
+    case LatComp::kSwapEntry:
+      return "swap-entry";
+    case LatComp::kFetch:
+      return "fetch-remote";
+    case LatComp::kReclaim:
+      return "reclaim";
+    case LatComp::kMap:
+      return "map";
+    case LatComp::kPrefetch:
+      return "prefetch-work";
+    case LatComp::kCount:
+      break;
+  }
+  return "?";
+}
+
+double LatencyBreakdown::TotalMeanNs() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < total_ns_.size(); ++i) {
+    sum += MeanNs(static_cast<LatComp>(i));
+  }
+  return sum;
+}
+
+void LatencyBreakdown::Reset() {
+  total_ns_.fill(0);
+  events_ = 0;
+}
+
+std::string LatencyBreakdown::ToString() const {
+  std::string out;
+  char line[128];
+  double total = TotalMeanNs();
+  for (size_t i = 0; i < total_ns_.size(); ++i) {
+    auto c = static_cast<LatComp>(i);
+    double mean = MeanNs(c);
+    if (mean == 0.0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "  %-14s %8.0f ns  (%5.1f%%)\n",
+                  std::string(LatCompName(c)).c_str(), mean,
+                  total > 0 ? 100.0 * mean / total : 0.0);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-14s %8.0f ns  over %llu events\n", "TOTAL", total,
+                static_cast<unsigned long long>(events_));
+  out += line;
+  return out;
+}
+
+uint64_t PercentileRecorder::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t idx = static_cast<size_t>(std::llround(rank));
+  idx = std::min(idx, samples_.size() - 1);
+  std::nth_element(samples_.begin(), samples_.begin() + static_cast<ptrdiff_t>(idx),
+                   samples_.end());
+  return samples_[idx];
+}
+
+double PercentileRecorder::MeanNs() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  unsigned __int128 sum = 0;
+  for (uint64_t s : samples_) {
+    sum += s;
+  }
+  return static_cast<double>(sum) / static_cast<double>(samples_.size());
+}
+
+uint64_t PercentileRecorder::MaxNs() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void RuntimeStats::Reset() {
+  *this = RuntimeStats{};
+}
+
+std::string RuntimeStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "faults: major=%llu minor=%llu zerofill=%llu | prefetch: issued=%llu "
+                "early-mapped=%llu | evict=%llu wb=%llu | bytes: in=%llu out=%llu | "
+                "subpage=%llu vectored=%llu\n",
+                static_cast<unsigned long long>(major_faults),
+                static_cast<unsigned long long>(minor_faults),
+                static_cast<unsigned long long>(zero_fill_faults),
+                static_cast<unsigned long long>(prefetch_issued),
+                static_cast<unsigned long long>(prefetch_mapped_early),
+                static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(writebacks),
+                static_cast<unsigned long long>(bytes_fetched),
+                static_cast<unsigned long long>(bytes_written),
+                static_cast<unsigned long long>(subpage_fetches),
+                static_cast<unsigned long long>(vectored_ops));
+  return std::string(buf) + fault_breakdown.ToString();
+}
+
+}  // namespace dilos

@@ -1,0 +1,102 @@
+// Simulation statistics: counters, per-component latency breakdowns, and a
+// percentile recorder for tail-latency tables.
+#ifndef DILOS_SRC_SIM_STATS_H_
+#define DILOS_SRC_SIM_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dilos {
+
+// Latency components attributed inside fault handlers. Used by the Fig. 1 /
+// Fig. 6 breakdown benchmarks.
+enum class LatComp : uint8_t {
+  kHwException = 0,   // Hardware exception delivery.
+  kOsHandler,         // Trap entry + handler dispatch.
+  kSwapCacheMgmt,     // (Fastswap) swap cache bookkeeping.
+  kPageAlloc,         // Page/frame allocation.
+  kSwapEntry,         // (Fastswap) swap entry + frontswap bookkeeping.
+  kFetch,             // Waiting for the remote page via RDMA.
+  kReclaim,           // In-path (direct) reclamation.
+  kMap,               // Mapping the fetched frame.
+  kPrefetch,          // Prefetch issue + hit tracker work in the fault path.
+  kCount,
+};
+
+std::string_view LatCompName(LatComp c);
+
+// Accumulates time per LatComp over many fault events.
+class LatencyBreakdown {
+ public:
+  void Add(LatComp c, uint64_t ns) {
+    total_ns_[static_cast<size_t>(c)] += ns;
+  }
+  void CountEvent() { ++events_; }
+
+  uint64_t total_ns(LatComp c) const { return total_ns_[static_cast<size_t>(c)]; }
+  uint64_t events() const { return events_; }
+
+  // Mean nanoseconds of component `c` per recorded event (0 if no events).
+  double MeanNs(LatComp c) const {
+    return events_ == 0 ? 0.0
+                        : static_cast<double>(total_ns(c)) / static_cast<double>(events_);
+  }
+  // Sum of all component means.
+  double TotalMeanNs() const;
+
+  void Reset();
+
+  // Renders a human-readable table of mean ns and percentage per component.
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, static_cast<size_t>(LatComp::kCount)> total_ns_ = {};
+  uint64_t events_ = 0;
+};
+
+// Stores every sample; computes exact percentiles. Intended for up to a few
+// million samples (Redis benchmark scale).
+class PercentileRecorder {
+ public:
+  void Record(uint64_t ns) { samples_.push_back(ns); }
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Exact p-th percentile (p in [0,100]) by nearest-rank; 0 when empty.
+  uint64_t Percentile(double p) const;
+  double MeanNs() const;
+  uint64_t MaxNs() const;
+
+  void Reset() { samples_.clear(); }
+
+ private:
+  mutable std::vector<uint64_t> samples_;
+};
+
+// Counter set shared by all far-memory runtimes.
+struct RuntimeStats {
+  uint64_t major_faults = 0;      // Faults that had to fetch from the memory node.
+  uint64_t minor_faults = 0;      // Faults resolved locally (swap cache / in-flight page).
+  uint64_t zero_fill_faults = 0;  // First-touch anonymous faults (no fetch).
+  uint64_t prefetch_issued = 0;   // Pages posted by a prefetcher.
+  uint64_t prefetch_mapped_early = 0;  // Prefetched pages mapped before first touch.
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+  uint64_t bytes_fetched = 0;   // Payload bytes read from the memory node.
+  uint64_t bytes_written = 0;   // Payload bytes written to the memory node.
+  uint64_t subpage_fetches = 0;  // Guide-issued subpage (partial page) reads.
+  uint64_t vectored_ops = 0;     // Scatter/gather ops issued by guided paging.
+
+  LatencyBreakdown fault_breakdown;
+
+  uint64_t total_faults() const { return major_faults + minor_faults + zero_fill_faults; }
+  void Reset();
+  std::string ToString() const;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_SIM_STATS_H_

@@ -1,0 +1,127 @@
+// Lightweight paging-event tracer.
+//
+// A bounded ring of timestamped events the runtimes emit when tracing is
+// enabled: fault handling, prefetch issue, eviction, write-back. Used to
+// debug paging behavior ("why did this page refault?") and by tests to
+// assert event ordering without poking at internals. Disabled by default;
+// recording is a few stores.
+#ifndef DILOS_SRC_SIM_TRACE_H_
+#define DILOS_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dilos {
+
+enum class TraceEvent : uint8_t {
+  kMajorFault,
+  kMinorFault,
+  kZeroFill,
+  kPrefetchIssue,
+  kEvict,
+  kWriteback,
+  kActionFetch,
+  kNodeFailover,
+};
+
+inline const char* TraceEventName(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kMajorFault:
+      return "major-fault";
+    case TraceEvent::kMinorFault:
+      return "minor-fault";
+    case TraceEvent::kZeroFill:
+      return "zero-fill";
+    case TraceEvent::kPrefetchIssue:
+      return "prefetch";
+    case TraceEvent::kEvict:
+      return "evict";
+    case TraceEvent::kWriteback:
+      return "writeback";
+    case TraceEvent::kActionFetch:
+      return "action-fetch";
+    case TraceEvent::kNodeFailover:
+      return "failover";
+  }
+  return "?";
+}
+
+struct TraceRecord {
+  uint64_t time_ns = 0;
+  TraceEvent event = TraceEvent::kMajorFault;
+  uint64_t page_va = 0;
+  uint32_t detail = 0;  // Event-specific: latency ns, node id, ...
+};
+
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 0) : capacity_(capacity) {
+    ring_.reserve(capacity);
+  }
+
+  bool enabled() const { return capacity_ != 0; }
+
+  void Record(uint64_t time_ns, TraceEvent event, uint64_t page_va, uint32_t detail = 0) {
+    if (capacity_ == 0) {
+      return;
+    }
+    if (ring_.size() < capacity_) {
+      ring_.push_back({time_ns, event, page_va, detail});
+    } else {
+      ring_[next_ % capacity_] = {time_ns, event, page_va, detail};
+    }
+    ++next_;
+  }
+
+  // Events in chronological order (oldest surviving first).
+  std::vector<TraceRecord> Snapshot() const {
+    std::vector<TraceRecord> out;
+    if (capacity_ == 0 || ring_.empty()) {
+      return out;
+    }
+    size_t start = next_ > capacity_ ? next_ % capacity_ : 0;
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  uint64_t total_recorded() const { return next_; }
+
+  // Count of a given event among surviving records.
+  uint64_t Count(TraceEvent e) const {
+    uint64_t n = 0;
+    for (const TraceRecord& r : ring_) {
+      if (r.event == e) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::string ToString(size_t max_lines = 50) const {
+    std::string out;
+    char line[96];
+    auto snap = Snapshot();
+    size_t start = snap.size() > max_lines ? snap.size() - max_lines : 0;
+    for (size_t i = start; i < snap.size(); ++i) {
+      std::snprintf(line, sizeof(line), "%12llu ns  %-12s page=0x%llx detail=%u\n",
+                    static_cast<unsigned long long>(snap[i].time_ns),
+                    TraceEventName(snap[i].event),
+                    static_cast<unsigned long long>(snap[i].page_va), snap[i].detail);
+      out += line;
+    }
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<TraceRecord> ring_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_SIM_TRACE_H_

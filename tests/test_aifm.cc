@@ -1,0 +1,133 @@
+// Tests for the AIFM baseline: object lifecycle, deref-check overhead,
+// evacuation under pressure, streaming prefetch, and the ported apps.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/aifm/aifm.h"
+#include "src/aifm/aifm_apps.h"
+
+namespace dilos {
+namespace {
+
+TEST(Aifm, AllocateZeroed) {
+  Fabric fabric;
+  AifmRuntime rt(fabric, {});
+  ObjId id = rt.Allocate(128);
+  const uint8_t* p = rt.Deref(id, false);
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_EQ(p[i], 0);
+  }
+}
+
+TEST(Aifm, DataSurvivesEvacuation) {
+  Fabric fabric;
+  AifmConfig cfg;
+  cfg.local_mem_bytes = 16 * 1024;  // Tiny budget: constant evacuation.
+  AifmRuntime rt(fabric, cfg);
+  std::vector<ObjId> ids;
+  for (uint64_t i = 0; i < 64; ++i) {
+    ObjId id = rt.Allocate(1024);
+    rt.Write<uint64_t>(id, i * 7 + 1);
+    ids.push_back(id);
+  }
+  EXPECT_GT(rt.stats().evictions, 0u);
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(rt.Read<uint64_t>(ids[i]), i * 7 + 1) << i;
+  }
+}
+
+TEST(Aifm, DerefChargesCheckCost) {
+  Fabric fabric;
+  AifmConfig cfg;
+  cfg.deref_check_ns = 10;
+  AifmRuntime rt(fabric, cfg);
+  ObjId id = rt.Allocate(64);
+  uint64_t t0 = rt.clock().now();
+  for (int i = 0; i < 100; ++i) {
+    rt.Deref(id, false);
+  }
+  // 100 local derefs: at least 100 * (check + pin).
+  EXPECT_GE(rt.clock().now() - t0, 100 * 10u);
+}
+
+TEST(Aifm, RemoteMissWaitsTcpLatency) {
+  Fabric fabric;
+  AifmConfig cfg;
+  cfg.local_mem_bytes = 8 * 1024;
+  AifmRuntime rt(fabric, cfg);
+  std::vector<ObjId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(rt.Allocate(1024));
+    rt.Write<uint8_t>(ids.back(), 1);
+  }
+  // ids[0] has been evacuated. A miss costs fabric + TCP delay.
+  uint64_t t0 = rt.clock().now();
+  rt.Deref(ids[0], false);
+  uint64_t miss_ns = rt.clock().now() - t0;
+  EXPECT_GT(miss_ns, CostModel::Default().tcp_delay_ns);
+}
+
+TEST(Aifm, StreamingPrefetchOverlapsSequentialScan) {
+  // Sequential scan over evicted objects: with the streaming prefetcher the
+  // per-object stall collapses after the ramp-up.
+  Fabric fabric;
+  AifmConfig cfg;
+  cfg.local_mem_bytes = 64 * 1024;
+  AifmRuntime rt(fabric, cfg);
+  const int kObjs = 256;
+  std::vector<ObjId> ids;
+  for (int i = 0; i < kObjs; ++i) {
+    ids.push_back(rt.Allocate(4096));
+    rt.Write<uint32_t>(ids.back(), static_cast<uint32_t>(i));
+  }
+  uint64_t t0 = rt.clock().now();
+  for (int i = 0; i < kObjs; ++i) {
+    EXPECT_EQ(rt.Read<uint32_t>(ids[static_cast<size_t>(i)]), static_cast<uint32_t>(i));
+  }
+  uint64_t scan_ns = rt.clock().now() - t0;
+  EXPECT_GT(rt.stats().prefetch_issued, 0u);
+  // Without overlap every object would stall the full TCP RTT (~8.5 us);
+  // streaming must bring the mean per-object cost well under half of that.
+  double per_obj = static_cast<double>(scan_ns) / kObjs;
+  EXPECT_LT(per_obj, 4000.0);
+}
+
+TEST(Aifm, FreeReleasesLocalBudget) {
+  Fabric fabric;
+  AifmRuntime rt(fabric, {});
+  ObjId id = rt.Allocate(4096);
+  uint64_t before = rt.local_bytes();
+  rt.FreeObj(id);
+  EXPECT_EQ(rt.local_bytes(), before - 4096);
+}
+
+TEST(AifmSzip, CompressDecompressRoundTrip) {
+  Fabric fabric;
+  AifmConfig cfg;
+  cfg.local_mem_bytes = 1 << 20;
+  AifmRuntime rt(fabric, cfg);
+  AifmSzipWorkload wl(rt, 512 * 1024);
+  SzipResult c = wl.Compress();
+  EXPECT_EQ(c.in_bytes, 512u * 1024);
+  EXPECT_LT(c.out_bytes, c.in_bytes);  // The content is compressible.
+  SzipResult d = wl.Decompress();
+  EXPECT_EQ(d.out_bytes, c.in_bytes);  // Exact reconstruction size.
+}
+
+TEST(AifmTaxi, ProducesSaneStatistics) {
+  Fabric fabric;
+  AifmConfig cfg;
+  cfg.local_mem_bytes = 4 << 20;
+  AifmRuntime rt(fabric, cfg);
+  AifmTaxiWorkload wl(rt, 20000);
+  AifmTaxiResult res = wl.Run();
+  EXPECT_GT(res.elapsed_ns, 0u);
+  EXPECT_GT(res.mean_fare, 2.5);
+  EXPECT_GT(res.fare_distance_corr, 0.9);  // Fare is nearly linear in distance.
+  EXPECT_GT(res.long_trips, 0u);
+  EXPECT_LT(res.long_trips, 20000u / 2);
+}
+
+}  // namespace
+}  // namespace dilos

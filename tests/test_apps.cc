@@ -1,0 +1,288 @@
+// Tests for the workloads: correctness of each algorithm on far memory and
+// the memory-system behavior the paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/dataframe.h"
+#include "src/apps/graph.h"
+#include "src/apps/kmeans.h"
+#include "src/apps/quicksort.h"
+#include "src/apps/seqrw.h"
+#include "src/apps/szip.h"
+#include "src/dilos/readahead.h"
+#include "src/dilos/runtime.h"
+#include "src/fastswap/fastswap.h"
+
+namespace dilos {
+namespace {
+
+std::unique_ptr<DilosRuntime> Dilos(Fabric& fabric, uint64_t local_bytes, bool readahead = false,
+                                    int cores = 1) {
+  DilosConfig cfg;
+  cfg.local_mem_bytes = local_bytes;
+  cfg.num_cores = cores;
+  std::unique_ptr<Prefetcher> pf;
+  if (readahead) {
+    pf = std::make_unique<ReadaheadPrefetcher>();
+  } else {
+    pf = std::make_unique<NullPrefetcher>();
+  }
+  return std::make_unique<DilosRuntime>(fabric, cfg, std::move(pf));
+}
+
+TEST(SeqWorkload, ThroughputOrderingMatchesTable2) {
+  // DiLOS no-prefetch < DiLOS readahead; both beat Fastswap (Table 2).
+  const uint64_t ws = 8 << 20;   // 8 MB working set.
+  const uint64_t local = 1 << 20;  // 12.5% local.
+  double fsw_read;
+  double dilos_np;
+  double dilos_ra;
+  {
+    Fabric fabric;
+    FastswapConfig cfg;
+    cfg.local_mem_bytes = local;
+    FastswapRuntime rt(fabric, cfg);
+    SeqWorkload wl(rt, ws);
+    fsw_read = wl.Read().GBps();
+  }
+  {
+    Fabric fabric;
+    auto rt = Dilos(fabric, local, false);
+    SeqWorkload wl(*rt, ws);
+    dilos_np = wl.Read().GBps();
+  }
+  {
+    Fabric fabric;
+    auto rt = Dilos(fabric, local, true);
+    SeqWorkload wl(*rt, ws);
+    dilos_ra = wl.Read().GBps();
+  }
+  EXPECT_GT(dilos_np, fsw_read);        // Table 2: 1.24 vs 0.98.
+  EXPECT_GT(dilos_ra, 2.0 * dilos_np);  // Table 2: 3.74 vs 1.24.
+}
+
+TEST(SeqWorkload, WriteSlowerThanReadUnderPressure) {
+  Fabric fabric;
+  auto rt = Dilos(fabric, 1 << 20, true);
+  SeqWorkload wl(*rt, 8 << 20);
+  double read = wl.Read().GBps();
+  double write = wl.Write().GBps();
+  EXPECT_GT(write, 0.0);
+  EXPECT_LT(write, read * 1.05);  // Write-back traffic shares the wire.
+}
+
+TEST(Quicksort, SortsCorrectlyUnderPressure) {
+  Fabric fabric;
+  auto rt = Dilos(fabric, 256 * 1024, true);  // 12.5% of 2 MB of ints.
+  QuicksortWorkload wl(*rt, 512 * 1024);
+  uint64_t ns = wl.Run();
+  EXPECT_GT(ns, 0u);
+  EXPECT_TRUE(wl.IsSorted());
+  EXPECT_GT(rt->stats().evictions, 0u);  // It really ran out of local memory.
+}
+
+TEST(Quicksort, LessLocalMemoryIsSlower) {
+  uint64_t t_full;
+  uint64_t t_eighth;
+  const uint64_t n = 256 * 1024;
+  {
+    Fabric fabric;
+    auto rt = Dilos(fabric, n * 4 * 2, true);  // 100%+.
+    QuicksortWorkload wl(*rt, n);
+    t_full = wl.Run();
+  }
+  {
+    Fabric fabric;
+    auto rt = Dilos(fabric, n * 4 / 8, true);  // 12.5%.
+    QuicksortWorkload wl(*rt, n);
+    t_eighth = wl.Run();
+  }
+  EXPECT_GT(t_eighth, t_full);
+  // Paper Fig. 7(a): DiLOS degrades only ~12% from 100% to 12.5%; allow a
+  // loose upper bound to catch pathological slowdowns.
+  EXPECT_LT(static_cast<double>(t_eighth) / static_cast<double>(t_full), 2.0);
+}
+
+TEST(Kmeans, ConvergesAndClusters) {
+  Fabric fabric;
+  auto rt = Dilos(fabric, 4 << 20, true);
+  KmeansWorkload wl(*rt, 20000, 4, 10);
+  KmeansResult res = wl.Run(20);
+  EXPECT_GT(res.iterations, 1u);
+  EXPECT_GT(res.elapsed_ns, 0u);
+  // With well-separated latent centers, inertia per point stays far below
+  // the variance of the raw data (~800 for uniform centers in [0,100]^4).
+  EXPECT_LT(res.inertia / 20000.0, 400.0);
+}
+
+TEST(SzipCodec, RoundTripsArbitraryData) {
+  std::vector<uint8_t> src(100000);
+  for (size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<uint8_t>((i * 31) ^ (i >> 3));
+  }
+  std::vector<uint8_t> comp;
+  SzipCompressBlock(src.data(), src.size(), &comp);
+  std::vector<uint8_t> back;
+  ASSERT_EQ(SzipDecompressBlock(comp.data(), comp.size(), &back), src.size());
+  EXPECT_EQ(back, src);
+}
+
+TEST(SzipCodec, CompressesRuns) {
+  std::vector<uint8_t> src(65536, 'x');
+  std::vector<uint8_t> comp;
+  SzipCompressBlock(src.data(), src.size(), &comp);
+  EXPECT_LT(comp.size(), src.size() / 20);  // Runs collapse dramatically.
+  std::vector<uint8_t> back;
+  ASSERT_EQ(SzipDecompressBlock(comp.data(), comp.size(), &back), src.size());
+  EXPECT_EQ(back, src);
+}
+
+TEST(SzipCodec, HandlesEmptyAndTiny) {
+  std::vector<uint8_t> comp;
+  EXPECT_EQ(SzipCompressBlock(nullptr, 0, &comp), 0u);
+  std::vector<uint8_t> one = {42};
+  comp.clear();
+  SzipCompressBlock(one.data(), 1, &comp);
+  std::vector<uint8_t> back;
+  EXPECT_EQ(SzipDecompressBlock(comp.data(), comp.size(), &back), 1u);
+  EXPECT_EQ(back[0], 42);
+}
+
+TEST(SzipCodec, RejectsCorruptStream) {
+  std::vector<uint8_t> src(1000, 'a');
+  std::vector<uint8_t> comp;
+  SzipCompressBlock(src.data(), src.size(), &comp);
+  comp[0] ^= 0xFF;  // Corrupt the first tag.
+  std::vector<uint8_t> back;
+  // Must not crash; either decodes to the wrong size or returns 0.
+  size_t got = SzipDecompressBlock(comp.data(), comp.size(), &back);
+  EXPECT_NE(got, src.size());
+}
+
+TEST(SzipFarStream, RoundTripsThroughFarMemory) {
+  Fabric fabric;
+  auto rt = Dilos(fabric, 1 << 20, true);
+  const uint64_t len = 300000;
+  uint64_t src = rt->AllocRegion(len);
+  for (uint64_t i = 0; i < len; i += 8) {
+    rt->Write<uint64_t>(src + i, (i / 640) * 0x0101010101010101ULL);
+  }
+  uint64_t dst = rt->AllocRegion(len + len / 2);
+  uint64_t back = rt->AllocRegion(len);
+  SzipFar szip(*rt);
+  SzipResult c = szip.Compress(src, len, dst);
+  EXPECT_LT(c.out_bytes, len);
+  SzipResult d = szip.Decompress(dst, c.out_bytes, back);
+  ASSERT_EQ(d.out_bytes, len);
+  for (uint64_t i = 0; i < len; i += 4096) {
+    ASSERT_EQ(rt->Read<uint64_t>(back + i), rt->Read<uint64_t>(src + i)) << i;
+  }
+}
+
+TEST(DataframeApp, TaxiAnalysisStatisticsAreSane) {
+  Fabric fabric;
+  auto rt = Dilos(fabric, 8 << 20, true);
+  FarDataFrame df(*rt, 30000);
+  TaxiColumns cols = GenerateTaxi(df);
+  TaxiAnalysisResult res = RunTaxiAnalysis(df, cols);
+  EXPECT_GT(res.elapsed_ns, 0u);
+  EXPECT_GT(res.mean_fare, 2.5);
+  EXPECT_GT(res.fare_distance_corr, 0.9);
+  EXPECT_EQ(res.fare_by_passengers.size(), 7u);
+  EXPECT_EQ(res.duration_by_hour.size(), 24u);
+  ASSERT_EQ(res.top_fares.size(), 10u);
+  for (size_t i = 1; i < res.top_fares.size(); ++i) {
+    EXPECT_GE(res.top_fares[i - 1], res.top_fares[i]);
+  }
+  // Rush-hour trips take longer per the generator's traffic model.
+  EXPECT_GT(res.duration_by_hour[9], res.duration_by_hour[3]);
+}
+
+TEST(DataframeApp, MatchesAcrossRuntimes) {
+  // Identical (unmodified) app code on DiLOS and Fastswap must produce
+  // identical results — the compatibility claim in executable form.
+  TaxiAnalysisResult a;
+  TaxiAnalysisResult b;
+  {
+    Fabric fabric;
+    auto rt = Dilos(fabric, 2 << 20, true);
+    FarDataFrame df(*rt, 10000);
+    TaxiColumns cols = GenerateTaxi(df);
+    a = RunTaxiAnalysis(df, cols);
+  }
+  {
+    Fabric fabric;
+    FastswapConfig cfg;
+    cfg.local_mem_bytes = 2 << 20;
+    FastswapRuntime rt(fabric, cfg);
+    FarDataFrame df(rt, 10000);
+    TaxiColumns cols = GenerateTaxi(df);
+    b = RunTaxiAnalysis(df, cols);
+  }
+  EXPECT_EQ(a.long_trips, b.long_trips);
+  EXPECT_DOUBLE_EQ(a.mean_fare, b.mean_fare);
+  EXPECT_DOUBLE_EQ(a.fare_distance_corr, b.fare_distance_corr);
+}
+
+TEST(GraphApp, RmatShapesAndCsr) {
+  auto edges = FarGraph::Rmat(1024, 8, 11);
+  EXPECT_GT(edges.size(), 1024u * 4);
+  Fabric fabric;
+  auto rt = Dilos(fabric, 8 << 20, true);
+  FarGraph g(*rt, 1024, edges);
+  EXPECT_EQ(g.num_edges(), edges.size());
+  uint64_t total_degree = 0;
+  for (uint32_t v = 0; v < 1024; ++v) {
+    total_degree += g.OutDegree(v);
+  }
+  EXPECT_EQ(total_degree, edges.size());
+}
+
+TEST(GraphApp, PageRankSumsToOne) {
+  Fabric fabric;
+  auto rt = Dilos(fabric, 8 << 20, true);
+  auto edges = FarGraph::Rmat(512, 8, 12);
+  FarGraph g(*rt, 512, FarGraph::Transpose(edges));
+  PageRankResult res = RunPageRank(g, FarGraph::OutDegrees(512, edges), 5);
+  EXPECT_NEAR(res.sum, 1.0, 0.02);  // Dangling mass is redistributed.
+  EXPECT_EQ(res.iterations, 5u);
+  EXPECT_GT(res.elapsed_ns, 0u);
+  // Power-law graph: the top rank dominates the average.
+  EXPECT_GT(res.top_ranks[0], 2.0 / 512);
+}
+
+TEST(GraphApp, BcFindsCentralVertices) {
+  Fabric fabric;
+  auto rt = Dilos(fabric, 8 << 20, true);
+  auto edges = FarGraph::Rmat(512, 8, 13);
+  FarGraph g(*rt, 512, edges);
+  BcResult res = RunBetweennessCentrality(g, 4);
+  EXPECT_EQ(res.sources, 4u);
+  EXPECT_GT(res.max_centrality, 0.0);
+  EXPECT_GT(res.elapsed_ns, 0u);
+}
+
+TEST(GraphApp, MultiCoreFasterThanSingle) {
+  auto edges = FarGraph::Rmat(1024, 10, 14);
+  uint64_t t1;
+  uint64_t t4;
+  auto degrees = FarGraph::OutDegrees(1024, edges);
+  auto in_edges = FarGraph::Transpose(edges);
+  {
+    Fabric fabric;
+    auto rt = Dilos(fabric, 16 << 20, true, /*cores=*/1);
+    FarGraph g(*rt, 1024, in_edges);
+    t1 = RunPageRank(g, degrees, 3).elapsed_ns;
+  }
+  {
+    Fabric fabric;
+    auto rt = Dilos(fabric, 16 << 20, true, /*cores=*/4);
+    FarGraph g(*rt, 1024, in_edges);
+    t4 = RunPageRank(g, degrees, 3).elapsed_ns;
+  }
+  EXPECT_LT(t4, t1);
+}
+
+}  // namespace
+}  // namespace dilos

@@ -1,0 +1,104 @@
+// Tests for the ddc_* compatibility layer and multi-core fault semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/compat/ddc_api.h"
+#include "src/dilos/prefetcher.h"
+
+namespace dilos {
+namespace {
+
+class DdcApi : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DdcOptions opt;
+    opt.local_mem_bytes = 2 << 20;
+    ASSERT_TRUE(ddc_init(opt));
+  }
+  void TearDown() override { ddc_shutdown(); }
+};
+
+TEST_F(DdcApi, InitIsIdempotent) {
+  EXPECT_TRUE(ddc_initialized());
+  EXPECT_FALSE(ddc_init());  // Second init is refused.
+  EXPECT_TRUE(ddc_initialized());
+}
+
+TEST_F(DdcApi, MallocFreeRoundTrip) {
+  uint64_t a = ddc_malloc(100);
+  ASSERT_NE(a, 0u);
+  EXPECT_EQ(ddc_usable_size(a), 128u);  // Size-classed.
+  const char msg[] = "hello far memory";
+  ddc_write(a, msg, sizeof(msg));
+  char back[sizeof(msg)] = {};
+  ddc_read(a, back, sizeof(msg));
+  EXPECT_STREQ(back, msg);
+  ddc_free(a);
+  EXPECT_EQ(ddc_heap().live_chunks(), 0u);
+}
+
+TEST_F(DdcApi, MmapRegionsWorkUnderPressure) {
+  uint64_t region = ddc_mmap(16 << 20);  // 8x local memory.
+  for (uint64_t off = 0; off < (16 << 20); off += 4096) {
+    uint64_t v = off * 13;
+    ddc_write(region + off, &v, sizeof(v));
+  }
+  for (uint64_t off = 0; off < (16 << 20); off += 4096 * 101) {
+    uint64_t v = 0;
+    ddc_read(region + off, &v, sizeof(v));
+    ASSERT_EQ(v, off * 13);
+  }
+  EXPECT_GT(ddc_stats().evictions, 0u);
+  ddc_munmap(region, 16 << 20);
+}
+
+TEST_F(DdcApi, ClockAdvancesWithWork) {
+  uint64_t t0 = ddc_now_ns();
+  uint64_t a = ddc_malloc(4096);
+  uint64_t v = 42;
+  ddc_write(a, &v, sizeof(v));
+  EXPECT_GT(ddc_now_ns(), t0);
+}
+
+TEST(DdcApiLifecycle, ShutdownAndReinit) {
+  DdcOptions opt;
+  opt.prefetcher = "trend";
+  opt.memory_nodes = 2;
+  opt.replication = 2;
+  ASSERT_TRUE(ddc_init(opt));
+  uint64_t a = ddc_malloc(64);
+  uint64_t v = 7;
+  ddc_write(a, &v, sizeof(v));
+  ddc_shutdown();
+  EXPECT_FALSE(ddc_initialized());
+  // A fresh instance starts clean.
+  ASSERT_TRUE(ddc_init());
+  EXPECT_EQ(ddc_heap().live_chunks(), 0u);
+  ddc_shutdown();
+}
+
+TEST(MultiCoreFaults, ConcurrentTouchOfInFlightPageDoesNotDuplicateFetch) {
+  // Paper Sec. 4.2: a second core reading a `fetching` PTE waits for the
+  // in-flight fill instead of issuing a duplicate RDMA read.
+  Fabric fabric;
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 64 * 4096;
+  cfg.num_cores = 2;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 256;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  for (uint64_t p = 0; p < pages; ++p) {
+    rt.Write<uint8_t>(region + p * kPageSize, static_cast<uint8_t>(p), 0);
+  }
+  // Page 0 is evicted by now. Core 0 faults it in...
+  uint64_t fetched0 = rt.stats().bytes_fetched;
+  EXPECT_EQ(rt.Read<uint8_t>(region, 0), 0u);
+  // ...core 1 touches it immediately after (page now local: no new fetch).
+  EXPECT_EQ(rt.Read<uint8_t>(region, 1), 0u);
+  EXPECT_EQ(rt.stats().bytes_fetched - fetched0, static_cast<uint64_t>(kPageSize));
+}
+
+}  // namespace
+}  // namespace dilos

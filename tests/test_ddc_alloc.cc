@@ -1,0 +1,188 @@
+// Tests for the mimalloc-style far heap: size classes, bitmaps, reuse,
+// large allocations, and the LiveSegments guided-paging query.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/ddc_alloc/far_heap.h"
+#include "src/dilos/prefetcher.h"
+#include "src/dilos/runtime.h"
+
+namespace dilos {
+namespace {
+
+class FarHeapTest : public ::testing::Test {
+ protected:
+  FarHeapTest() {
+    DilosConfig cfg;
+    cfg.local_mem_bytes = 8 << 20;
+    rt_ = std::make_unique<DilosRuntime>(fabric_, cfg, std::make_unique<NullPrefetcher>());
+    heap_ = std::make_unique<FarHeap>(*rt_);
+  }
+
+  Fabric fabric_;
+  std::unique_ptr<DilosRuntime> rt_;
+  std::unique_ptr<FarHeap> heap_;
+};
+
+TEST_F(FarHeapTest, DistinctAddresses) {
+  std::set<uint64_t> addrs;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t a = heap_->Malloc(64);
+    EXPECT_TRUE(addrs.insert(a).second) << "duplicate address";
+  }
+  EXPECT_EQ(heap_->live_chunks(), 1000u);
+}
+
+TEST_F(FarHeapTest, SameClassSharesPages) {
+  uint64_t a = heap_->Malloc(64);
+  uint64_t b = heap_->Malloc(64);
+  EXPECT_EQ(a >> 12, b >> 12);  // Same 4 KB page.
+  EXPECT_EQ(b - a, 64u);
+}
+
+TEST_F(FarHeapTest, DifferentClassesDifferentPages) {
+  uint64_t a = heap_->Malloc(64);
+  uint64_t b = heap_->Malloc(512);
+  EXPECT_NE(a >> 12, b >> 12);
+}
+
+TEST_F(FarHeapTest, FreeAndReuse) {
+  uint64_t a = heap_->Malloc(128);
+  heap_->Free(a);
+  EXPECT_EQ(heap_->live_chunks(), 0u);
+  uint64_t b = heap_->Malloc(128);
+  EXPECT_EQ(a, b);  // First-fit within the page reuses the slot.
+}
+
+TEST_F(FarHeapTest, FullyFreedPageIsRecycled) {
+  // Fill a page of 2048-byte chunks (2 per page), free both, realloc.
+  uint64_t a = heap_->Malloc(2048);
+  uint64_t b = heap_->Malloc(2048);
+  EXPECT_EQ(a >> 12, b >> 12);
+  heap_->Free(a);
+  heap_->Free(b);
+  uint64_t c = heap_->Malloc(1024);  // Different class; page can be re-carved.
+  EXPECT_EQ(c >> 12, a >> 12);
+}
+
+TEST_F(FarHeapTest, DoubleFreeIsIgnored) {
+  uint64_t a = heap_->Malloc(64);
+  heap_->Free(a);
+  heap_->Free(a);
+  EXPECT_EQ(heap_->live_chunks(), 0u);
+  heap_->Malloc(64);
+  EXPECT_EQ(heap_->live_chunks(), 1u);
+}
+
+TEST_F(FarHeapTest, LargeAllocationWholePages) {
+  uint64_t a = heap_->Malloc(3 * 4096 + 100);
+  EXPECT_EQ(a & 4095, 0u);  // Page-aligned.
+  EXPECT_EQ(heap_->UsableSize(a), 4u * 4096);
+  heap_->Free(a);
+  EXPECT_EQ(heap_->live_chunks(), 0u);
+}
+
+TEST_F(FarHeapTest, UsableSizeRoundsToClass) {
+  EXPECT_EQ(heap_->UsableSize(heap_->Malloc(50)), 64u);
+  EXPECT_EQ(heap_->UsableSize(heap_->Malloc(16)), 16u);
+  EXPECT_EQ(heap_->UsableSize(0xDEAD000), 0u);
+}
+
+TEST_F(FarHeapTest, AllocatedMemoryIsUsable) {
+  uint64_t a = heap_->Malloc(256);
+  rt_->Write<uint64_t>(a, 0x123456789ABCDEFULL);
+  rt_->Write<uint64_t>(a + 248, 42);
+  EXPECT_EQ(rt_->Read<uint64_t>(a), 0x123456789ABCDEFULL);
+  EXPECT_EQ(rt_->Read<uint64_t>(a + 248), 42u);
+}
+
+TEST_F(FarHeapTest, LiveSegmentsFullyLivePageReturnsFalse) {
+  // 2048-byte class: 2 chunks fill the page.
+  uint64_t a = heap_->Malloc(2048);
+  heap_->Malloc(2048);
+  std::vector<PageSegment> segs;
+  EXPECT_FALSE(heap_->LiveSegments(a >> 12 << 12, &segs));
+}
+
+TEST_F(FarHeapTest, LiveSegmentsPartialPage) {
+  // 64 chunks of 64 B; free every other one.
+  std::vector<uint64_t> addrs;
+  for (int i = 0; i < 64; ++i) {
+    addrs.push_back(heap_->Malloc(64));
+  }
+  uint64_t page = addrs[0] & ~4095ULL;
+  for (size_t i = 1; i < addrs.size(); i += 2) {
+    heap_->Free(addrs[i]);
+  }
+  std::vector<PageSegment> segs;
+  ASSERT_TRUE(heap_->LiveSegments(page, &segs, 3));
+  ASSERT_LE(segs.size(), 3u);
+  // Segments must cover all live chunks.
+  for (size_t i = 0; i < addrs.size(); i += 2) {
+    uint32_t off = static_cast<uint32_t>(addrs[i] - page);
+    bool covered = false;
+    for (const PageSegment& s : segs) {
+      if (off >= s.offset && off + 64 <= s.offset + s.length) {
+        covered = true;
+      }
+    }
+    EXPECT_TRUE(covered) << "chunk at offset " << off;
+  }
+}
+
+TEST_F(FarHeapTest, LiveSegmentsSavesBytesAfterBulkFree) {
+  // One live chunk in an otherwise freed page: the vector should be tiny.
+  std::vector<uint64_t> addrs;
+  for (int i = 0; i < 32; ++i) {
+    addrs.push_back(heap_->Malloc(128));
+  }
+  uint64_t keep = addrs[7];
+  uint64_t page = keep & ~4095ULL;
+  for (uint64_t a : addrs) {
+    if (a != keep) {
+      heap_->Free(a);
+    }
+  }
+  std::vector<PageSegment> segs;
+  ASSERT_TRUE(heap_->LiveSegments(page, &segs, 3));
+  uint64_t covered = 0;
+  for (const PageSegment& s : segs) {
+    covered += s.length;
+  }
+  EXPECT_LE(covered, 256u);  // Far less than a 4 KB page.
+}
+
+TEST_F(FarHeapTest, SegmentMergingRespectsCap) {
+  // Free a pattern that produces many islands; cap at 2 segments.
+  std::vector<uint64_t> addrs;
+  for (int i = 0; i < 256; ++i) {
+    addrs.push_back(heap_->Malloc(16));
+  }
+  uint64_t page = addrs[0] & ~4095ULL;
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    if (i % 3 != 0) {
+      heap_->Free(addrs[i]);
+    }
+  }
+  std::vector<PageSegment> segs;
+  ASSERT_TRUE(heap_->LiveSegments(page, &segs, 2));
+  EXPECT_LE(segs.size(), 2u);
+  // Segments are sorted and non-overlapping.
+  for (size_t i = 1; i < segs.size(); ++i) {
+    EXPECT_GE(segs[i].offset, segs[i - 1].offset + segs[i - 1].length);
+  }
+}
+
+TEST_F(FarHeapTest, AllSizeClassesWork) {
+  for (uint32_t cls : FarHeap::kSizeClasses) {
+    uint64_t a = heap_->Malloc(cls);
+    EXPECT_EQ(heap_->UsableSize(a), cls);
+    rt_->Write<uint8_t>(a + cls - 1, 0x7F);  // Last byte is addressable.
+    EXPECT_EQ(rt_->Read<uint8_t>(a + cls - 1), 0x7F);
+  }
+}
+
+}  // namespace
+}  // namespace dilos

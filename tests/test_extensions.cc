@@ -1,0 +1,248 @@
+// Tests for the Sec. 5.1 extension features: multi-node sharding,
+// replication + memory-node failover, NVMe/SATA far-memory backends, and
+// the generic linked-list guide of Fig. 5.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/linked_list.h"
+#include "src/dilos/readahead.h"
+#include "src/dilos/runtime.h"
+#include "src/fastswap/fastswap.h"
+#include "src/guides/list_guide.h"
+
+namespace dilos {
+namespace {
+
+TEST(Sharding, PagesSpreadAcrossNodes) {
+  Fabric fabric(CostModel::Default(), /*num_nodes=*/4);
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 1 << 20;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  // Touch 16 MB (64 shards of 256 KB): each node must end up owning pages.
+  uint64_t region = rt.AllocRegion(16 << 20);
+  for (uint64_t off = 0; off < (16 << 20); off += kPageSize) {
+    rt.Write<uint8_t>(region + off, 1);
+  }
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_GT(fabric.node(n).store().page_count(), 0u) << "node " << n;
+  }
+}
+
+TEST(Sharding, DataIntegrityAcrossNodes) {
+  Fabric fabric(CostModel::Default(), 3);
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 512 * 1024;
+  DilosRuntime rt(fabric, cfg, std::make_unique<ReadaheadPrefetcher>());
+  const uint64_t pages = 2048;  // 8 MB over 3 nodes.
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  for (uint64_t p = 0; p < pages; ++p) {
+    rt.Write<uint64_t>(region + p * kPageSize, p * 7 + 3);
+  }
+  for (uint64_t p = 0; p < pages; ++p) {
+    ASSERT_EQ(rt.Read<uint64_t>(region + p * kPageSize), p * 7 + 3) << p;
+  }
+}
+
+TEST(Sharding, RouterMapsByShardGranule) {
+  Fabric fabric(CostModel::Default(), 4);
+  ShardRouter router(fabric, 1, 1, false);
+  uint64_t base = kFarBase;
+  // Same 256 KB granule -> same node, always.
+  EXPECT_EQ(router.NodeOf(base), router.NodeOf(base + (256 << 10) - 1));
+  // Hash placement spreads granules roughly evenly across nodes.
+  std::vector<int> counts(4, 0);
+  for (int g = 0; g < 256; ++g) {
+    counts[static_cast<size_t>(
+        router.NodeOf(base + static_cast<uint64_t>(g) * (256 << 10)))]++;
+  }
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_GT(counts[static_cast<size_t>(n)], 256 / 8) << n;
+    EXPECT_LT(counts[static_cast<size_t>(n)], 256 / 2) << n;
+  }
+}
+
+TEST(Replication, WritesFanOutToReplicas) {
+  Fabric fabric(CostModel::Default(), 2);
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 64 * 4096;
+  cfg.replication = 2;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 512;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  for (uint64_t p = 0; p < pages; ++p) {
+    rt.Write<uint64_t>(region + p * kPageSize, p);
+  }
+  // Every written-back page materializes on both nodes.
+  EXPECT_GT(fabric.node(0).store().page_count(), 0u);
+  EXPECT_GT(fabric.node(1).store().page_count(), 0u);
+  // Write bandwidth doubles relative to write-backs.
+  EXPECT_GE(rt.stats().bytes_written, rt.stats().writebacks * kPageSize * 2);
+}
+
+TEST(Replication, SurvivesMemoryNodeFailure) {
+  Fabric fabric(CostModel::Default(), 2);
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 64 * 4096;
+  cfg.replication = 2;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 512;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  for (uint64_t p = 0; p < pages; ++p) {
+    rt.Write<uint64_t>(region + p * kPageSize, p ^ 0x5A5A);
+  }
+  // Kill node 0. Every page must still be readable from its replica.
+  rt.router().FailNode(0);
+  for (uint64_t p = 0; p < pages; ++p) {
+    ASSERT_EQ(rt.Read<uint64_t>(region + p * kPageSize), p ^ 0x5A5A) << p;
+  }
+  // And the system keeps working for new writes/reads.
+  for (uint64_t p = 0; p < pages; ++p) {
+    rt.Write<uint64_t>(region + p * kPageSize, p + 1);
+  }
+  for (uint64_t p = 0; p < pages; ++p) {
+    ASSERT_EQ(rt.Read<uint64_t>(region + p * kPageSize), p + 1) << p;
+  }
+}
+
+TEST(Replication, WithoutReplicationFailureIsVisibleInRouting) {
+  Fabric fabric(CostModel::Default(), 2);
+  ShardRouter router(fabric, 1, /*replication=*/1, false);
+  router.FailNode(0);
+  // Find one granule homed on each node.
+  uint64_t on_node0 = 0;
+  uint64_t on_node1 = 0;
+  for (int g = 0; g < 64 && (on_node0 == 0 || on_node1 == 0); ++g) {
+    uint64_t va = kFarBase + static_cast<uint64_t>(g) * (2 << 20);
+    (router.NodeOf(va) == 0 ? on_node0 : on_node1) = va;
+  }
+  ASSERT_NE(on_node0, 0u);
+  ASSERT_NE(on_node1, 0u);
+  // Pages homed on the dead node have no live replica; others resolve.
+  EXPECT_EQ(router.ReadQp(0, CommChannel::kFault, on_node0), nullptr);
+  EXPECT_NE(router.ReadQp(0, CommChannel::kFault, on_node1), nullptr);
+}
+
+TEST(Replication, RecoverNodeRestoresRouting) {
+  Fabric fabric(CostModel::Default(), 2);
+  ShardRouter router(fabric, 1, 2, false);
+  router.FailNode(1);
+  EXPECT_FALSE(router.IsLive(1));
+  router.RecoverNode(1);
+  EXPECT_TRUE(router.IsLive(1));
+  std::vector<QueuePair*> qps;
+  router.WriteQps(0, CommChannel::kManager, kFarBase, &qps);
+  EXPECT_EQ(qps.size(), 2u);
+}
+
+TEST(Backends, NvmeSlowerThanRdmaFasterThanSata) {
+  auto run = [](const CostModel& cost) {
+    Fabric fabric(cost);
+    DilosConfig cfg;
+    cfg.local_mem_bytes = 32 * 4096;
+    DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+    const uint64_t pages = 256;
+    uint64_t region = rt.AllocRegion(pages * kPageSize);
+    for (uint64_t p = 0; p < pages; ++p) {
+      rt.Write<uint8_t>(region + p * kPageSize, 1);
+    }
+    uint64_t t0 = rt.clock().now();
+    for (uint64_t p = 0; p < pages; ++p) {
+      rt.Read<uint8_t>(region + p * kPageSize);
+    }
+    return rt.clock().now() - t0;
+  };
+  uint64_t rdma = run(CostModel::Default());
+  uint64_t nvme = run(CostModel::Nvme());
+  uint64_t sata = run(CostModel::SataSsd());
+  EXPECT_GT(nvme, rdma * 2);
+  EXPECT_GT(sata, nvme * 4);
+}
+
+TEST(Backends, SoftwareSavingsShrinkAsDeviceSlows) {
+  // The Sec. 5.1 claim: with slow block devices, IO dominates and DiLOS'
+  // software savings wash out; with NVMe they still matter.
+  auto ratio = [](const CostModel& cost) {
+    auto run = [&](bool dilos) {
+      Fabric fabric(cost);
+      std::unique_ptr<FarRuntime> rt;
+      if (dilos) {
+        DilosConfig cfg;
+        cfg.local_mem_bytes = 32 * 4096;
+        rt = std::make_unique<DilosRuntime>(fabric, cfg, std::make_unique<NullPrefetcher>());
+      } else {
+        FastswapConfig cfg;
+        cfg.local_mem_bytes = 32 * 4096;
+        cfg.readahead_enabled = false;
+        rt = std::make_unique<FastswapRuntime>(fabric, cfg);
+      }
+      const uint64_t pages = 256;
+      uint64_t region = rt->AllocRegion(pages * kPageSize);
+      for (uint64_t p = 0; p < pages; ++p) {
+        rt->Write<uint8_t>(region + p * kPageSize, 1);
+      }
+      uint64_t t0 = rt->clock().now();
+      for (uint64_t p = 0; p < pages; ++p) {
+        rt->Read<uint8_t>(region + p * kPageSize);
+      }
+      return rt->clock().now() - t0;
+    };
+    return static_cast<double>(run(false)) / static_cast<double>(run(true));
+  };
+  double rdma_gain = ratio(CostModel::Default());
+  double sata_gain = ratio(CostModel::SataSsd());
+  EXPECT_GT(rdma_gain, 1.5);  // Big win over RDMA.
+  EXPECT_LT(sata_gain, 1.2);  // Washes out when the device dominates.
+  EXPECT_LT(sata_gain, rdma_gain);
+}
+
+TEST(ListGuide, TraversalCorrectWithAndWithoutGuide) {
+  for (bool guided : {false, true}) {
+    Fabric fabric;
+    DilosConfig cfg;
+    cfg.local_mem_bytes = 64 * 4096;
+    DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+    LinkedListWorkload list(rt, 512);
+    ListGuide guide(kListNextOffset);
+    if (guided) {
+      rt.set_guide(&guide);
+    }
+    auto res = list.Traverse([&](uint64_t node) { guide.OnVisit(node); });
+    EXPECT_EQ(res.nodes, 512u);
+    EXPECT_EQ(res.sum, list.expected_sum());
+    if (guided) {
+      EXPECT_GT(guide.hops(), 0u);
+    }
+  }
+}
+
+TEST(ListGuide, BeatsHistoryBasedPrefetchOnPointerChase) {
+  auto run = [](int mode) {  // 0 none, 1 readahead, 2 guide.
+    Fabric fabric;
+    DilosConfig cfg;
+    cfg.local_mem_bytes = 64 * 4096;  // 12.5% of the 512-page list.
+    std::unique_ptr<Prefetcher> pf;
+    if (mode == 1) {
+      pf = std::make_unique<ReadaheadPrefetcher>();
+    } else {
+      pf = std::make_unique<NullPrefetcher>();
+    }
+    DilosRuntime rt(fabric, cfg, std::move(pf));
+    LinkedListWorkload list(rt, 512);
+    ListGuide guide(kListNextOffset);
+    if (mode == 2) {
+      rt.set_guide(&guide);
+    }
+    auto res = list.Traverse([&](uint64_t node) { guide.OnVisit(node); });
+    EXPECT_EQ(res.sum, list.expected_sum());
+    return res.elapsed_ns;
+  };
+  uint64_t none = run(0);
+  uint64_t readahead = run(1);
+  uint64_t guided = run(2);
+  EXPECT_LT(guided, none * 3 / 4);       // The guide overlaps the chain.
+  EXPECT_GT(readahead, none * 3 / 4);    // History prefetch gains ~nothing.
+}
+
+}  // namespace
+}  // namespace dilos

@@ -1,0 +1,148 @@
+// Randomized property tests of the far heap against a shadow model:
+// chunks never overlap, contents survive arbitrary malloc/free interleaving
+// under memory pressure, and LiveSegments always covers exactly the live
+// chunks while honoring the segment cap.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/ddc_alloc/far_heap.h"
+#include "src/dilos/prefetcher.h"
+#include "src/dilos/runtime.h"
+#include "src/sim/rng.h"
+
+namespace dilos {
+namespace {
+
+class HeapFuzz : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  HeapFuzz() {
+    DilosConfig cfg;
+    cfg.local_mem_bytes = 1 << 20;  // Pressure: heap >> local memory.
+    rt_ = std::make_unique<DilosRuntime>(fabric_, cfg, std::make_unique<NullPrefetcher>());
+    heap_ = std::make_unique<FarHeap>(*rt_);
+  }
+
+  Fabric fabric_;
+  std::unique_ptr<DilosRuntime> rt_;
+  std::unique_ptr<FarHeap> heap_;
+};
+
+struct Chunk {
+  uint64_t size;
+  uint64_t stamp;
+};
+
+TEST_P(HeapFuzz, MallocFreeInterleavingPreservesContents) {
+  Rng rng(GetParam());
+  std::map<uint64_t, Chunk> live;  // addr -> {size, stamp}.
+  uint64_t next_stamp = 1;
+
+  for (int step = 0; step < 6000; ++step) {
+    double roll = rng.NextDouble();
+    if (roll < 0.55 || live.empty()) {
+      uint64_t size = 8 + rng.NextBelow(300);
+      if (rng.NextDouble() < 0.05) {
+        size = 3000 + rng.NextBelow(12000);  // Occasional large allocation.
+      }
+      uint64_t addr = heap_->Malloc(size);
+      ASSERT_NE(addr, 0u);
+      // No overlap with any live chunk.
+      auto next = live.lower_bound(addr);
+      if (next != live.end()) {
+        ASSERT_LE(addr + heap_->UsableSize(addr), next->first)
+            << "overlaps following chunk";
+      }
+      if (next != live.begin() && !live.empty()) {
+        auto prev = std::prev(next);
+        ASSERT_LE(prev->first + heap_->UsableSize(prev->first), addr)
+            << "overlaps preceding chunk";
+      }
+      uint64_t stamp = next_stamp++;
+      rt_->Write<uint64_t>(addr, stamp);
+      if (size >= 16) {
+        rt_->Write<uint64_t>(addr + size - 8, ~stamp);
+      }
+      live[addr] = {size, stamp};
+    } else if (roll < 0.85) {
+      // Free a pseudo-random live chunk.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(live.size())));
+      heap_->Free(it->first);
+      live.erase(it);
+    } else {
+      // Verify a pseudo-random live chunk.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(live.size())));
+      ASSERT_EQ(rt_->Read<uint64_t>(it->first), it->second.stamp);
+      if (it->second.size >= 16) {
+        ASSERT_EQ(rt_->Read<uint64_t>(it->first + it->second.size - 8), ~it->second.stamp);
+      }
+    }
+  }
+  // Final sweep: everything still live must be intact.
+  EXPECT_EQ(heap_->live_chunks(), live.size());
+  for (const auto& [addr, c] : live) {
+    ASSERT_EQ(rt_->Read<uint64_t>(addr), c.stamp);
+  }
+}
+
+TEST_P(HeapFuzz, LiveSegmentsCoverExactlyLiveChunks) {
+  Rng rng(GetParam() * 7 + 3);
+  // One size class per run, fill several pages, free a random subset.
+  uint32_t cls = FarHeap::kSizeClasses[rng.NextBelow(10)];  // <= 384 B.
+  std::vector<uint64_t> addrs;
+  for (int i = 0; i < 600; ++i) {
+    addrs.push_back(heap_->Malloc(cls));
+  }
+  std::vector<bool> freed(addrs.size(), false);
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    if (rng.NextDouble() < 0.6) {
+      heap_->Free(addrs[i]);
+      freed[i] = true;
+    }
+  }
+  // For every page with a mix, segments must cover all live chunks and the
+  // cap must hold.
+  std::map<uint64_t, std::vector<size_t>> by_page;
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    by_page[addrs[i] & ~4095ULL].push_back(i);
+  }
+  for (const auto& [page, idxs] : by_page) {
+    std::vector<PageSegment> segs;
+    if (!heap_->LiveSegments(page, &segs, 3)) {
+      continue;  // Fully live or fully dead: whole-page semantics.
+    }
+    ASSERT_LE(segs.size(), 3u);
+    uint32_t covered_bytes = 0;
+    for (size_t k = 0; k < segs.size(); ++k) {
+      ASSERT_LE(segs[k].offset + segs[k].length, 4096u);
+      if (k > 0) {
+        ASSERT_GE(segs[k].offset, segs[k - 1].offset + segs[k - 1].length);
+      }
+      covered_bytes += segs[k].length;
+    }
+    for (size_t i : idxs) {
+      if (freed[i]) {
+        continue;
+      }
+      uint32_t off = static_cast<uint32_t>(addrs[i] - page);
+      bool covered = false;
+      for (const PageSegment& s : segs) {
+        if (off >= s.offset && off + cls <= s.offset + s.length) {
+          covered = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(covered) << "live chunk at +" << off << " uncovered";
+    }
+    EXPECT_LE(covered_bytes, 4096u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dilos

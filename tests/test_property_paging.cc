@@ -1,0 +1,247 @@
+// Property tests over the paged runtimes: for every (system, prefetcher,
+// local-memory fraction) combination, the paging subsystem must preserve
+// data exactly, keep its fault/byte accounting consistent, and respect its
+// structural invariants. These are the invariants the paper's correctness
+// rests on, swept with TEST_P.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "src/dilos/readahead.h"
+#include "src/dilos/runtime.h"
+#include "src/dilos/trend.h"
+#include "src/fastswap/fastswap.h"
+#include "src/memnode/fabric.h"
+#include "src/sim/rng.h"
+
+namespace dilos {
+namespace {
+
+enum class Sys { kDilos, kFastswap };
+enum class Pf { kNone, kReadahead, kTrend };
+
+struct Combo {
+  Sys sys;
+  Pf pf;
+  double local_fraction;
+};
+
+std::string ComboName(const ::testing::TestParamInfo<Combo>& info) {
+  const Combo& c = info.param;
+  std::string s = c.sys == Sys::kDilos ? "Dilos" : "Fastswap";
+  s += c.pf == Pf::kNone ? "None" : c.pf == Pf::kReadahead ? "Readahead" : "Trend";
+  s += std::to_string(static_cast<int>(c.local_fraction * 1000));
+  return s;
+}
+
+constexpr uint64_t kPages = 512;
+constexpr uint64_t kWs = kPages * kPageSize;
+
+class PagingProperty : public ::testing::TestWithParam<Combo> {
+ protected:
+  PagingProperty() {
+    const Combo& c = GetParam();
+    uint64_t local = static_cast<uint64_t>(static_cast<double>(kWs) * c.local_fraction);
+    if (c.sys == Sys::kDilos) {
+      DilosConfig cfg;
+      cfg.local_mem_bytes = local;
+      std::unique_ptr<Prefetcher> pf;
+      switch (c.pf) {
+        case Pf::kNone:
+          pf = std::make_unique<NullPrefetcher>();
+          break;
+        case Pf::kReadahead:
+          pf = std::make_unique<ReadaheadPrefetcher>();
+          break;
+        case Pf::kTrend:
+          pf = std::make_unique<TrendPrefetcher>();
+          break;
+      }
+      rt_ = std::make_unique<DilosRuntime>(fabric_, cfg, std::move(pf));
+    } else {
+      FastswapConfig cfg;
+      cfg.local_mem_bytes = local;
+      cfg.readahead_enabled = GetParam().pf != Pf::kNone;
+      rt_ = std::make_unique<FastswapRuntime>(fabric_, cfg);
+    }
+  }
+
+  Fabric fabric_;
+  std::unique_ptr<FarRuntime> rt_;
+};
+
+TEST_P(PagingProperty, SequentialDataIntegrity) {
+  uint64_t region = rt_->AllocRegion(kWs);
+  for (uint64_t p = 0; p < kPages; ++p) {
+    rt_->Write<uint64_t>(region + p * kPageSize + (p % 512) * 8, p * 0x9E3779B9 + 1);
+  }
+  for (uint64_t p = 0; p < kPages; ++p) {
+    ASSERT_EQ(rt_->Read<uint64_t>(region + p * kPageSize + (p % 512) * 8),
+              p * 0x9E3779B9 + 1)
+        << "page " << p;
+  }
+}
+
+TEST_P(PagingProperty, RandomAccessDataIntegrity) {
+  uint64_t region = rt_->AllocRegion(kWs);
+  std::map<uint64_t, uint64_t> shadow;
+  Rng rng(GetParam().sys == Sys::kDilos ? 17 : 18);
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t addr = region + rng.NextBelow(kWs - 8);
+    addr &= ~7ULL;
+    if (rng.NextDouble() < 0.6 || shadow.empty()) {
+      uint64_t v = rng.Next();
+      rt_->Write<uint64_t>(addr, v);
+      shadow[addr] = v;
+    } else {
+      auto it = shadow.lower_bound(region + rng.NextBelow(kWs));
+      if (it == shadow.end()) {
+        it = shadow.begin();
+      }
+      ASSERT_EQ(rt_->Read<uint64_t>(it->first), it->second);
+    }
+  }
+  for (const auto& [addr, v] : shadow) {
+    ASSERT_EQ(rt_->Read<uint64_t>(addr), v);
+  }
+}
+
+TEST_P(PagingProperty, StridedAndReversePatterns) {
+  uint64_t region = rt_->AllocRegion(kWs);
+  // Stride-3 write, reverse read: stresses trend detection both ways.
+  for (uint64_t p = 0; p < kPages; p += 3) {
+    rt_->Write<uint32_t>(region + p * kPageSize, static_cast<uint32_t>(p));
+  }
+  for (uint64_t p = (kPages - 1) / 3 * 3;; p -= 3) {
+    ASSERT_EQ(rt_->Read<uint32_t>(region + p * kPageSize), static_cast<uint32_t>(p));
+    if (p < 3) {
+      break;
+    }
+  }
+}
+
+TEST_P(PagingProperty, FaultAccountingConsistent) {
+  uint64_t region = rt_->AllocRegion(kWs);
+  for (uint64_t p = 0; p < kPages; ++p) {
+    rt_->Write<uint8_t>(region + p * kPageSize, 1);
+  }
+  for (uint64_t p = 0; p < kPages; ++p) {
+    rt_->Read<uint8_t>(region + p * kPageSize);
+  }
+  const RuntimeStats& st = rt_->stats();
+  // Zero-fill faults happen exactly once per touched page.
+  EXPECT_EQ(st.zero_fill_faults, kPages);
+  // Fetched bytes are page-granular multiples covering at least the major
+  // faults (guides aside, nothing fetches partial pages here).
+  EXPECT_EQ(st.bytes_fetched % kPageSize, 0u);
+  EXPECT_GE(st.bytes_fetched / kPageSize, st.major_faults);
+  // Every write-back moved exactly one page.
+  EXPECT_EQ(st.bytes_written, st.writebacks * kPageSize);
+  // Prefetch accounting: early-mapped + in-flight-hit pages can't exceed
+  // what was issued.
+  EXPECT_LE(st.prefetch_mapped_early, st.prefetch_issued);
+}
+
+TEST_P(PagingProperty, ClockIsMonotoneAndAdvances) {
+  uint64_t region = rt_->AllocRegion(kWs);
+  uint64_t last = rt_->clock().now();
+  for (uint64_t p = 0; p < kPages; ++p) {
+    rt_->Write<uint16_t>(region + p * kPageSize, static_cast<uint16_t>(p));
+    ASSERT_GE(rt_->clock().now(), last);
+    last = rt_->clock().now();
+  }
+  EXPECT_GT(last, 0u);
+}
+
+TEST_P(PagingProperty, RewriteAfterEvictionKeepsLatestValue) {
+  uint64_t region = rt_->AllocRegion(kWs);
+  // Three full passes with different values: after evictions, only the
+  // last write may survive.
+  for (uint64_t pass = 1; pass <= 3; ++pass) {
+    for (uint64_t p = 0; p < kPages; ++p) {
+      rt_->Write<uint64_t>(region + p * kPageSize, pass * 1000 + p);
+    }
+  }
+  for (uint64_t p = 0; p < kPages; ++p) {
+    ASSERT_EQ(rt_->Read<uint64_t>(region + p * kPageSize), 3000 + p);
+  }
+}
+
+TEST_P(PagingProperty, FreeRegionDiscardsAndZeroRefills) {
+  uint64_t region = rt_->AllocRegion(kWs);
+  for (uint64_t p = 0; p < kPages; ++p) {
+    rt_->Write<uint64_t>(region + p * kPageSize, 0xFF00FF00FF00FF00ULL);
+  }
+  rt_->FreeRegion(region, kWs);
+  // Fresh touch after free must be zero (zero-fill semantics), for a sample
+  // of pages including previously evicted ones.
+  for (uint64_t p = 0; p < kPages; p += 37) {
+    ASSERT_EQ(rt_->Read<uint64_t>(region + p * kPageSize), 0u) << p;
+  }
+}
+
+TEST_P(PagingProperty, PageCrossingValuesSurvivePressure) {
+  uint64_t region = rt_->AllocRegion(kWs);
+  // Values straddling every page boundary.
+  for (uint64_t p = 1; p < kPages; ++p) {
+    rt_->Write<uint64_t>(region + p * kPageSize - 4, p ^ 0xABCD);
+  }
+  for (uint64_t p = 1; p < kPages; ++p) {
+    ASSERT_EQ(rt_->Read<uint64_t>(region + p * kPageSize - 4), p ^ 0xABCD);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PagingProperty,
+    ::testing::Values(Combo{Sys::kDilos, Pf::kNone, 0.125}, Combo{Sys::kDilos, Pf::kNone, 0.5},
+                      Combo{Sys::kDilos, Pf::kReadahead, 0.125},
+                      Combo{Sys::kDilos, Pf::kReadahead, 0.5},
+                      Combo{Sys::kDilos, Pf::kTrend, 0.125},
+                      Combo{Sys::kDilos, Pf::kTrend, 1.0},
+                      Combo{Sys::kFastswap, Pf::kNone, 0.125},
+                      Combo{Sys::kFastswap, Pf::kReadahead, 0.125},
+                      Combo{Sys::kFastswap, Pf::kReadahead, 0.5}),
+    ComboName);
+
+// Cross-system equivalence: the same deterministic program must compute the
+// same memory image on every runtime — compatibility as a checkable
+// property, not a slogan.
+class CrossSystemEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(CrossSystemEquivalence, SameProgramSameBytes) {
+  auto run = [&](bool dilos) {
+    Fabric fabric;
+    std::unique_ptr<FarRuntime> rt;
+    uint64_t local = static_cast<uint64_t>(static_cast<double>(kWs) * GetParam());
+    if (dilos) {
+      DilosConfig cfg;
+      cfg.local_mem_bytes = local;
+      rt = std::make_unique<DilosRuntime>(fabric, cfg, std::make_unique<ReadaheadPrefetcher>());
+    } else {
+      FastswapConfig cfg;
+      cfg.local_mem_bytes = local;
+      rt = std::make_unique<FastswapRuntime>(fabric, cfg);
+    }
+    uint64_t region = rt->AllocRegion(kWs);
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+      uint64_t a = region + (rng.NextBelow(kWs - 16) & ~7ULL);
+      rt->Write<uint64_t>(a, rng.Next());
+    }
+    uint64_t digest = 0;
+    for (uint64_t off = 0; off < kWs; off += 64) {
+      digest = digest * 1099511628211ULL + rt->Read<uint64_t>(region + off);
+    }
+    return digest;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, CrossSystemEquivalence,
+                         ::testing::Values(0.0625, 0.125, 0.25, 0.5, 1.0));
+
+}  // namespace
+}  // namespace dilos

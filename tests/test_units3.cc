@@ -1,0 +1,168 @@
+// Third batch of focused unit tests: the event tracer, FarVector, and the
+// huge-page toggle of the memory node.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dilos/readahead.h"
+#include "src/dilos/runtime.h"
+#include "src/sim/far_vector.h"
+#include "src/sim/trace.h"
+
+namespace dilos {
+namespace {
+
+// ------------------------------------------------------------------ Tracer --
+
+TEST(TracerUnit, DisabledTracerRecordsNothing) {
+  Tracer t(0);
+  EXPECT_FALSE(t.enabled());
+  t.Record(1, TraceEvent::kMajorFault, 0x1000);
+  EXPECT_EQ(t.total_recorded(), 0u);
+  EXPECT_TRUE(t.Snapshot().empty());
+}
+
+TEST(TracerUnit, RingKeepsNewestRecords) {
+  Tracer t(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    t.Record(i, TraceEvent::kEvict, i * 4096);
+  }
+  EXPECT_EQ(t.total_recorded(), 10u);
+  auto snap = t.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().time_ns, 6u);  // Oldest survivor.
+  EXPECT_EQ(snap.back().time_ns, 9u);
+  // Chronological order.
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_GT(snap[i].time_ns, snap[i - 1].time_ns);
+  }
+}
+
+TEST(TracerUnit, CountsAndToString) {
+  Tracer t(16);
+  t.Record(1, TraceEvent::kMajorFault, 0x1000, 2400);
+  t.Record(2, TraceEvent::kMajorFault, 0x2000, 2500);
+  t.Record(3, TraceEvent::kWriteback, 0x1000, 1);
+  EXPECT_EQ(t.Count(TraceEvent::kMajorFault), 2u);
+  EXPECT_EQ(t.Count(TraceEvent::kWriteback), 1u);
+  EXPECT_EQ(t.Count(TraceEvent::kEvict), 0u);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("major-fault"), std::string::npos);
+  EXPECT_NE(s.find("writeback"), std::string::npos);
+}
+
+TEST(TracerUnit, RuntimeEmitsPagingEvents) {
+  Fabric fabric;
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 32 * 4096;
+  cfg.trace_capacity = 4096;
+  DilosRuntime rt(fabric, cfg, std::make_unique<ReadaheadPrefetcher>());
+  const uint64_t pages = 256;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  for (uint64_t p = 0; p < pages; ++p) {
+    rt.Write<uint64_t>(region + p * kPageSize, p);
+  }
+  for (uint64_t p = 0; p < pages; ++p) {
+    rt.Read<uint64_t>(region + p * kPageSize);
+  }
+  const Tracer& t = rt.tracer();
+  EXPECT_GT(t.Count(TraceEvent::kZeroFill), 0u);
+  EXPECT_GT(t.Count(TraceEvent::kMajorFault), 0u);
+  EXPECT_GT(t.Count(TraceEvent::kEvict), 0u);
+  EXPECT_GT(t.Count(TraceEvent::kWriteback), 0u);
+  EXPECT_GT(t.Count(TraceEvent::kPrefetchIssue), 0u);
+  // Every recorded event carries a plausible page address.
+  for (const TraceRecord& r : t.Snapshot()) {
+    EXPECT_GE(r.page_va, kFarBase);
+  }
+}
+
+TEST(TracerUnit, TracingOffByDefaultCostsNothing) {
+  Fabric fabric;
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 1 << 20;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  uint64_t region = rt.AllocRegion(8 * kPageSize);
+  rt.Write<uint8_t>(region, 1);
+  EXPECT_FALSE(rt.tracer().enabled());
+  EXPECT_EQ(rt.tracer().total_recorded(), 0u);
+}
+
+// --------------------------------------------------------------- FarVector --
+
+TEST(FarVectorUnit, PushGrowAndReadBack) {
+  Fabric fabric;
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 1 << 20;
+  DilosRuntime rt(fabric, cfg, std::make_unique<ReadaheadPrefetcher>());
+  FarVector<uint64_t> vec(rt, 4);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    vec.PushBack(i * 3 + 1);
+  }
+  EXPECT_EQ(vec.size(), 10000u);
+  EXPECT_GE(vec.capacity(), 10000u);
+  for (uint64_t i = 0; i < 10000; i += 97) {
+    ASSERT_EQ(vec.Get(i), i * 3 + 1) << i;
+  }
+}
+
+TEST(FarVectorUnit, GrowSurvivesEvictionPressure) {
+  Fabric fabric;
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 16 * 4096;  // Much smaller than the vector.
+  DilosRuntime rt(fabric, cfg, std::make_unique<ReadaheadPrefetcher>());
+  FarVector<uint32_t> vec(rt, 2);
+  for (uint32_t i = 0; i < 50000; ++i) {
+    vec.PushBack(i ^ 0xABCD);
+  }
+  for (uint32_t i = 0; i < 50000; i += 333) {
+    ASSERT_EQ(vec.Get(i), i ^ 0xABCD);
+  }
+}
+
+TEST(FarVectorUnit, ResizeZeroFillsNewElements) {
+  Fabric fabric;
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 1 << 20;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  FarVector<uint64_t> vec(rt, 4);
+  vec.PushBack(7);
+  vec.Resize(100);
+  EXPECT_EQ(vec.size(), 100u);
+  EXPECT_EQ(vec.Get(0), 7u);
+  EXPECT_EQ(vec.Get(99), 0u);
+  vec.Resize(1);
+  EXPECT_EQ(vec.size(), 1u);
+  vec.PopBack();
+  EXPECT_TRUE(vec.empty());
+}
+
+TEST(FarVectorUnit, DestructorReleasesRegion) {
+  Fabric fabric;
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 64 * 4096;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  {
+    FarVector<uint64_t> vec(rt, 4);
+    for (int i = 0; i < 5000; ++i) {
+      vec.PushBack(static_cast<uint64_t>(i));
+    }
+  }
+  // All frames were given back on destruction.
+  EXPECT_EQ(rt.frame_pool().used(), 0u);
+}
+
+// -------------------------------------------------------------- Huge pages --
+
+TEST(HugePages, FourKilobytePagesAddWalkPenalty) {
+  CostModel huge = CostModel::Default();
+  CostModel small = CostModel::Default();
+  small.memnode_huge_pages = false;
+  // Without huge pages, the RNIC misses its page-table cache and pays host
+  // walks (paper Sec. 5 "Memory node").
+  EXPECT_EQ(small.ReadLatencyNs(4096) - huge.ReadLatencyNs(4096),
+            small.memnode_4k_walk_penalty_ns);
+}
+
+}  // namespace
+}  // namespace dilos
