@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hol.dir/bench_ablation_hol.cc.o"
+  "CMakeFiles/bench_ablation_hol.dir/bench_ablation_hol.cc.o.d"
+  "bench_ablation_hol"
+  "bench_ablation_hol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_backends.dir/bench_ext_backends.cc.o"
+  "CMakeFiles/bench_ext_backends.dir/bench_ext_backends.cc.o.d"
+  "bench_ext_backends"
+  "bench_ext_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

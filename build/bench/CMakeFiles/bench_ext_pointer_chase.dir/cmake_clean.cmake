@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pointer_chase.dir/bench_ext_pointer_chase.cc.o"
+  "CMakeFiles/bench_ext_pointer_chase.dir/bench_ext_pointer_chase.cc.o.d"
+  "bench_ext_pointer_chase"
+  "bench_ext_pointer_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pointer_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

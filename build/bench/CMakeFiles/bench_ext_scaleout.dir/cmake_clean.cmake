@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_scaleout.dir/bench_ext_scaleout.cc.o"
+  "CMakeFiles/bench_ext_scaleout.dir/bench_ext_scaleout.cc.o.d"
+  "bench_ext_scaleout"
+  "bench_ext_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

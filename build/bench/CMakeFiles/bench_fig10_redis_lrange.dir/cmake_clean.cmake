@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_redis_lrange.dir/bench_fig10_redis_lrange.cc.o"
+  "CMakeFiles/bench_fig10_redis_lrange.dir/bench_fig10_redis_lrange.cc.o.d"
+  "bench_fig10_redis_lrange"
+  "bench_fig10_redis_lrange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_redis_lrange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_quicksort.dir/bench_fig7a_quicksort.cc.o"
+  "CMakeFiles/bench_fig7a_quicksort.dir/bench_fig7a_quicksort.cc.o.d"
+  "bench_fig7a_quicksort"
+  "bench_fig7a_quicksort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_quicksort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

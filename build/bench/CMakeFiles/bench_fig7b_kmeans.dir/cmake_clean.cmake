@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_kmeans.dir/bench_fig7b_kmeans.cc.o"
+  "CMakeFiles/bench_fig7b_kmeans.dir/bench_fig7b_kmeans.cc.o.d"
+  "bench_fig7b_kmeans"
+  "bench_fig7b_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

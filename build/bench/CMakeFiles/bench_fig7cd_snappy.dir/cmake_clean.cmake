@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7cd_snappy.dir/bench_fig7cd_snappy.cc.o"
+  "CMakeFiles/bench_fig7cd_snappy.dir/bench_fig7cd_snappy.cc.o.d"
+  "bench_fig7cd_snappy"
+  "bench_fig7cd_snappy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7cd_snappy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gapbs.dir/bench_fig9_gapbs.cc.o"
+  "CMakeFiles/bench_fig9_gapbs.dir/bench_fig9_gapbs.cc.o.d"
+  "bench_fig9_gapbs"
+  "bench_fig9_gapbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gapbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

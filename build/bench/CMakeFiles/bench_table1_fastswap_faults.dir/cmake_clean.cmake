@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fastswap_faults.dir/bench_table1_fastswap_faults.cc.o"
+  "CMakeFiles/bench_table1_fastswap_faults.dir/bench_table1_fastswap_faults.cc.o.d"
+  "bench_table1_fastswap_faults"
+  "bench_table1_fastswap_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fastswap_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/graph_pagerank.cpp" "examples/CMakeFiles/graph_pagerank.dir/graph_pagerank.cpp.o" "gcc" "examples/CMakeFiles/graph_pagerank.dir/graph_pagerank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dilos/CMakeFiles/dilos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dilos_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/dilos_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/dilos_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dilos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

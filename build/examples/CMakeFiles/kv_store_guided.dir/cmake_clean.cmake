@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_guided.dir/kv_store_guided.cpp.o"
+  "CMakeFiles/kv_store_guided.dir/kv_store_guided.cpp.o.d"
+  "kv_store_guided"
+  "kv_store_guided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

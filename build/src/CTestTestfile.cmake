@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("rdma")
+subdirs("memnode")
+subdirs("pt")
+subdirs("ddc_alloc")
+subdirs("dilos")
+subdirs("fastswap")
+subdirs("aifm")
+subdirs("apps")
+subdirs("redis")
+subdirs("guides")
+subdirs("compat")

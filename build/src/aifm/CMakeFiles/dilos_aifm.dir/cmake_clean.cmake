@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_aifm.dir/aifm.cc.o"
+  "CMakeFiles/dilos_aifm.dir/aifm.cc.o.d"
+  "CMakeFiles/dilos_aifm.dir/aifm_apps.cc.o"
+  "CMakeFiles/dilos_aifm.dir/aifm_apps.cc.o.d"
+  "libdilos_aifm.a"
+  "libdilos_aifm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_aifm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

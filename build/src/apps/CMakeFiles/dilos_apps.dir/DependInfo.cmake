@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dataframe.cc" "src/apps/CMakeFiles/dilos_apps.dir/dataframe.cc.o" "gcc" "src/apps/CMakeFiles/dilos_apps.dir/dataframe.cc.o.d"
+  "/root/repo/src/apps/graph.cc" "src/apps/CMakeFiles/dilos_apps.dir/graph.cc.o" "gcc" "src/apps/CMakeFiles/dilos_apps.dir/graph.cc.o.d"
+  "/root/repo/src/apps/kmeans.cc" "src/apps/CMakeFiles/dilos_apps.dir/kmeans.cc.o" "gcc" "src/apps/CMakeFiles/dilos_apps.dir/kmeans.cc.o.d"
+  "/root/repo/src/apps/linked_list.cc" "src/apps/CMakeFiles/dilos_apps.dir/linked_list.cc.o" "gcc" "src/apps/CMakeFiles/dilos_apps.dir/linked_list.cc.o.d"
+  "/root/repo/src/apps/quicksort.cc" "src/apps/CMakeFiles/dilos_apps.dir/quicksort.cc.o" "gcc" "src/apps/CMakeFiles/dilos_apps.dir/quicksort.cc.o.d"
+  "/root/repo/src/apps/seqrw.cc" "src/apps/CMakeFiles/dilos_apps.dir/seqrw.cc.o" "gcc" "src/apps/CMakeFiles/dilos_apps.dir/seqrw.cc.o.d"
+  "/root/repo/src/apps/szip.cc" "src/apps/CMakeFiles/dilos_apps.dir/szip.cc.o" "gcc" "src/apps/CMakeFiles/dilos_apps.dir/szip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dilos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/dilos_rdma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

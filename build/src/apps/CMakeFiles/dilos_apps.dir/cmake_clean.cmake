@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_apps.dir/dataframe.cc.o"
+  "CMakeFiles/dilos_apps.dir/dataframe.cc.o.d"
+  "CMakeFiles/dilos_apps.dir/graph.cc.o"
+  "CMakeFiles/dilos_apps.dir/graph.cc.o.d"
+  "CMakeFiles/dilos_apps.dir/kmeans.cc.o"
+  "CMakeFiles/dilos_apps.dir/kmeans.cc.o.d"
+  "CMakeFiles/dilos_apps.dir/linked_list.cc.o"
+  "CMakeFiles/dilos_apps.dir/linked_list.cc.o.d"
+  "CMakeFiles/dilos_apps.dir/quicksort.cc.o"
+  "CMakeFiles/dilos_apps.dir/quicksort.cc.o.d"
+  "CMakeFiles/dilos_apps.dir/seqrw.cc.o"
+  "CMakeFiles/dilos_apps.dir/seqrw.cc.o.d"
+  "CMakeFiles/dilos_apps.dir/szip.cc.o"
+  "CMakeFiles/dilos_apps.dir/szip.cc.o.d"
+  "libdilos_apps.a"
+  "libdilos_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdilos_apps.a"
+)

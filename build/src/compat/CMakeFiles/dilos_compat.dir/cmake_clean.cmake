@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_compat.dir/ddc_api.cc.o"
+  "CMakeFiles/dilos_compat.dir/ddc_api.cc.o.d"
+  "libdilos_compat.a"
+  "libdilos_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

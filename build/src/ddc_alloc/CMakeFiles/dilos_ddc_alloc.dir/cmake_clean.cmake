@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_ddc_alloc.dir/far_heap.cc.o"
+  "CMakeFiles/dilos_ddc_alloc.dir/far_heap.cc.o.d"
+  "libdilos_ddc_alloc.a"
+  "libdilos_ddc_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_ddc_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_core.dir/page_manager.cc.o"
+  "CMakeFiles/dilos_core.dir/page_manager.cc.o.d"
+  "CMakeFiles/dilos_core.dir/readahead.cc.o"
+  "CMakeFiles/dilos_core.dir/readahead.cc.o.d"
+  "CMakeFiles/dilos_core.dir/runtime.cc.o"
+  "CMakeFiles/dilos_core.dir/runtime.cc.o.d"
+  "CMakeFiles/dilos_core.dir/trend.cc.o"
+  "CMakeFiles/dilos_core.dir/trend.cc.o.d"
+  "libdilos_core.a"
+  "libdilos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_fastswap.dir/fastswap.cc.o"
+  "CMakeFiles/dilos_fastswap.dir/fastswap.cc.o.d"
+  "libdilos_fastswap.a"
+  "libdilos_fastswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_fastswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_guides.dir/redis_guide.cc.o"
+  "CMakeFiles/dilos_guides.dir/redis_guide.cc.o.d"
+  "libdilos_guides.a"
+  "libdilos_guides.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_guides.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

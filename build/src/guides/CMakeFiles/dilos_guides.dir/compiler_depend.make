@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dilos_guides.
+# This may be replaced when dependencies are built.

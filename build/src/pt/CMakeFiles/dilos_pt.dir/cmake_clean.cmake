@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_pt.dir/page_table.cc.o"
+  "CMakeFiles/dilos_pt.dir/page_table.cc.o.d"
+  "libdilos_pt.a"
+  "libdilos_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

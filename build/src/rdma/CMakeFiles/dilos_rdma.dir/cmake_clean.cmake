@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_rdma.dir/queue_pair.cc.o"
+  "CMakeFiles/dilos_rdma.dir/queue_pair.cc.o.d"
+  "libdilos_rdma.a"
+  "libdilos_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/redis/dict.cc" "src/redis/CMakeFiles/dilos_redis.dir/dict.cc.o" "gcc" "src/redis/CMakeFiles/dilos_redis.dir/dict.cc.o.d"
+  "/root/repo/src/redis/redis.cc" "src/redis/CMakeFiles/dilos_redis.dir/redis.cc.o" "gcc" "src/redis/CMakeFiles/dilos_redis.dir/redis.cc.o.d"
+  "/root/repo/src/redis/redis_bench.cc" "src/redis/CMakeFiles/dilos_redis.dir/redis_bench.cc.o" "gcc" "src/redis/CMakeFiles/dilos_redis.dir/redis_bench.cc.o.d"
+  "/root/repo/src/redis/sds.cc" "src/redis/CMakeFiles/dilos_redis.dir/sds.cc.o" "gcc" "src/redis/CMakeFiles/dilos_redis.dir/sds.cc.o.d"
+  "/root/repo/src/redis/ziplist.cc" "src/redis/CMakeFiles/dilos_redis.dir/ziplist.cc.o" "gcc" "src/redis/CMakeFiles/dilos_redis.dir/ziplist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ddc_alloc/CMakeFiles/dilos_ddc_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dilos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dilos/CMakeFiles/dilos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/dilos_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/dilos_rdma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_redis.dir/dict.cc.o"
+  "CMakeFiles/dilos_redis.dir/dict.cc.o.d"
+  "CMakeFiles/dilos_redis.dir/redis.cc.o"
+  "CMakeFiles/dilos_redis.dir/redis.cc.o.d"
+  "CMakeFiles/dilos_redis.dir/redis_bench.cc.o"
+  "CMakeFiles/dilos_redis.dir/redis_bench.cc.o.d"
+  "CMakeFiles/dilos_redis.dir/sds.cc.o"
+  "CMakeFiles/dilos_redis.dir/sds.cc.o.d"
+  "CMakeFiles/dilos_redis.dir/ziplist.cc.o"
+  "CMakeFiles/dilos_redis.dir/ziplist.cc.o.d"
+  "libdilos_redis.a"
+  "libdilos_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

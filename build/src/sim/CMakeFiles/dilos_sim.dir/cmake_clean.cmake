@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_sim.dir/rng.cc.o"
+  "CMakeFiles/dilos_sim.dir/rng.cc.o.d"
+  "CMakeFiles/dilos_sim.dir/stats.cc.o"
+  "CMakeFiles/dilos_sim.dir/stats.cc.o.d"
+  "libdilos_sim.a"
+  "libdilos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aifm.dir/test_aifm.cc.o"
+  "CMakeFiles/test_aifm.dir/test_aifm.cc.o.d"
+  "test_aifm"
+  "test_aifm.pdb"
+  "test_aifm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aifm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

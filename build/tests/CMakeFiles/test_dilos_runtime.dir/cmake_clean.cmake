@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dilos_runtime.dir/test_dilos_runtime.cc.o"
+  "CMakeFiles/test_dilos_runtime.dir/test_dilos_runtime.cc.o.d"
+  "test_dilos_runtime"
+  "test_dilos_runtime.pdb"
+  "test_dilos_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dilos_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

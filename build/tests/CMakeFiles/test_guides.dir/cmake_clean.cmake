@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guides.dir/test_guides.cc.o"
+  "CMakeFiles/test_guides.dir/test_guides.cc.o.d"
+  "test_guides"
+  "test_guides.pdb"
+  "test_guides[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guides.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_szip.dir/test_property_szip.cc.o"
+  "CMakeFiles/test_property_szip.dir/test_property_szip.cc.o.d"
+  "test_property_szip"
+  "test_property_szip.pdb"
+  "test_property_szip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_szip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

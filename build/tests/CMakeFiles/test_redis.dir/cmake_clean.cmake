@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redis.dir/test_redis.cc.o"
+  "CMakeFiles/test_redis.dir/test_redis.cc.o.d"
+  "test_redis"
+  "test_redis.pdb"
+  "test_redis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

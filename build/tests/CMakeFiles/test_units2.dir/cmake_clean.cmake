@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_units2.dir/test_units2.cc.o"
+  "CMakeFiles/test_units2.dir/test_units2.cc.o.d"
+  "test_units2"
+  "test_units2.pdb"
+  "test_units2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_units2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

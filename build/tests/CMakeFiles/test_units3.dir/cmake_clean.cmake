@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_units3.dir/test_units3.cc.o"
+  "CMakeFiles/test_units3.dir/test_units3.cc.o.d"
+  "test_units3"
+  "test_units3.pdb"
+  "test_units3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_units3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

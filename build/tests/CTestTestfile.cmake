@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_rdma[1]_include.cmake")
+include("/root/repo/build/tests/test_pt[1]_include.cmake")
+include("/root/repo/build/tests/test_dilos_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_fastswap[1]_include.cmake")
+include("/root/repo/build/tests/test_ddc_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_aifm[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_redis[1]_include.cmake")
+include("/root/repo/build/tests/test_guides[1]_include.cmake")
+include("/root/repo/build/tests/test_property_paging[1]_include.cmake")
+include("/root/repo/build/tests/test_property_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_property_redis[1]_include.cmake")
+include("/root/repo/build/tests/test_property_szip[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_units2[1]_include.cmake")
+include("/root/repo/build/tests/test_units3[1]_include.cmake")
+include("/root/repo/build/tests/test_compat[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_edge[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilos_sim_cli.dir/dilos_sim.cc.o"
+  "CMakeFiles/dilos_sim_cli.dir/dilos_sim.cc.o.d"
+  "dilos_sim"
+  "dilos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilos_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
