@@ -1,7 +1,13 @@
-// Fault tolerance across memory nodes (the Sec. 5.1 extension): pages are
-// sharded over two memory nodes with replication, one node "crashes"
-// mid-run, and the application never notices — every page is re-fetched
-// from its surviving replica.
+// Fault tolerance with automatic recovery (src/recovery).
+//
+// Three memory nodes, replication=2, failure detection + repair enabled.
+// Node 0 physically crashes (Fabric::CrashNode — nobody tells the runtime).
+// The compute side notices on its own: demand fetches toward the dead node
+// time out, the failure detector strikes it dead, reads fail over to the
+// surviving replica, and the repair manager re-replicates every degraded
+// granule onto the third node. Then node 1 crashes too — and because repair
+// restored two live replicas everywhere, a full verification sweep still
+// reads every value back from the single surviving node.
 //
 //   $ ./build/examples/fault_tolerance
 #include <cstdio>
@@ -14,10 +20,11 @@
 int main() {
   using namespace dilos;
 
-  Fabric fabric(CostModel::Default(), /*num_nodes=*/2);
+  Fabric fabric(CostModel::Default(), /*num_nodes=*/3);
   DilosConfig cfg;
   cfg.local_mem_bytes = 2 << 20;
-  cfg.replication = 2;  // Every page lives on both memory nodes.
+  cfg.replication = 2;       // Every granule lives on two of the three nodes.
+  cfg.recovery.enabled = true;  // Detector + repair manager.
   DilosRuntime rt(fabric, cfg, std::make_unique<ReadaheadPrefetcher>());
 
   const uint64_t kBytes = 16 << 20;
@@ -28,22 +35,63 @@ int main() {
   for (uint64_t off = 0; off < kBytes; off += 4096) {
     rt.Write<uint64_t>(region + off, off ^ 0xD15C0);
   }
-  std::printf("node 0 holds %zu pages, node 1 holds %zu pages\n",
-              fabric.node(0).store().page_count(), fabric.node(1).store().page_count());
+  for (int n = 0; n < 3; ++n) {
+    std::printf("  node %d holds %zu pages\n", n, fabric.node(n).store().page_count());
+  }
 
-  std::printf("\n*** memory node 0 crashes ***\n\n");
-  rt.router().FailNode(0);
+  std::printf("\n*** memory node 0 crashes (undetected) ***\n\n");
+  fabric.CrashNode(0);
 
+  // First sweep: the crash is discovered by the paging path itself — op
+  // timeouts strike node 0 dead and every fetch fails over.
   uint64_t errors = 0;
+  const uint64_t kSweepPages = kBytes / 4096;
   for (uint64_t off = 0; off < kBytes; off += 4096) {
     if (rt.Read<uint64_t>(region + off) != (off ^ 0xD15C0)) {
       ++errors;
     }
   }
-  std::printf("full verification sweep after the crash: %llu corrupt pages out of %llu\n",
+  std::printf("sweep during failure: %llu corrupt pages out of %llu\n",
               static_cast<unsigned long long>(errors),
-              static_cast<unsigned long long>(kBytes / 4096));
-  std::printf("faults handled: %llu major, every fetch served by the surviving replica\n",
-              static_cast<unsigned long long>(rt.stats().major_faults));
-  return errors == 0 ? 0 : 1;
+              static_cast<unsigned long long>(kSweepPages));
+  std::printf("detector: node 0 %s (op timeouts=%llu, degraded reads=%llu)\n",
+              rt.router().state(0) == NodeState::kDead ? "declared DEAD" : "still live?!",
+              static_cast<unsigned long long>(rt.stats().op_timeouts),
+              static_cast<unsigned long long>(rt.stats().degraded_reads));
+
+  // Let the repair manager finish re-replicating degraded granules onto the
+  // surviving third node.
+  while (!rt.RecoveryIdle()) {
+    rt.DriveRecovery(1'000'000);
+  }
+  int under_replicated = 0;
+  for (uint64_t g : rt.router().written_granules()) {
+    if (rt.router().LiveReplicaCount(g << kShardGranuleShift) < 2) {
+      ++under_replicated;
+    }
+  }
+  std::printf("repair: %llu granules rebuilt (%llu pages copied), %d still degraded\n",
+              static_cast<unsigned long long>(rt.stats().repair_granules),
+              static_cast<unsigned long long>(rt.stats().repair_pages), under_replicated);
+
+  std::printf("\n*** memory node 1 crashes too ***\n\n");
+  fabric.CrashNode(1);
+  rt.DriveRecovery(2'000'000);  // Heartbeats notice even before any read does.
+  std::printf("detector: node 1 %s\n",
+              rt.router().state(1) == NodeState::kDead ? "declared DEAD" : "still live?!");
+
+  // Final sweep: only node 2 survives, and it must hold everything.
+  for (uint64_t off = 0; off < kBytes; off += 4096) {
+    if (rt.Read<uint64_t>(region + off) != (off ^ 0xD15C0)) {
+      ++errors;
+    }
+  }
+  std::printf("verification sweep after double failure: %llu corrupt pages out of %llu\n",
+              static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(kSweepPages));
+  std::printf("unrecoverable fetches: %llu\n",
+              static_cast<unsigned long long>(rt.stats().failed_fetches));
+  bool detected = rt.router().state(0) == NodeState::kDead &&
+                  rt.router().state(1) == NodeState::kDead;
+  return (errors == 0 && under_replicated == 0 && detected) ? 0 : 1;
 }

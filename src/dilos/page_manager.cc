@@ -73,9 +73,10 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
   }
 
   // Fan the write-back out to every live replica of the page.
-  router_.WriteQps(/*core=*/0, CommChannel::kManager, page_va, &write_qps_);
+  router_.WriteQps(/*core=*/0, CommChannel::kManager, page_va, &write_qps_, &write_nodes_);
   if (vectored) {
-    for (QueuePair* qp : write_qps_) {
+    for (size_t i = 0; i < write_qps_.size(); ++i) {
+      QueuePair* qp = write_qps_[i];
       WorkRequest wr;
       wr.wr_id = ++wr_id_;
       wr.opcode = RdmaOpcode::kWrite;
@@ -84,7 +85,11 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
         wr.local.push_back({frame_addr + s.offset, s.length});
         wr.remote.push_back({page_va + s.offset, s.length});
       }
-      qp->PostSend(wr, now);
+      Completion c = qp->PostSend(wr, now);
+      if (c.status != WcStatus::kSuccess) {
+        router_.ReportOpFailure(write_nodes_[i], c.completion_time_ns);
+        continue;  // The surviving replicas carry the page.
+      }
       stats_.vectored_ops++;
       stats_.bytes_written += wr.TotalBytes();
     }
@@ -97,8 +102,12 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
     }
     vector_cleaned_[page_va] = AllocActionSlot(std::move(segs));
   } else {
-    for (QueuePair* qp : write_qps_) {
-      qp->PostWrite(++wr_id_, frame_addr, page_va, kPageSize, now);
+    for (size_t i = 0; i < write_qps_.size(); ++i) {
+      Completion c = write_qps_[i]->PostWrite(++wr_id_, frame_addr, page_va, kPageSize, now);
+      if (c.status != WcStatus::kSuccess) {
+        router_.ReportOpFailure(write_nodes_[i], c.completion_time_ns);
+        continue;
+      }
       stats_.bytes_written += kPageSize;
     }
     stats_.writebacks++;

@@ -90,6 +90,7 @@ class PageManager {
   RuntimeStats& stats_;
   Tracer* tracer_;
   std::vector<QueuePair*> write_qps_;  // Scratch for replica fan-out.
+  std::vector<int> write_nodes_;       // Node ids matching write_qps_.
   PageManagerConfig cfg_;
   Guide* guide_ = nullptr;
 

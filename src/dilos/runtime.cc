@@ -17,9 +17,17 @@ class RuntimeGuideContext : public GuideContext {
       : rt_(rt), core_(core), cursor_ns_(start_ns) {}
 
   uint64_t SubpageRead(uint64_t vaddr, uint32_t len, void* dst) override {
-    QueuePair* qp = rt_.router_.ReadQp(core_, CommChannel::kGuide, vaddr);
-    Completion c = qp->PostRead(++rt_.wr_id_, reinterpret_cast<uint64_t>(scratch_), vaddr, len,
-                                cursor_ns_);
+    ShardRouter::ReadTarget t = rt_.router_.PickRead(core_, CommChannel::kGuide, vaddr);
+    if (t.qp == nullptr) {
+      std::memset(dst, 0, len);  // Every replica is down; the chase ends here.
+      return cursor_ns_;
+    }
+    Completion c = t.qp->PostRead(++rt_.wr_id_, reinterpret_cast<uint64_t>(scratch_), vaddr,
+                                  len, cursor_ns_);
+    if (c.status != WcStatus::kSuccess) {
+      rt_.router_.ReportOpFailure(t.node, c.completion_time_ns);
+      std::memset(scratch_, 0, len);
+    }
     std::memcpy(dst, scratch_, len);
     rt_.stats_.subpage_fetches++;
     rt_.stats_.bytes_fetched += len;
@@ -71,7 +79,8 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
       tracer_(cfg.trace_capacity),
       pool_(cfg.local_mem_bytes / kPageSize),
       clocks_(static_cast<size_t>(cfg.num_cores)),
-      router_(fabric, cfg.num_cores, cfg.replication, cfg.shared_queue),
+      router_(fabric, cfg.num_cores, cfg.replication, cfg.shared_queue,
+              cfg.recovery.spare_nodes),
       pm_(pool_, pt_, router_, stats_, &tracer_,
           [&cfg] {
             // Each core keeps a readahead window in flight; the eager free
@@ -88,6 +97,86 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
   for (int c = 1; c < cfg.num_cores; ++c) {
     prefetchers_.push_back(prefetchers_[0]->Clone());
   }
+  if (cfg_.recovery.enabled) {
+    detector_ = std::make_unique<FailureDetector>(fabric_, router_, stats_, &tracer_,
+                                                  cfg_.recovery.detector);
+    repair_ = std::make_unique<RepairManager>(fabric_, router_, *detector_, stats_, &tracer_,
+                                              cfg_.recovery.repair);
+    // Timed-out ops anywhere in the paging paths become detector evidence.
+    router_.set_op_failure_observer(
+        [this](int node, uint64_t now_ns) { detector_->OnOpTimeout(node, now_ns); });
+  }
+}
+
+void DilosRuntime::RecoveryTick(uint64_t now) {
+  if (detector_ != nullptr) {
+    detector_->Tick(now);
+  }
+  if (repair_ != nullptr) {
+    repair_->Tick(now);
+  }
+}
+
+void DilosRuntime::Background(uint64_t now, uint64_t pinned_va) {
+  pm_.BackgroundTick(now, pinned_va);
+  RecoveryTick(now);
+}
+
+void DilosRuntime::DriveRecovery(uint64_t duration_ns) {
+  Clock& clk = clocks_[0];
+  uint64_t end = clk.now() + duration_ns;
+  uint64_t step = detector_ != nullptr ? detector_->config().probe_interval_ns : 10'000;
+  if (step == 0) {
+    step = 1'000;
+  }
+  while (clk.now() < end) {
+    clk.Advance(step);
+    RecoveryTick(clk.now());
+  }
+}
+
+Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
+                                     const std::vector<PageSegment>* segs, int core,
+                                     CommChannel ch, uint64_t* cursor_ns) {
+  uint32_t max_retries = detector_ != nullptr ? detector_->config().max_retries : 0;
+  uint64_t backoff = detector_ != nullptr ? detector_->config().backoff_base_ns : 0;
+  Completion c{0, WcStatus::kTimeout, *cursor_ns};
+  for (uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
+    ShardRouter::ReadTarget t = router_.PickRead(core, ch, page_va);
+    if (t.qp == nullptr) {
+      break;  // No readable replica left at all.
+    }
+    if (segs == nullptr) {
+      c = t.qp->PostRead(++wr_id_, frame_addr, page_va, kPageSize, *cursor_ns);
+    } else {
+      WorkRequest wr;
+      wr.wr_id = ++wr_id_;
+      wr.opcode = RdmaOpcode::kRead;
+      wr.rkey = t.qp->remote_rkey();
+      for (const PageSegment& s : *segs) {
+        wr.local.push_back({frame_addr + s.offset, s.length});
+        wr.remote.push_back({page_va + s.offset, s.length});
+      }
+      c = t.qp->PostSend(wr, *cursor_ns);
+    }
+    *cursor_ns = c.completion_time_ns;
+    if (c.status == WcStatus::kSuccess) {
+      if (detector_ != nullptr) {
+        detector_->OnOpSuccess(t.node, *cursor_ns);
+      }
+      if (t.degraded) {
+        stats_.degraded_reads++;
+        tracer_.Record(*cursor_ns, TraceEvent::kDegradedRead, page_va,
+                       static_cast<uint32_t>(t.node));
+      }
+      return c;
+    }
+    stats_.fetch_retries++;
+    router_.ReportOpFailure(t.node, *cursor_ns);
+    *cursor_ns += backoff << attempt;  // Exponential backoff before failover.
+  }
+  stats_.failed_fetches++;
+  return c;
 }
 
 uint64_t DilosRuntime::AllocRegion(uint64_t bytes) {
@@ -183,8 +272,8 @@ bool DilosRuntime::StartPrefetch(uint64_t page_va, uint64_t issue_ns, int core,
   if (PteTagOf(*e) != PteTag::kRemote) {
     return false;  // Local, in flight, empty, or action-tagged: nothing to do.
   }
-  QueuePair* qp = router_.ReadQp(core, ch, page_va);
-  if (qp == nullptr) {
+  ShardRouter::ReadTarget target = router_.PickRead(core, ch, page_va);
+  if (target.qp == nullptr) {
     return false;  // Every replica is down; the demand path will report it.
   }
   size_t reserve = cfg_.prefetch_free_reserve;
@@ -199,7 +288,14 @@ bool DilosRuntime::StartPrefetch(uint64_t page_va, uint64_t issue_ns, int core,
   if (!fid.has_value()) {
     return false;
   }
-  Completion c = qp->PostRead(++wr_id_, pool_.Addr(*fid), page_va, kPageSize, issue_ns);
+  Completion c = target.qp->PostRead(++wr_id_, pool_.Addr(*fid), page_va, kPageSize, issue_ns);
+  if (c.status != WcStatus::kSuccess) {
+    // Speculation is not worth a retry loop: free the frame, feed the
+    // detector, and leave the page remote for the demand path.
+    router_.ReportOpFailure(target.node, c.completion_time_ns);
+    pool_.Free(*fid);
+    return false;
+  }
   *e = MakeFetchingPte(*fid);
   inflight_[page_va] = Inflight{*fid, c.completion_time_ns, false, false};
   stats_.prefetch_issued++;
@@ -247,7 +343,7 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
           MakeLocalPte(frame, true) | kPteAccessed | kPteDirty;  // Content exists only locally.
       pm_.OnMapped(page_va);
       clk.Advance(cost_.zero_fill_ns);
-      pm_.BackgroundTick(clk.now(), page_va);
+      Background(clk.now(), page_va);
       break;
     }
 
@@ -276,7 +372,7 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       MapInflight(page_va, inf, write);
       clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       DrainArrivals(clk.now());
-      pm_.BackgroundTick(clk.now(), page_va);
+      Background(clk.now(), page_va);
       break;
     }
 
@@ -292,20 +388,13 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       const std::vector<PageSegment>* segs = pm_.ActionSegments(log_idx);
       uint32_t frame = pm_.AllocFrame(clk, &bd);
       std::memset(pool_.Data(frame), 0, kPageSize);
-      WorkRequest wr;
-      wr.wr_id = ++wr_id_;
-      wr.opcode = RdmaOpcode::kRead;
-      QueuePair* fault_qp = router_.ReadQp(core, CommChannel::kFault, page_va);
-      wr.rkey = fault_qp->remote_rkey();
-      uint64_t frame_addr = pool_.Addr(frame);
-      for (const PageSegment& s : *segs) {
-        wr.local.push_back({frame_addr + s.offset, s.length});
-        wr.remote.push_back({page_va + s.offset, s.length});
-      }
-      Completion c = fault_qp->PostSend(wr, clk.now());
+      uint64_t cursor = clk.now();
+      DemandFetch(page_va, pool_.Addr(frame), segs, core, CommChannel::kFault, &cursor);
       stats_.vectored_ops++;
-      stats_.bytes_fetched += wr.TotalBytes();
-      uint64_t done = c.completion_time_ns + (cfg_.tcp_emulation ? cost_.tcp_delay_ns : 0);
+      for (const PageSegment& s : *segs) {
+        stats_.bytes_fetched += s.length;
+      }
+      uint64_t done = cursor + (cfg_.tcp_emulation ? cost_.tcp_delay_ns : 0);
       bd.Add(LatComp::kFetch, clk.AdvanceTo(done));
       pm_.ReleaseAction(log_idx);
       *pt_.Entry(page_va, true) =
@@ -314,7 +403,7 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       bd.Add(LatComp::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       DrainArrivals(clk.now());
-      pm_.BackgroundTick(clk.now(), page_va);
+      Background(clk.now(), page_va);
       break;
     }
 
@@ -327,11 +416,12 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       bd.Add(LatComp::kHwException, cost_.hw_exception_ns);
       bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
       uint32_t frame = pm_.AllocFrame(clk, &bd);
-      Completion c = router_.ReadQp(core, CommChannel::kFault, page_va)
-                         ->PostRead(++wr_id_, pool_.Addr(frame), page_va, kPageSize, clk.now());
+      uint64_t cursor = clk.now();
+      Completion c =
+          DemandFetch(page_va, pool_.Addr(frame), nullptr, core, CommChannel::kFault, &cursor);
       stats_.bytes_fetched += kPageSize;
       *pt_.Entry(page_va, true) = MakeFetchingPte(frame);
-      inflight_[page_va] = Inflight{frame, c.completion_time_ns, write, true};
+      inflight_[page_va] = Inflight{frame, cursor, write, true};
 
       // Work hidden in the fetch window: guide, hit tracker, prefetcher,
       // background manager.
@@ -344,11 +434,17 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       bd.Add(LatComp::kPrefetch, cost_.dilos_hit_tracker_ns);
       FaultInfo info{vaddr, write, /*major=*/true, tracker_.hit_ratio()};
       RunPrefetcher(info, core);
-      pm_.BackgroundTick(clk.now(), page_va);
+      Background(clk.now(), page_va);
 
-      uint64_t done = c.completion_time_ns + (cfg_.tcp_emulation ? cost_.tcp_delay_ns : 0);
+      uint64_t done = cursor + (cfg_.tcp_emulation ? cost_.tcp_delay_ns : 0);
       bd.Add(LatComp::kFetch, clk.AdvanceTo(done));
       inflight_.erase(page_va);
+      if (c.status != WcStatus::kSuccess) {
+        // Every replica is gone: the content is unrecoverable. Surface a
+        // zero page (failed_fetches records the loss) rather than whatever
+        // the recycled frame last held.
+        std::memset(pool_.Data(frame), 0, kPageSize);
+      }
       MapInflight(page_va, Inflight{frame, done, write, true}, write);
       clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       bd.Add(LatComp::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);

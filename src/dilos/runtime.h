@@ -23,6 +23,7 @@
 #include "src/pt/frame_pool.h"
 #include "src/pt/hit_tracker.h"
 #include "src/pt/page_table.h"
+#include "src/recovery/repair_manager.h"
 #include "src/sim/far_runtime.h"
 #include "src/sim/trace.h"
 
@@ -36,6 +37,10 @@ struct DilosConfig {
   // Replicas per page (Sec. 5.1 extension); requires a Fabric with at least
   // this many memory nodes. 1 = the paper's single-node configuration.
   int replication = 1;
+  // Failure detection + automatic re-replication (src/recovery). When
+  // enabled, crashed nodes (Fabric::CrashNode) are detected via op timeouts
+  // and missed heartbeats and their granules rebuilt on survivors/spares.
+  RecoveryOptions recovery;
   PageManagerConfig pm;
   // Do not start new prefetches when free frames would drop below this
   // (prevents prefetch-driven thrash of the resident set).
@@ -72,6 +77,19 @@ class DilosRuntime : public FarRuntime {
   Tracer& tracer() { return tracer_; }
   const CostModel& cost() const { return cost_; }
 
+  // Recovery subsystem (null unless cfg.recovery.enabled).
+  FailureDetector* detector() { return detector_.get(); }
+  RepairManager* repair() { return repair_.get(); }
+
+  // Runs detector probes and repair work at simulated time `now`. Called
+  // from the same background hook as the cleaner/reclaimer; public so
+  // drivers without page traffic can still make recovery progress.
+  void RecoveryTick(uint64_t now);
+  // Advances core 0's clock in probe-interval steps, ticking recovery —
+  // lets detection and repair converge without any application traffic.
+  void DriveRecovery(uint64_t duration_ns);
+  bool RecoveryIdle() const { return repair_ == nullptr || repair_->idle(); }
+
   // Highest clock across cores — the workload completion time.
   uint64_t MaxTimeNs() const;
 
@@ -86,6 +104,16 @@ class DilosRuntime : public FarRuntime {
   };
 
   uint8_t* HandleFault(uint64_t vaddr, uint32_t len, bool write, int core);
+  // Demand read with replica failover: bounded retry + exponential backoff,
+  // re-picking the first readable replica each attempt and reporting
+  // timeouts to the failure detector. `segs == nullptr` reads the whole
+  // page; otherwise a vectored read of the given segments. Advances
+  // `cursor_ns` past completions and backoff waits.
+  Completion DemandFetch(uint64_t page_va, uint64_t frame_addr,
+                         const std::vector<PageSegment>* segs, int core, CommChannel ch,
+                         uint64_t* cursor_ns);
+  // Cleaner/reclaimer plus recovery, one background hook.
+  void Background(uint64_t now, uint64_t pinned_va);
   // Marks `page_va` fetching and posts an async read at `issue_ns` on the
   // channel's QP toward the page's live replica. Returns false if the page
   // is not in kRemote state or no frame is spare.
@@ -110,6 +138,8 @@ class DilosRuntime : public FarRuntime {
   ShardRouter router_;
   PageManager pm_;
   HitTracker tracker_;
+  std::unique_ptr<FailureDetector> detector_;
+  std::unique_ptr<RepairManager> repair_;
 
   std::unordered_map<uint64_t, Inflight> inflight_;  // Key: page vaddr.
   uint64_t next_region_ = kFarBase;

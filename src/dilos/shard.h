@@ -2,18 +2,28 @@
 // support multiple memory nodes for replication or sharding is a future
 // research direction" — implemented here).
 //
-// Pages are sharded across memory nodes at 2 MB granularity (matching the
-// leaf-table/huge-page unit). With replication R > 1, every page also
-// lives on the R-1 nodes following its home node; evictions and cleanings
-// write all replicas, demand fetches read the first *live* replica — so a
-// memory-node failure loses nothing (Infiniswap/Carbink-style redundancy,
-// without the erasure coding).
+// Pages are sharded across memory nodes at kShardGranuleBytes (256 KB)
+// granularity: coarse enough that a readahead window stays on one node,
+// fine enough to spread strided streams. With replication R > 1, every
+// granule also lives on the R-1 nodes following its home node; evictions
+// and cleanings write all replicas, demand fetches read the first *live*
+// replica — so a memory-node failure loses nothing (Infiniswap/Carbink-style
+// redundancy, without the erasure coding).
+//
+// The router also carries the recovery subsystem's view of the cluster
+// (src/recovery/): a per-node health state machine (live / suspect / dead /
+// rebuilding), a per-granule remap table for granules whose replica set
+// changed after a failure, and an optional pool of *spare* nodes that take
+// no hashed traffic but serve as repair targets.
 //
 // This subsumes the communication module's shared-nothing queue layout:
 // one QP per (core, module, node).
 #ifndef DILOS_SRC_DILOS_SHARD_H_
 #define DILOS_SRC_DILOS_SHARD_H_
 
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/dilos/comm.h"
@@ -21,15 +31,44 @@
 
 namespace dilos {
 
+// Shard granule: the unit of placement, replication, and repair.
+inline constexpr uint32_t kShardGranuleShift = 18;
+inline constexpr uint64_t kShardGranuleBytes = 1ULL << kShardGranuleShift;  // 256 KB.
+inline constexpr uint32_t kPagesPerGranule =
+    static_cast<uint32_t>(kShardGranuleBytes / kPageSize);
+
+// Health of one memory node as tracked by the router. Transitions are driven
+// by the failure detector (live -> suspect -> dead) and the repair manager
+// (rebuilding -> live); FailNode()/RecoverNode() remain as oracle shims for
+// tests that declare failures externally.
+enum class NodeState : uint8_t {
+  kLive,        // Serving reads and writes.
+  kSuspect,     // Missed probes or op timeouts; still routed, under watch.
+  kDead,        // Declared failed; never routed.
+  kRebuilding,  // Admitted for writes (repair fills + fresh write-backs) but
+                // readable only for granules whose rebuild has committed.
+};
+
 class ShardRouter {
  public:
-  ShardRouter(Fabric& fabric, int num_cores, int replication, bool shared_queue)
+  // Result of read-replica selection.
+  struct ReadTarget {
+    QueuePair* qp = nullptr;
+    int node = -1;
+    bool degraded = false;  // Served by a non-primary replica.
+  };
+
+  // The trailing `spare_nodes` of the fabric are excluded from hash
+  // placement; they only receive data when the repair manager adopts them.
+  ShardRouter(Fabric& fabric, int num_cores, int replication, bool shared_queue,
+              int spare_nodes = 0)
       : num_nodes_(fabric.num_nodes()),
+        active_(ClampActive(num_nodes_, spare_nodes)),
         replication_(replication < 1 ? 1
-                     : replication > num_nodes_ ? num_nodes_
-                                                : replication),
+                     : replication > active_ ? active_
+                                             : replication),
         shared_(shared_queue),
-        live_(static_cast<size_t>(num_nodes_), true) {
+        state_(static_cast<size_t>(num_nodes_), NodeState::kLive) {
     qps_.resize(static_cast<size_t>(num_cores));
     for (auto& per_core : qps_) {
       per_core.resize(static_cast<size_t>(CommChannel::kCount));
@@ -43,60 +82,217 @@ class ShardRouter {
     }
   }
 
-  // Home node of the page containing `vaddr` (256 KB shard granularity,
-  // hash-placed so strided or aligned access streams spread across nodes
-  // instead of marching on one node in lockstep).
+  static uint64_t GranuleOf(uint64_t vaddr) { return vaddr >> kShardGranuleShift; }
+
+  // Home node of the page containing `vaddr` (hash-placed per granule so
+  // strided or aligned access streams spread across nodes instead of
+  // marching on one node in lockstep). Spares never home granules.
   int NodeOf(uint64_t vaddr) const {
-    uint64_t granule = vaddr >> 18;
+    uint64_t granule = GranuleOf(vaddr);
     granule *= 0x9E3779B97F4A7C15ULL;
     granule ^= granule >> 29;
-    return static_cast<int>(granule % static_cast<uint64_t>(num_nodes_));
+    return static_cast<int>(granule % static_cast<uint64_t>(active_));
   }
 
-  // QP toward the first live replica of `vaddr` for reads. Returns nullptr
-  // only if every replica is dead.
-  QueuePair* ReadQp(int core, CommChannel ch, uint64_t vaddr) {
-    int home = NodeOf(vaddr);
-    for (int r = 0; r < replication_; ++r) {
-      int n = (home + r) % num_nodes_;
-      if (live_[static_cast<size_t>(n)]) {
-        return Qp(core, ch, n);
-      }
-    }
-    return nullptr;
-  }
-
-  // QPs toward every live replica of `vaddr` for writes.
-  void WriteQps(int core, CommChannel ch, uint64_t vaddr, std::vector<QueuePair*>* out) {
+  // Effective replica set of the granule containing `vaddr`, primary first:
+  // the remapped set if the granule was rebuilt after a failure, otherwise
+  // the home node and its R-1 successors.
+  void ReplicaNodes(uint64_t vaddr, std::vector<int>* out) const {
     out->clear();
+    auto it = remap_.find(GranuleOf(vaddr));
+    if (it != remap_.end()) {
+      *out = it->second.replicas;
+      return;
+    }
     int home = NodeOf(vaddr);
     for (int r = 0; r < replication_; ++r) {
-      int n = (home + r) % num_nodes_;
-      if (live_[static_cast<size_t>(n)]) {
-        out->push_back(Qp(core, ch, n));
+      out->push_back((home + r) % active_);
+    }
+  }
+
+  // First readable replica of `vaddr` for reads. qp == nullptr only if no
+  // replica is readable (all dead, or the sole copy is mid-rebuild).
+  ReadTarget PickRead(int core, CommChannel ch, uint64_t vaddr) {
+    uint64_t granule = GranuleOf(vaddr);
+    auto it = remap_.find(granule);
+    int count = it != remap_.end() ? static_cast<int>(it->second.replicas.size())
+                                   : replication_;
+    int home = it != remap_.end() ? -1 : NodeOf(vaddr);
+    int rebuilding = it != remap_.end() ? it->second.rebuilding : -1;
+    for (int r = 0; r < count; ++r) {
+      int n = it != remap_.end() ? it->second.replicas[static_cast<size_t>(r)]
+                                 : (home + r) % active_;
+      if (n == rebuilding || !Readable(n, granule)) {
+        continue;  // Repair copy not landed yet, or node unusable.
+      }
+      return ReadTarget{Qp(core, ch, n), n, r > 0};
+    }
+    return ReadTarget{};
+  }
+
+  QueuePair* ReadQp(int core, CommChannel ch, uint64_t vaddr) {
+    return PickRead(core, ch, vaddr).qp;
+  }
+
+  // QPs toward every writable replica of `vaddr` — including a mid-rebuild
+  // target, so write-backs racing a repair are not lost. `nodes`, when
+  // given, receives the matching node ids (for op-failure attribution).
+  void WriteQps(int core, CommChannel ch, uint64_t vaddr, std::vector<QueuePair*>* out,
+                std::vector<int>* nodes = nullptr) {
+    out->clear();
+    if (nodes != nullptr) {
+      nodes->clear();
+    }
+    uint64_t granule = GranuleOf(vaddr);
+    written_granules_.insert(granule);
+    auto it = remap_.find(granule);
+    int count = it != remap_.end() ? static_cast<int>(it->second.replicas.size())
+                                   : replication_;
+    int home = it != remap_.end() ? -1 : NodeOf(vaddr);
+    for (int r = 0; r < count; ++r) {
+      int n = it != remap_.end() ? it->second.replicas[static_cast<size_t>(r)]
+                                 : (home + r) % active_;
+      if (state_[static_cast<size_t>(n)] == NodeState::kDead) {
+        continue;
+      }
+      out->push_back(Qp(core, ch, n));
+      if (nodes != nullptr) {
+        nodes->push_back(n);
       }
     }
   }
 
-  // Simulated memory-node crash / recovery.
-  void FailNode(int node) { live_[static_cast<size_t>(node)] = false; }
-  void RecoverNode(int node) { live_[static_cast<size_t>(node)] = true; }
-  bool IsLive(int node) const { return live_[static_cast<size_t>(node)]; }
+  // -- Replica-state machine --------------------------------------------------
+  NodeState state(int node) const { return state_[static_cast<size_t>(node)]; }
+  void MarkSuspect(int node) {
+    if (state_[static_cast<size_t>(node)] == NodeState::kLive) {
+      state_[static_cast<size_t>(node)] = NodeState::kSuspect;
+    }
+  }
+  void MarkDead(int node) { state_[static_cast<size_t>(node)] = NodeState::kDead; }
+  void MarkRebuilding(int node) { state_[static_cast<size_t>(node)] = NodeState::kRebuilding; }
+  void MarkLive(int node) { state_[static_cast<size_t>(node)] = NodeState::kLive; }
+
+  // Oracle shims: externally declared crash/recovery (tests, ablations).
+  // RecoverNode assumes the node kept its store intact (instant re-sync);
+  // detector-driven recovery instead re-admits nodes as kRebuilding.
+  void FailNode(int node) { MarkDead(node); }
+  void RecoverNode(int node) { MarkLive(node); }
+  bool IsLive(int node) const {
+    NodeState s = state_[static_cast<size_t>(node)];
+    return s == NodeState::kLive || s == NodeState::kSuspect;
+  }
+
+  // -- Rebuild / remap plumbing (driven by the repair manager) ---------------
+  // Installs the post-failure replica set for a granule. `target` (the new
+  // replica being filled) immediately receives writes but serves no reads
+  // until CommitRebuild.
+  void BeginRebuild(uint64_t granule, std::vector<int> replicas, int target) {
+    remap_[granule] = GranuleRemap{std::move(replicas), target};
+  }
+  void CommitRebuild(uint64_t granule) {
+    auto it = remap_.find(granule);
+    if (it != remap_.end()) {
+      it->second.rebuilding = -1;
+    }
+  }
+  // The in-flight rebuild target of a granule, or -1.
+  int RebuildTarget(uint64_t granule) const {
+    auto it = remap_.find(granule);
+    return it == remap_.end() ? -1 : it->second.rebuilding;
+  }
+
+  // Replicas of `vaddr` currently able to serve a read (excludes dead nodes
+  // and uncommitted rebuild targets) — the redundancy actually available.
+  int LiveReplicaCount(uint64_t vaddr) const {
+    uint64_t granule = GranuleOf(vaddr);
+    auto it = remap_.find(granule);
+    int count = it != remap_.end() ? static_cast<int>(it->second.replicas.size())
+                                   : replication_;
+    int home = it != remap_.end() ? -1 : NodeOf(vaddr);
+    int rebuilding = it != remap_.end() ? it->second.rebuilding : -1;
+    int live = 0;
+    for (int r = 0; r < count; ++r) {
+      int n = it != remap_.end() ? it->second.replicas[static_cast<size_t>(r)]
+                                 : (home + r) % active_;
+      if (n != rebuilding && Readable(n, granule)) {
+        ++live;
+      }
+    }
+    return live;
+  }
+
+  // Whether `node` can serve reads for the granule containing this address.
+  bool Readable(int node, uint64_t granule) const {
+    NodeState s = state_[static_cast<size_t>(node)];
+    if (s == NodeState::kLive || s == NodeState::kSuspect) {
+      return true;
+    }
+    if (s == NodeState::kRebuilding) {
+      // A rebuilding node holds only granules whose repair has committed.
+      auto it = remap_.find(granule);
+      if (it != remap_.end() && it->second.rebuilding == -1) {
+        for (int n : it->second.replicas) {
+          if (n == node) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  // Every granule that ever received a write-back: the authoritative work
+  // list for repair scans (remote page content only exists via write-backs).
+  const std::unordered_set<uint64_t>& written_granules() const { return written_granules_; }
+
+  // -- Op-failure reporting ---------------------------------------------------
+  // The RDMA paths (fault handler, cleaner, prefetcher) report timed-out ops
+  // here; the failure detector subscribes to turn them into health evidence.
+  using OpFailureObserver = std::function<void(int node, uint64_t now_ns)>;
+  void set_op_failure_observer(OpFailureObserver cb) { on_op_failure_ = std::move(cb); }
+  void ReportOpFailure(int node, uint64_t now_ns) {
+    if (on_op_failure_) {
+      on_op_failure_(node, now_ns);
+    }
+  }
 
   int num_nodes() const { return num_nodes_; }
+  int active_nodes() const { return active_; }
+  int spare_nodes() const { return num_nodes_ - active_; }
+  bool is_spare(int node) const { return node >= active_; }
   int replication() const { return replication_; }
   int num_cores() const { return static_cast<int>(qps_.size()); }
 
  private:
+  struct GranuleRemap {
+    std::vector<int> replicas;  // Effective replica set, primary first.
+    int rebuilding = -1;        // Target still being filled, or -1 (committed).
+  };
+
+  static int ClampActive(int num_nodes, int spare_nodes) {
+    if (spare_nodes < 0) {
+      spare_nodes = 0;
+    }
+    if (spare_nodes >= num_nodes) {
+      spare_nodes = num_nodes - 1;  // At least one node must take traffic.
+    }
+    return num_nodes - spare_nodes;
+  }
+
   QueuePair* Qp(int core, CommChannel ch, int node) {
     return qps_[static_cast<size_t>(core)][shared_ ? 0 : static_cast<size_t>(ch)]
                [static_cast<size_t>(node)];
   }
 
   int num_nodes_;
+  int active_;  // Nodes participating in hash placement; the rest are spares.
   int replication_;
   bool shared_;
-  std::vector<bool> live_;
+  std::vector<NodeState> state_;
+  std::unordered_map<uint64_t, GranuleRemap> remap_;
+  std::unordered_set<uint64_t> written_granules_;
+  OpFailureObserver on_op_failure_;
   // [core][channel][node].
   std::vector<std::vector<std::vector<QueuePair*>>> qps_;
 };

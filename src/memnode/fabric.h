@@ -35,6 +35,13 @@ class Fabric {
     return qps_.back().get();
   }
 
+  // Crashes memory node `i`: every QP connected to it times out from now on.
+  // Unlike ShardRouter::FailNode this is not an oracle declaration — the
+  // compute side only learns of the crash through op timeouts and missed
+  // heartbeats (src/recovery/failure_detector.h).
+  void CrashNode(int i) { nodes_[static_cast<size_t>(i)]->Crash(); }
+  void RestoreNode(int i) { nodes_[static_cast<size_t>(i)]->Restore(); }
+
   Link& link(int node = 0) { return *links_[static_cast<size_t>(node)]; }
   MemoryNode& node(int i = 0) { return *nodes_[static_cast<size_t>(i)]; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }

@@ -28,6 +28,14 @@ class MemoryNode {
   PageStore& store() { return store_; }
   const PageStore& store() const { return store_; }
 
+  // Simulated node crash: connected QPs time out instead of moving data.
+  // The store's contents are retained but unreachable (a restarted node
+  // would come back empty or stale; the recovery subsystem re-replicates
+  // from surviving copies rather than trusting them).
+  void Crash() { mr_.crashed = true; }
+  void Restore() { mr_.crashed = false; }
+  bool crashed() const { return mr_.crashed; }
+
  private:
   PageStore store_;
   MemoryRegion mr_;

@@ -41,6 +41,9 @@ struct MemoryRegion {
   uint64_t base = 0;
   uint64_t length = 0;
   AddressResolver* resolver = nullptr;
+  // Set while the owning memory node is crashed: connected QPs complete
+  // every op with WcStatus::kTimeout instead of moving data.
+  bool crashed = false;
 
   bool Contains(uint64_t addr, uint32_t len) const {
     return addr >= base && addr + len <= base + length;

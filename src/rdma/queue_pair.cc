@@ -11,6 +11,19 @@ Completion QueuePair::Fail(uint64_t wr_id, WcStatus status, uint64_t now_ns) {
 }
 
 Completion QueuePair::PostSend(const WorkRequest& wr, uint64_t now_ns) {
+  if (remote_mr_->crashed) {
+    // The RC transport retransmits until its timer expires, then completes
+    // the WQE in error; no data moves. Subsequent ops on this QP still
+    // complete in order behind the timed-out one.
+    uint64_t done = now_ns + link_->cost().rdma_op_timeout_ns;
+    if (done < last_completion_ns_) {
+      done = last_completion_ns_;
+    }
+    last_completion_ns_ = done;
+    Completion c{wr.wr_id, WcStatus::kTimeout, done};
+    cq_.Push(c);
+    return c;
+  }
   if (wr.local.size() != wr.remote.size() || wr.local.empty()) {
     return Fail(wr.wr_id, WcStatus::kLocalError, now_ns);
   }

@@ -24,6 +24,7 @@ enum class WcStatus : uint8_t {
   kSuccess,
   kRemoteAccessError,  // rkey mismatch or out-of-region access.
   kLocalError,
+  kTimeout,  // RC transport retries exhausted (remote node unreachable).
 };
 
 // One scatter/gather element. On the remote side a segment must not cross a

@@ -1,0 +1,117 @@
+#include "src/recovery/failure_detector.h"
+
+namespace dilos {
+
+FailureDetector::FailureDetector(Fabric& fabric, ShardRouter& router, RuntimeStats& stats,
+                                 Tracer* tracer, FailureDetectorConfig cfg)
+    : fabric_(fabric), router_(router), stats_(stats), tracer_(tracer), cfg_(cfg) {
+  if (tracer_ == nullptr) {
+    static Tracer null_tracer(0);
+    tracer_ = &null_tracer;
+  }
+  int n = fabric.num_nodes();
+  strikes_.assign(static_cast<size_t>(n), 0);
+  lease_expiry_.assign(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    probe_qps_.push_back(fabric.CreateQp(i));
+  }
+}
+
+void FailureDetector::Tick(uint64_t now_ns) {
+  if (now_ns >= next_probe_ns_) {
+    ProbeAll(now_ns);
+    next_probe_ns_ = now_ns + cfg_.probe_interval_ns;
+  }
+  // Lease check: a node whose lease lapsed without renewal is dead even if
+  // no probe round happens to be due right now.
+  for (int n = 0; n < fabric_.num_nodes(); ++n) {
+    if (router_.state(n) == NodeState::kDead) {
+      continue;
+    }
+    uint64_t expiry = lease_expiry_[static_cast<size_t>(n)];
+    if (expiry != 0 && now_ns > expiry) {
+      DeclareDead(n, now_ns);
+    }
+  }
+}
+
+void FailureDetector::ProbeAll(uint64_t now_ns) {
+  for (int n = 0; n < fabric_.num_nodes(); ++n) {
+    if (router_.state(n) == NodeState::kDead) {
+      continue;
+    }
+    stats_.probes_sent++;
+    Completion c = probe_qps_[static_cast<size_t>(n)]->PostRead(
+        ++wr_id_, reinterpret_cast<uint64_t>(scratch_), kFarBase, 8, now_ns);
+    if (c.status == WcStatus::kSuccess) {
+      RenewLease(n, c.completion_time_ns);
+    } else {
+      stats_.probe_misses++;
+      tracer_->Record(c.completion_time_ns, TraceEvent::kProbeMiss, 0,
+                      static_cast<uint32_t>(n));
+      Strike(n, c.completion_time_ns);
+    }
+  }
+}
+
+void FailureDetector::OnOpTimeout(int node, uint64_t now_ns) {
+  stats_.op_timeouts++;
+  tracer_->Record(now_ns, TraceEvent::kOpTimeout, 0, static_cast<uint32_t>(node));
+  Strike(node, now_ns);
+}
+
+void FailureDetector::OnOpSuccess(int node, uint64_t now_ns) {
+  // Any completed op is as good as a heartbeat.
+  RenewLease(node, now_ns);
+}
+
+void FailureDetector::RenewLease(int node, uint64_t now_ns) {
+  if (router_.state(node) == NodeState::kDead) {
+    return;  // Dead is final; re-admission goes through the repair manager.
+  }
+  lease_expiry_[static_cast<size_t>(node)] = now_ns + cfg_.lease_ns;
+  strikes_[static_cast<size_t>(node)] = 0;
+  if (router_.state(node) == NodeState::kSuspect) {
+    router_.MarkLive(node);  // False alarm (e.g. one lost op).
+  }
+}
+
+void FailureDetector::Strike(int node, uint64_t now_ns) {
+  if (router_.state(node) == NodeState::kDead) {
+    return;
+  }
+  uint32_t s = ++strikes_[static_cast<size_t>(node)];
+  if (s >= cfg_.dead_after) {
+    DeclareDead(node, now_ns);
+  } else if (s >= cfg_.suspect_after && router_.state(node) == NodeState::kLive) {
+    router_.MarkSuspect(node);
+    tracer_->Record(now_ns, TraceEvent::kNodeSuspect, 0, static_cast<uint32_t>(node));
+  }
+}
+
+void FailureDetector::DeclareDead(int node, uint64_t now_ns) {
+  router_.MarkDead(node);
+  stats_.nodes_failed++;
+  tracer_->Record(now_ns, TraceEvent::kNodeDead, 0, static_cast<uint32_t>(node));
+}
+
+Completion FailureDetector::ReadWithRetry(QueuePair* qp, int node, uint64_t local_addr,
+                                          uint64_t remote_addr, uint32_t len,
+                                          uint64_t* cursor_ns) {
+  Completion c{};
+  for (uint32_t attempt = 0;; ++attempt) {
+    c = qp->PostRead(++wr_id_, local_addr, remote_addr, len, *cursor_ns);
+    *cursor_ns = c.completion_time_ns;
+    if (c.status == WcStatus::kSuccess) {
+      OnOpSuccess(node, c.completion_time_ns);
+      return c;
+    }
+    OnOpTimeout(node, c.completion_time_ns);
+    if (attempt >= cfg_.max_retries) {
+      return c;
+    }
+    *cursor_ns += cfg_.backoff_base_ns << attempt;
+  }
+}
+
+}  // namespace dilos

@@ -1,0 +1,189 @@
+#include "src/recovery/repair_manager.h"
+
+namespace dilos {
+
+RepairManager::RepairManager(Fabric& fabric, ShardRouter& router, FailureDetector& detector,
+                             RuntimeStats& stats, Tracer* tracer, RepairConfig cfg)
+    : fabric_(fabric),
+      router_(router),
+      detector_(detector),
+      stats_(stats),
+      tracer_(tracer),
+      cfg_(cfg) {
+  if (tracer_ == nullptr) {
+    static Tracer null_tracer(0);
+    tracer_ = &null_tracer;
+  }
+  int n = fabric.num_nodes();
+  dead_handled_.assign(static_cast<size_t>(n), 0);
+  target_refs_.assign(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    qps_.push_back(fabric.CreateQp(i));
+  }
+}
+
+void RepairManager::Tick(uint64_t now_ns) {
+  if (now_ns < last_tick_ns_ + cfg_.min_interval_ns) {
+    return;
+  }
+  last_tick_ns_ = now_ns;
+  ScanForFailures(now_ns);
+  uint64_t budget = cfg_.bytes_per_tick;
+  while (budget > 0 && !jobs_.empty()) {
+    uint64_t moved = DrainFront(now_ns, budget);
+    if (moved == 0 && !jobs_.empty()) {
+      break;  // Front job finished without moving bytes; avoid spinning.
+    }
+    budget = moved >= budget ? 0 : budget - moved;
+  }
+}
+
+int RepairManager::PickTarget(const std::vector<int>& replicas) {
+  int best = -1;
+  bool best_spare = false;
+  for (int n = 0; n < fabric_.num_nodes(); ++n) {
+    NodeState s = router_.state(n);
+    if (s != NodeState::kLive && s != NodeState::kRebuilding) {
+      continue;  // Dead is out; suspect is too risky to adopt as a target.
+    }
+    bool in_set = false;
+    for (int r : replicas) {
+      if (r == n) {
+        in_set = true;
+        break;
+      }
+    }
+    if (in_set) {
+      continue;
+    }
+    bool spare = router_.is_spare(n);
+    if (best < 0 || (spare && !best_spare) ||
+        (spare == best_spare &&
+         target_refs_[static_cast<size_t>(n)] < target_refs_[static_cast<size_t>(best)])) {
+      best = n;
+      best_spare = spare;
+    }
+  }
+  return best;
+}
+
+void RepairManager::ScanForFailures(uint64_t now_ns) {
+  for (int dead = 0; dead < fabric_.num_nodes(); ++dead) {
+    if (router_.state(dead) != NodeState::kDead || dead_handled_[static_cast<size_t>(dead)]) {
+      continue;
+    }
+    dead_handled_[static_cast<size_t>(dead)] = 1;
+    for (uint64_t granule : router_.written_granules()) {
+      uint64_t va = granule << kShardGranuleShift;
+      router_.ReplicaNodes(va, &replica_scratch_);
+      bool degraded = false;
+      for (int n : replica_scratch_) {
+        if (n == dead) {
+          degraded = true;
+          break;
+        }
+      }
+      if (!degraded) {
+        continue;
+      }
+      int target = PickTarget(replica_scratch_);
+      if (target < 0) {
+        // No healthy node outside the replica set: the granule stays at
+        // reduced redundancy until capacity returns.
+        continue;
+      }
+      std::vector<int> replicas = replica_scratch_;
+      for (int& n : replicas) {
+        if (n == dead) {
+          n = target;
+        }
+      }
+      router_.BeginRebuild(granule, std::move(replicas), target);
+      if (router_.is_spare(target) && router_.state(target) == NodeState::kLive) {
+        router_.MarkRebuilding(target);  // Spare adopted: fills before serving.
+      }
+      ++target_refs_[static_cast<size_t>(target)];
+      jobs_.push_back(Job{granule, target, 0});
+      stats_.repairs_issued++;
+      tracer_->Record(now_ns, TraceEvent::kRepairStart, va, static_cast<uint32_t>(target));
+    }
+  }
+}
+
+uint64_t RepairManager::DrainFront(uint64_t now_ns, uint64_t budget) {
+  Job& job = jobs_.front();
+  uint64_t granule_base = job.granule << kShardGranuleShift;
+  if (cursor_ns_ < now_ns) {
+    cursor_ns_ = now_ns;
+  }
+
+  auto retire = [&](bool committed) {
+    int target = job.target;
+    if (committed) {
+      router_.CommitRebuild(job.granule);
+      stats_.repair_granules++;
+      tracer_->Record(cursor_ns_, TraceEvent::kRepairDone, granule_base,
+                      static_cast<uint32_t>(target));
+    }
+    if (target_refs_[static_cast<size_t>(target)] > 0 &&
+        --target_refs_[static_cast<size_t>(target)] == 0 &&
+        router_.state(target) == NodeState::kRebuilding) {
+      router_.MarkLive(target);  // Spare fully adopted.
+    }
+    jobs_.pop_front();
+  };
+
+  // The target itself died, or this job was superseded by a re-plan after a
+  // second failure: drop it, the new job carries the work.
+  if (router_.state(job.target) == NodeState::kDead ||
+      router_.RebuildTarget(job.granule) != job.target) {
+    retire(/*committed=*/false);
+    return 0;
+  }
+
+  uint64_t moved = 0;
+  while (job.next_page < kPagesPerGranule && moved < budget) {
+    uint64_t page_va = granule_base + static_cast<uint64_t>(job.next_page) * kPageSize;
+    ++job.next_page;
+    router_.ReplicaNodes(page_va, &replica_scratch_);
+    // Source: a readable replica that actually holds the page. A page no
+    // surviving replica materialized was never cleaned anywhere remote
+    // (its content is local or all-zero) — nothing to copy.
+    int src = -1;
+    for (int n : replica_scratch_) {
+      if (n == job.target || !router_.Readable(n, job.granule)) {
+        continue;
+      }
+      if (fabric_.node(n).store().Materialized(page_va >> kPageShift)) {
+        src = n;
+        break;
+      }
+    }
+    if (src < 0) {
+      continue;
+    }
+    Completion rc = detector_.ReadWithRetry(qps_[static_cast<size_t>(src)], src,
+                                            reinterpret_cast<uint64_t>(buf_), page_va,
+                                            kPageSize, &cursor_ns_);
+    if (rc.status != WcStatus::kSuccess) {
+      stats_.repair_pages_lost++;  // Source died mid-copy; no other holder.
+      continue;
+    }
+    Completion wc = qps_[static_cast<size_t>(job.target)]->PostWrite(
+        0, reinterpret_cast<uint64_t>(buf_), page_va, kPageSize, cursor_ns_);
+    cursor_ns_ = wc.completion_time_ns;
+    if (wc.status != WcStatus::kSuccess) {
+      detector_.OnOpTimeout(job.target, cursor_ns_);
+      return moved;  // Target is failing; its death retires the job above.
+    }
+    stats_.repair_pages++;
+    stats_.repair_bytes += 2ULL * kPageSize;
+    moved += 2ULL * kPageSize;
+  }
+  if (job.next_page >= kPagesPerGranule) {
+    retire(/*committed=*/true);
+  }
+  return moved;
+}
+
+}  // namespace dilos

@@ -1,0 +1,94 @@
+// Repair manager: restores replication after a memory-node failure.
+//
+// When the failure detector declares a node dead, every granule whose
+// replica set contained it is left at reduced redundancy — a second failure
+// would lose data. The repair manager scans the router's written-granule
+// set, picks a replacement node for each degraded granule (a spare if the
+// fabric has one, otherwise the least-loaded surviving node outside the
+// replica set), and copies the granule's materialized pages from a
+// surviving replica over dedicated repair QPs.
+//
+// Repair runs from the same simulated-clock background hooks as the
+// cleaner/reclaimer: its CPU time is free (spare cores) but its RDMA
+// traffic occupies the shared links, so it *does* contend with demand
+// fetches — which is why `bytes_per_tick` throttles it. Write-backs racing
+// a rebuild are routed to the target too (ShardRouter::WriteQps includes
+// uncommitted targets), so no window loses updates; reads are only allowed
+// once CommitRebuild publishes the copy.
+#ifndef DILOS_SRC_RECOVERY_REPAIR_MANAGER_H_
+#define DILOS_SRC_RECOVERY_REPAIR_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/dilos/shard.h"
+#include "src/memnode/fabric.h"
+#include "src/recovery/failure_detector.h"
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
+
+namespace dilos {
+
+struct RepairConfig {
+  // Repair-bandwidth throttle: payload bytes (source read + target write)
+  // moved per tick. Raising it shortens rebuild time but steals link time
+  // from demand fetches (measured by bench_ext_recovery).
+  uint64_t bytes_per_tick = 512 * 1024;
+  uint64_t min_interval_ns = 20'000;  // Spacing between repair ticks.
+};
+
+// Aggregate knob block consumed by DilosConfig.
+struct RecoveryOptions {
+  bool enabled = false;
+  // Trailing fabric nodes held out of hash placement as repair targets.
+  int spare_nodes = 0;
+  FailureDetectorConfig detector;
+  RepairConfig repair;
+};
+
+class RepairManager {
+ public:
+  RepairManager(Fabric& fabric, ShardRouter& router, FailureDetector& detector,
+                RuntimeStats& stats, Tracer* tracer, RepairConfig cfg = {});
+
+  // Clock hook: picks up newly declared-dead nodes and drains up to
+  // `bytes_per_tick` of queued page copies.
+  void Tick(uint64_t now_ns);
+
+  bool idle() const { return jobs_.empty(); }
+  size_t pending_granules() const { return jobs_.size(); }
+
+ private:
+  struct Job {
+    uint64_t granule = 0;
+    int target = -1;
+    uint32_t next_page = 0;  // Index within the granule.
+  };
+
+  void ScanForFailures(uint64_t now_ns);
+  // Replacement node for a degraded replica set, or -1 if none exists.
+  int PickTarget(const std::vector<int>& replicas);
+  // Copies the next pages of the front job; returns bytes moved.
+  uint64_t DrainFront(uint64_t now_ns, uint64_t budget);
+
+  Fabric& fabric_;
+  ShardRouter& router_;
+  FailureDetector& detector_;
+  RuntimeStats& stats_;
+  Tracer* tracer_;
+  RepairConfig cfg_;
+
+  std::vector<QueuePair*> qps_;  // One dedicated repair QP per node.
+  std::deque<Job> jobs_;
+  std::vector<char> dead_handled_;    // Dead nodes already scanned.
+  std::vector<uint32_t> target_refs_;  // Granule rebuilds in flight per target.
+  std::vector<int> replica_scratch_;
+  uint64_t last_tick_ns_ = 0;
+  uint64_t cursor_ns_ = 0;  // Issue-time cursor serializing the repair stream.
+  uint8_t buf_[kPageSize] = {};
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_RECOVERY_REPAIR_MANAGER_H_

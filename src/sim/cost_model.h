@@ -23,6 +23,12 @@ struct CostModel {
   // segments (Sec. 6.3), modeled as a superlinear step at >3.
   uint64_t rdma_per_seg_ns = 120;
   uint64_t rdma_seg_penalty_ns = 900;  // Added per segment beyond 3.
+  // RC transport retry timeout: an op posted toward a crashed node occupies
+  // the QP for this long before completing with WcStatus::kTimeout (the
+  // simulated analogue of IBV_WC_RETRY_EXC_ERR). Real RNIC retransmit
+  // timers run to milliseconds; the model compresses that to a few op
+  // latencies so failure detection costs are visible but not dominant.
+  uint64_t rdma_op_timeout_ns = 10'000;
 
   // --- Link serialization ---------------------------------------------------
   // The wire is shared by all queue pairs; each op occupies it for a per-op

@@ -119,7 +119,27 @@ std::string RuntimeStats::ToString() const {
                 static_cast<unsigned long long>(bytes_written),
                 static_cast<unsigned long long>(subpage_fetches),
                 static_cast<unsigned long long>(vectored_ops));
-  return std::string(buf) + fault_breakdown.ToString();
+  std::string out(buf);
+  if (op_timeouts != 0 || probes_sent != 0 || nodes_failed != 0 || repairs_issued != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "recovery: timeouts=%llu retries=%llu failed=%llu degraded=%llu | "
+                  "probes=%llu/%llu missed | nodes-dead=%llu | repair: %llu/%llu granules "
+                  "%llu pages %llu bytes lost=%llu\n",
+                  static_cast<unsigned long long>(op_timeouts),
+                  static_cast<unsigned long long>(fetch_retries),
+                  static_cast<unsigned long long>(failed_fetches),
+                  static_cast<unsigned long long>(degraded_reads),
+                  static_cast<unsigned long long>(probe_misses),
+                  static_cast<unsigned long long>(probes_sent),
+                  static_cast<unsigned long long>(nodes_failed),
+                  static_cast<unsigned long long>(repair_granules),
+                  static_cast<unsigned long long>(repairs_issued),
+                  static_cast<unsigned long long>(repair_pages),
+                  static_cast<unsigned long long>(repair_bytes),
+                  static_cast<unsigned long long>(repair_pages_lost));
+    out += buf;
+  }
+  return out + fault_breakdown.ToString();
 }
 
 }  // namespace dilos

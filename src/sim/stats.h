@@ -90,6 +90,20 @@ struct RuntimeStats {
   uint64_t subpage_fetches = 0;  // Guide-issued subpage (partial page) reads.
   uint64_t vectored_ops = 0;     // Scatter/gather ops issued by guided paging.
 
+  // --- Recovery subsystem (src/recovery) -----------------------------------
+  uint64_t op_timeouts = 0;        // RDMA ops that timed out against a node.
+  uint64_t fetch_retries = 0;      // Demand fetches retried after a timeout.
+  uint64_t failed_fetches = 0;     // Fetches with no live replica (zero-filled).
+  uint64_t degraded_reads = 0;     // Demand reads served by a non-primary replica.
+  uint64_t probes_sent = 0;        // Failure-detector heartbeats issued.
+  uint64_t probe_misses = 0;       // Heartbeats that went unanswered.
+  uint64_t nodes_failed = 0;       // Nodes the failure detector declared dead.
+  uint64_t repairs_issued = 0;     // Granule rebuilds scheduled.
+  uint64_t repair_granules = 0;    // Granule rebuilds committed.
+  uint64_t repair_pages = 0;       // Pages re-replicated by the repair manager.
+  uint64_t repair_bytes = 0;       // Repair traffic (read + write payload).
+  uint64_t repair_pages_lost = 0;  // Pages with no surviving readable copy.
+
   LatencyBreakdown fault_breakdown;
 
   uint64_t total_faults() const { return major_faults + minor_faults + zero_fill_faults; }

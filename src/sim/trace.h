@@ -24,6 +24,14 @@ enum class TraceEvent : uint8_t {
   kWriteback,
   kActionFetch,
   kNodeFailover,
+  // Recovery subsystem (src/recovery): detail carries the node id.
+  kOpTimeout,     // An RDMA op timed out against an unreachable node.
+  kProbeMiss,     // A failure-detector heartbeat went unanswered.
+  kNodeSuspect,   // Detector moved a node to the suspect state.
+  kNodeDead,      // Detector declared a node dead.
+  kRepairStart,   // Repair of one under-replicated granule scheduled.
+  kRepairDone,    // Granule restored to full replication (remap committed).
+  kDegradedRead,  // Demand read served by a non-primary replica.
 };
 
 inline const char* TraceEventName(TraceEvent e) {
@@ -44,6 +52,20 @@ inline const char* TraceEventName(TraceEvent e) {
       return "action-fetch";
     case TraceEvent::kNodeFailover:
       return "failover";
+    case TraceEvent::kOpTimeout:
+      return "op-timeout";
+    case TraceEvent::kProbeMiss:
+      return "probe-miss";
+    case TraceEvent::kNodeSuspect:
+      return "node-suspect";
+    case TraceEvent::kNodeDead:
+      return "node-dead";
+    case TraceEvent::kRepairStart:
+      return "repair-start";
+    case TraceEvent::kRepairDone:
+      return "repair-done";
+    case TraceEvent::kDegradedRead:
+      return "degraded-read";
   }
   return "?";
 }

@@ -1,0 +1,247 @@
+// Tests for the recovery subsystem (src/recovery): failure detection via op
+// timeouts and heartbeat probes, automatic re-replication of degraded
+// granules, spare-node adoption, and degraded-mode routing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/dilos/readahead.h"
+#include "src/dilos/runtime.h"
+#include "src/recovery/failure_detector.h"
+#include "src/recovery/repair_manager.h"
+
+namespace dilos {
+namespace {
+
+DilosConfig RecoveryConfig(int replication, int spare_nodes = 0) {
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 64 * kPageSize;
+  cfg.replication = replication;
+  cfg.recovery.enabled = true;
+  cfg.recovery.spare_nodes = spare_nodes;
+  return cfg;
+}
+
+void Populate(DilosRuntime& rt, uint64_t region, uint64_t pages) {
+  for (uint64_t p = 0; p < pages; ++p) {
+    rt.Write<uint64_t>(region + p * kPageSize, p ^ 0xD15C0);
+  }
+}
+
+uint64_t VerifySweep(DilosRuntime& rt, uint64_t region, uint64_t pages) {
+  uint64_t errors = 0;
+  for (uint64_t p = 0; p < pages; ++p) {
+    if (rt.Read<uint64_t>(region + p * kPageSize) != (p ^ 0xD15C0)) {
+      ++errors;
+    }
+  }
+  return errors;
+}
+
+// Drives recovery until the repair queue drains (bounded by `max_ms`).
+void DriveUntilIdle(DilosRuntime& rt, uint64_t max_ms = 50) {
+  for (uint64_t i = 0; i < max_ms && !rt.RecoveryIdle(); ++i) {
+    rt.DriveRecovery(1'000'000);
+  }
+}
+
+TEST(FailureDetector, OpTimeoutsMarkCrashedNodeDeadWithoutOracle) {
+  Fabric fabric(CostModel::Default(), 2);
+  DilosRuntime rt(fabric, RecoveryConfig(2), std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 256;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);
+
+  fabric.CrashNode(0);  // Physical crash; nobody calls FailNode().
+  ASSERT_EQ(rt.router().state(0), NodeState::kLive) << "crash must not be known yet";
+
+  // Demand fetches toward the crashed node time out, strike it dead, and
+  // fail over to the replica — the sweep sees no corruption.
+  EXPECT_EQ(VerifySweep(rt, region, pages), 0u);
+  EXPECT_EQ(rt.router().state(0), NodeState::kDead);
+  EXPECT_GT(rt.stats().op_timeouts, 0u);
+  EXPECT_GT(rt.stats().fetch_retries, 0u);
+  EXPECT_GT(rt.stats().degraded_reads, 0u);
+  EXPECT_EQ(rt.stats().failed_fetches, 0u);
+  EXPECT_EQ(rt.stats().nodes_failed, 1u);
+}
+
+TEST(FailureDetector, HeartbeatProbesDetectCrashWithoutAnyTraffic) {
+  Fabric fabric(CostModel::Default(), 2);
+  DilosRuntime rt(fabric, RecoveryConfig(2), std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 64;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);
+
+  fabric.CrashNode(1);
+  // No application traffic at all: probes alone must notice.
+  rt.DriveRecovery(2'000'000);
+  EXPECT_EQ(rt.router().state(1), NodeState::kDead);
+  EXPECT_GT(rt.stats().probes_sent, 0u);
+  EXPECT_GT(rt.stats().probe_misses, 0u);
+}
+
+TEST(FailureDetector, SuspectRecoversOnSuccessfulProbe) {
+  Fabric fabric(CostModel::Default(), 2);
+  RuntimeStats stats;
+  ShardRouter router(fabric, 1, 2, false);
+  FailureDetectorConfig cfg;
+  cfg.dead_after = 5;
+  FailureDetector det(fabric, router, stats, nullptr, cfg);
+
+  det.OnOpTimeout(0, 1'000);
+  EXPECT_EQ(router.state(0), NodeState::kSuspect);
+  det.OnOpSuccess(0, 2'000);  // One good op clears the suspicion.
+  EXPECT_EQ(router.state(0), NodeState::kLive);
+}
+
+TEST(FailureDetector, ReadWithRetryBacksOffAndGivesUp) {
+  Fabric fabric(CostModel::Default(), 1);
+  RuntimeStats stats;
+  ShardRouter router(fabric, 1, 1, false);
+  FailureDetector det(fabric, router, stats, nullptr);
+  fabric.CrashNode(0);
+
+  QueuePair* qp = fabric.CreateQp(0);
+  uint8_t buf[64];
+  uint64_t cursor = 0;
+  Completion c = det.ReadWithRetry(qp, 0, reinterpret_cast<uint64_t>(buf), kFarBase, 64, &cursor);
+  EXPECT_EQ(c.status, WcStatus::kTimeout);
+  // max_retries+1 attempts, each a full op timeout, plus exponential backoff.
+  const FailureDetectorConfig& cfg = det.config();
+  uint64_t min_elapsed = (cfg.max_retries + 1) * fabric.cost().rdma_op_timeout_ns;
+  EXPECT_GE(cursor, min_elapsed);
+  EXPECT_EQ(stats.op_timeouts, cfg.max_retries + 1);
+  EXPECT_EQ(router.state(0), NodeState::kDead);
+}
+
+TEST(RepairManager, RestoresReplicationOnSurvivor) {
+  Fabric fabric(CostModel::Default(), 3);
+  DilosRuntime rt(fabric, RecoveryConfig(2), std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 512;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);
+
+  fabric.CrashNode(0);
+  rt.DriveRecovery(2'000'000);  // Detect via probes.
+  ASSERT_EQ(rt.router().state(0), NodeState::kDead);
+  DriveUntilIdle(rt);
+  ASSERT_TRUE(rt.RecoveryIdle());
+
+  EXPECT_GT(rt.stats().repairs_issued, 0u);
+  EXPECT_GT(rt.stats().repair_granules, 0u);
+  EXPECT_GT(rt.stats().repair_pages, 0u);
+  // Every granule ever written is back at full redundancy.
+  for (uint64_t g : rt.router().written_granules()) {
+    EXPECT_EQ(rt.router().LiveReplicaCount(g << kShardGranuleShift), 2) << g;
+  }
+  EXPECT_EQ(VerifySweep(rt, region, pages), 0u);
+}
+
+TEST(RepairManager, SpareNodeIsAdoptedAndBecomesLive) {
+  // Three nodes but one is a spare: placement uses only nodes 0 and 1.
+  Fabric fabric(CostModel::Default(), 3);
+  DilosRuntime rt(fabric, RecoveryConfig(2, /*spare_nodes=*/1),
+                  std::make_unique<NullPrefetcher>());
+  ASSERT_EQ(rt.router().active_nodes(), 2);
+  ASSERT_TRUE(rt.router().is_spare(2));
+  const uint64_t pages = 256;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);
+  // Spares take no hashed traffic; only the detector's 8-byte probe at
+  // kFarBase may have materialized a page there.
+  ASSERT_LE(fabric.node(2).store().page_count(), 1u);
+
+  fabric.CrashNode(0);
+  rt.DriveRecovery(2'000'000);
+  ASSERT_EQ(rt.router().state(0), NodeState::kDead);
+  DriveUntilIdle(rt);
+  ASSERT_TRUE(rt.RecoveryIdle());
+
+  // The spare was filled and promoted to a live replica.
+  EXPECT_GT(fabric.node(2).store().page_count(), 0u);
+  EXPECT_EQ(rt.router().state(2), NodeState::kLive);
+  for (uint64_t g : rt.router().written_granules()) {
+    EXPECT_EQ(rt.router().LiveReplicaCount(g << kShardGranuleShift), 2) << g;
+  }
+  EXPECT_EQ(VerifySweep(rt, region, pages), 0u);
+}
+
+TEST(RepairManager, DoubleFailureAfterRepairLosesNothing) {
+  // The acceptance scenario: replication=2 over 3 nodes. Node A crashes, is
+  // detected (no FailNode), repair restores two live replicas everywhere;
+  // then node B crashes, and a full sweep still reads every value back.
+  Fabric fabric(CostModel::Default(), 3);
+  DilosRuntime rt(fabric, RecoveryConfig(2), std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 512;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);
+
+  fabric.CrashNode(0);
+  EXPECT_EQ(VerifySweep(rt, region, pages), 0u);  // Degraded but correct.
+  ASSERT_EQ(rt.router().state(0), NodeState::kDead);
+  DriveUntilIdle(rt);
+  ASSERT_TRUE(rt.RecoveryIdle());
+  for (uint64_t g : rt.router().written_granules()) {
+    ASSERT_EQ(rt.router().LiveReplicaCount(g << kShardGranuleShift), 2) << g;
+  }
+
+  fabric.CrashNode(1);
+  rt.DriveRecovery(2'000'000);
+  ASSERT_EQ(rt.router().state(1), NodeState::kDead);
+  // Only one node survives: everything must still verify from it.
+  EXPECT_EQ(VerifySweep(rt, region, pages), 0u);
+  EXPECT_EQ(rt.stats().failed_fetches, 0u);
+  EXPECT_EQ(rt.stats().nodes_failed, 2u);
+}
+
+TEST(DegradedMode, WriteQpsSkipDeadAndIncludeRebuildTarget) {
+  Fabric fabric(CostModel::Default(), 3);
+  ShardRouter router(fabric, 1, 2, false);
+  // Find a granule homed on node 0 (replicas {0, 1}).
+  uint64_t va = kFarBase;
+  while (router.NodeOf(va) != 0) {
+    va += kShardGranuleBytes;
+  }
+  std::vector<QueuePair*> qps;
+  std::vector<int> nodes;
+  router.WriteQps(0, CommChannel::kManager, va, &qps, &nodes);
+  ASSERT_EQ(nodes.size(), 2u);
+
+  router.MarkDead(0);
+  router.WriteQps(0, CommChannel::kManager, va, &qps, &nodes);
+  ASSERT_EQ(nodes.size(), 1u) << "dead replica must drop out of the fan-out";
+  EXPECT_EQ(nodes[0], 1);
+  EXPECT_EQ(router.LiveReplicaCount(va), 1);
+
+  // A rebuild onto node 2 receives writes immediately...
+  router.BeginRebuild(ShardRouter::GranuleOf(va), {2, 1}, 2);
+  router.WriteQps(0, CommChannel::kManager, va, &qps, &nodes);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], 2);
+  // ...but serves no reads until the copy commits.
+  ShardRouter::ReadTarget t = router.PickRead(0, CommChannel::kFault, va);
+  EXPECT_EQ(t.node, 1);
+  EXPECT_TRUE(t.degraded);
+  router.CommitRebuild(ShardRouter::GranuleOf(va));
+  t = router.PickRead(0, CommChannel::kFault, va);
+  EXPECT_EQ(t.node, 2);
+  EXPECT_FALSE(t.degraded);
+  EXPECT_EQ(router.LiveReplicaCount(va), 2);
+}
+
+TEST(DegradedMode, RebuildingNodeReadableOnlyForCommittedGranules) {
+  Fabric fabric(CostModel::Default(), 3);
+  ShardRouter router(fabric, 1, 2, false, /*spare_nodes=*/1);
+  router.MarkRebuilding(2);
+  uint64_t committed = 7, pending = 9;
+  router.BeginRebuild(committed, {2, 1}, 2);
+  router.CommitRebuild(committed);
+  router.BeginRebuild(pending, {2, 1}, 2);
+  EXPECT_TRUE(router.Readable(2, committed));
+  EXPECT_FALSE(router.Readable(2, pending));
+  EXPECT_FALSE(router.Readable(2, 12345));  // Never rebuilt here at all.
+}
+
+}  // namespace
+}  // namespace dilos
