@@ -1,13 +1,23 @@
 #include "src/dilos/page_manager.h"
 
+#include <cstring>
+
+#include "src/recovery/ec_read.h"
+
 namespace dilos {
 
 PageManager::PageManager(FramePool& pool, PageTable& pt, ShardRouter& router,
-                         RuntimeStats& stats, Tracer* tracer, PageManagerConfig cfg)
-    : pool_(pool), pt_(pt), router_(router), stats_(stats), tracer_(tracer), cfg_(cfg) {
+                         RuntimeStats& stats, Tracer* tracer, PageManagerConfig cfg,
+                         const CostModel* cost)
+    : pool_(pool), pt_(pt), router_(router), stats_(stats), tracer_(tracer), cfg_(cfg),
+      cost_(cost) {
   if (tracer_ == nullptr) {
     static Tracer null_tracer(0);
     tracer_ = &null_tracer;
+  }
+  if (cost_ == nullptr) {
+    static const CostModel default_cost = CostModel::Default();
+    cost_ = &default_cost;
   }
 }
 
@@ -64,8 +74,26 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
   uint32_t frame = static_cast<uint32_t>(PtePayload(*e));
   uint64_t frame_addr = pool_.Addr(frame);
 
+  // EC: parity is maintained by read-modify-write against the page's current
+  // remote content, so the old bytes must be in hand *before* the data write
+  // lands. The old copy comes from the home member, or — when that copy is
+  // unreadable (crashed node, uncommitted rebuild target) — from a decode of
+  // the surviving stripe members; skipping that decode would write fresh data
+  // under stale parity and corrupt every later reconstruction of the stripe.
+  uint8_t old_page[kPageSize];
+  bool ec_parity = router_.ec_enabled() && router_.ec().m > 0 && page_va < kEcParityBase;
+  if (ec_parity && !EcOldContent(page_va, old_page, now)) {
+    // More than m members already lost: the stripe is unrecoverable anyway;
+    // fold against zeros so the write itself still lands.
+    std::memset(old_page, 0, kPageSize);
+  }
+
   std::vector<PageSegment> segs;
-  bool vectored = guide_ != nullptr && guide_->LiveSegments(page_va, &segs) && !segs.empty() &&
+  // EC write-backs are always whole pages: the parity delta must cover every
+  // byte the data write changes, and vectored segment lists make the
+  // old-xor-new bookkeeping cover only live bytes.
+  bool vectored = !router_.ec_enabled() && guide_ != nullptr &&
+                  guide_->LiveSegments(page_va, &segs) && !segs.empty() &&
                   segs.size() <= cfg_.max_vector_segs;
   // A whole-page segment list degenerates to a plain write.
   if (vectored && segs.size() == 1 && segs[0].offset == 0 && segs[0].length == kPageSize) {
@@ -117,8 +145,84 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
       ReleaseAction(old->second);
       vector_cleaned_.erase(old);
     }
+    if (ec_parity) {
+      EcUpdateParity(page_va, old_page, pool_.Data(frame), now);
+    }
   }
   *e &= ~kPteDirty;
+}
+
+bool PageManager::EcOldContent(uint64_t page_va, uint8_t* out, uint64_t now) {
+  uint64_t granule = ShardRouter::GranuleOf(page_va);
+  uint64_t stripe = router_.EcStripeOf(granule);
+  int member = router_.EcMemberOf(granule);
+  if (router_.EcMemberReadable(stripe, member)) {
+    int node = router_.EcNode(stripe, member);
+    Completion c =
+        router_.NodeQp(/*core=*/0, CommChannel::kManager, node)
+            ->PostRead(++wr_id_, reinterpret_cast<uint64_t>(out), page_va, kPageSize, now);
+    if (c.status == WcStatus::kSuccess) {
+      stats_.ec_parity_bytes += kPageSize;
+      return true;
+    }
+    router_.ReportOpFailure(node, c.completion_time_ns);
+  }
+  uint32_t page_idx = static_cast<uint32_t>((page_va & (kShardGranuleBytes - 1)) >> kPageShift);
+  uint64_t cursor = now;
+  return EcReconstructPage(router_, *cost_, /*core=*/0, CommChannel::kManager, stripe, member,
+                           page_idx, out, &cursor, &wr_id_, stats_, tracer_);
+}
+
+void PageManager::EcUpdateParity(uint64_t page_va, const uint8_t* old_page,
+                                 const uint8_t* new_page, uint64_t now) {
+  uint8_t delta[kPageSize];
+  bool changed = false;
+  for (size_t i = 0; i < kPageSize; ++i) {
+    delta[i] = old_page[i] ^ new_page[i];
+    changed = changed || delta[i] != 0;
+  }
+  if (!changed) {
+    return;  // Re-clean of identical content: parity already matches.
+  }
+  uint64_t granule = ShardRouter::GranuleOf(page_va);
+  uint64_t stripe = router_.EcStripeOf(granule);
+  int member = router_.EcMemberOf(granule);
+  uint32_t page_idx = static_cast<uint32_t>((page_va & (kShardGranuleBytes - 1)) >> kPageShift);
+  const ECCodec& codec = router_.ec_codec();
+  uint8_t pbuf[kPageSize];
+  int updated = 0;
+  for (int p = 0; p < codec.m(); ++p) {
+    int pmember = codec.k() + p;
+    // An unreadable parity member (dead node, or mid-rebuild) is skipped:
+    // its content is regenerated wholesale by the repair manager from the
+    // data members, which already include this write-back.
+    if (!router_.EcMemberReadable(stripe, pmember)) {
+      continue;
+    }
+    int node = router_.EcNode(stripe, pmember);
+    uint64_t parity_va = router_.EcMemberPageVa(stripe, pmember, page_idx);
+    QueuePair* qp = router_.NodeQp(/*core=*/0, CommChannel::kManager, node);
+    Completion r = qp->PostRead(++wr_id_, reinterpret_cast<uint64_t>(pbuf), parity_va,
+                                kPageSize, now);
+    if (r.status != WcStatus::kSuccess) {
+      router_.ReportOpFailure(node, r.completion_time_ns);
+      continue;
+    }
+    ECCodec::XorMulInto(pbuf, delta, codec.Coef(pmember, member), kPageSize);
+    Completion w = qp->PostWrite(++wr_id_, reinterpret_cast<uint64_t>(pbuf), parity_va,
+                                 kPageSize, r.completion_time_ns);
+    if (w.status != WcStatus::kSuccess) {
+      router_.ReportOpFailure(node, w.completion_time_ns);
+      continue;
+    }
+    router_.NoteWrittenGranule(ShardRouter::GranuleOf(parity_va));
+    stats_.ec_parity_bytes += 2 * kPageSize;
+    ++updated;
+  }
+  if (updated > 0) {
+    stats_.ec_parity_updates++;
+    tracer_->Record(now, TraceEvent::kParityUpdate, page_va, static_cast<uint32_t>(updated));
+  }
 }
 
 bool PageManager::EvictOne(uint64_t now, uint64_t pinned_va) {

@@ -43,9 +43,13 @@ struct PageManagerConfig {
 class PageManager {
  public:
   // Write-backs go through `router` on the manager channel — to every live
-  // replica when replication is enabled.
+  // replica when replication is enabled, or to the single data copy plus a
+  // parity read-modify-write per parity member in EC mode. `cost` prices the
+  // EC decode on the degraded old-content path (defaults to the testbed
+  // model when null).
   PageManager(FramePool& pool, PageTable& pt, ShardRouter& router, RuntimeStats& stats,
-              Tracer* tracer = nullptr, PageManagerConfig cfg = {});
+              Tracer* tracer = nullptr, PageManagerConfig cfg = {},
+              const CostModel* cost = nullptr);
 
   void set_guide(Guide* guide) { guide_ = guide; }
 
@@ -84,6 +88,16 @@ class PageManager {
 
   uint64_t AllocActionSlot(std::vector<PageSegment> segs);
 
+  // EC: fetches the page's *current* remote content (direct read, or
+  // reconstruction when the home copy is unreadable) so the parity RMW
+  // folds an exact old-xor-new delta. Returns false if the stripe has
+  // already lost more than m members.
+  bool EcOldContent(uint64_t page_va, uint8_t* out, uint64_t now);
+  // EC: applies delta = old ^ new to every readable parity member of the
+  // page's stripe (read parity, fold Coef(k+p, member) * delta, write back).
+  void EcUpdateParity(uint64_t page_va, const uint8_t* old_page, const uint8_t* new_page,
+                      uint64_t now);
+
   FramePool& pool_;
   PageTable& pt_;
   ShardRouter& router_;
@@ -92,6 +106,7 @@ class PageManager {
   std::vector<QueuePair*> write_qps_;  // Scratch for replica fan-out.
   std::vector<int> write_nodes_;       // Node ids matching write_qps_.
   PageManagerConfig cfg_;
+  const CostModel* cost_;
   Guide* guide_ = nullptr;
 
   // LRU order: front = oldest. The clock hand sweeps from the front.

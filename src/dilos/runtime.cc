@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/recovery/ec_read.h"
+
 namespace dilos {
 
 namespace {
@@ -19,6 +21,15 @@ class RuntimeGuideContext : public GuideContext {
   uint64_t SubpageRead(uint64_t vaddr, uint32_t len, void* dst) override {
     ShardRouter::ReadTarget t = rt_.router_.PickRead(core_, CommChannel::kGuide, vaddr);
     if (t.qp == nullptr) {
+      uint64_t page_va = PageOf(vaddr);
+      if (t.reconstruct &&
+          rt_.EcDemandReconstruct(page_va, reinterpret_cast<uint64_t>(scratch_), nullptr,
+                                  core_, CommChannel::kGuide, &cursor_ns_)) {
+        std::memcpy(dst, scratch_ + (vaddr - page_va), len);
+        rt_.stats_.subpage_fetches++;
+        rt_.stats_.bytes_fetched += len;
+        return cursor_ns_;
+      }
       std::memset(dst, 0, len);  // Every replica is down; the chase ends here.
       return cursor_ns_;
     }
@@ -80,7 +91,7 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
       pool_(cfg.local_mem_bytes / kPageSize),
       clocks_(static_cast<size_t>(cfg.num_cores)),
       router_(fabric, cfg.num_cores, cfg.replication, cfg.shared_queue,
-              cfg.recovery.spare_nodes),
+              cfg.recovery.spare_nodes, cfg.ec),
       pm_(pool_, pt_, router_, stats_, &tracer_,
           [&cfg] {
             // Each core keeps a readahead window in flight; the eager free
@@ -91,7 +102,8 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
               pm.free_target = per_core * static_cast<uint64_t>(cfg.num_cores);
             }
             return pm;
-          }()),
+          }(),
+          &cost_),
       tracker_(cfg.hit_tracker_window) {
   prefetchers_.push_back(std::move(prefetcher));
   for (int c = 1; c < cfg.num_cores; ++c) {
@@ -105,6 +117,10 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
     // Timed-out ops anywhere in the paging paths become detector evidence.
     router_.set_op_failure_observer(
         [this](int node, uint64_t now_ns) { detector_->OnOpTimeout(node, now_ns); });
+    // A restored node answering probes again re-enters through the repair
+    // manager: re-admitted as rebuilding, its stale granules refilled.
+    detector_->set_readmit_observer(
+        [this](int node, uint64_t now_ns) { repair_->OnNodeReadmitted(node, now_ns); });
   }
 }
 
@@ -144,6 +160,10 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
   for (uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
     ShardRouter::ReadTarget t = router_.PickRead(core, ch, page_va);
     if (t.qp == nullptr) {
+      if (t.reconstruct &&
+          EcDemandReconstruct(page_va, frame_addr, segs, core, ch, cursor_ns)) {
+        return Completion{wr_id_, WcStatus::kSuccess, *cursor_ns};
+      }
       break;  // No readable replica left at all.
     }
     if (segs == nullptr) {
@@ -177,6 +197,37 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
   }
   stats_.failed_fetches++;
   return c;
+}
+
+bool DilosRuntime::EcDemandReconstruct(uint64_t page_va, uint64_t frame_addr,
+                                       const std::vector<PageSegment>* segs, int core,
+                                       CommChannel ch, uint64_t* cursor_ns) {
+  uint64_t granule = ShardRouter::GranuleOf(page_va);
+  uint64_t stripe = router_.EcStripeOf(granule);
+  int member = router_.EcMemberOf(granule);
+  uint32_t page_idx = static_cast<uint32_t>((page_va & (kShardGranuleBytes - 1)) >> kPageShift);
+  uint8_t page[kPageSize];
+  if (!EcReconstructPage(router_, cost_, core, ch, stripe, member, page_idx, page, cursor_ns,
+                         &wr_id_, stats_, &tracer_)) {
+    return false;
+  }
+  uint8_t* dst = reinterpret_cast<uint8_t*>(frame_addr);
+  if (segs == nullptr) {
+    std::memcpy(dst, page, kPageSize);
+  } else {
+    for (const PageSegment& s : *segs) {
+      std::memcpy(dst + s.offset, page + s.offset, s.length);
+    }
+  }
+  // A reconstruction reads k survivor pages where a healthy fetch reads one;
+  // the caller accounts the first page, the fan-out surplus lands here.
+  stats_.bytes_fetched +=
+      static_cast<uint64_t>(router_.ec_codec().k() - 1) * kPageSize;
+  stats_.ec_degraded_reads++;
+  stats_.degraded_reads++;
+  tracer_.Record(*cursor_ns, TraceEvent::kDegradedRead, page_va,
+                 static_cast<uint32_t>(member));
+  return true;
 }
 
 uint64_t DilosRuntime::AllocRegion(uint64_t bytes) {

@@ -41,6 +41,11 @@ struct DilosConfig {
   // enabled, crashed nodes (Fabric::CrashNode) are detected via op timeouts
   // and missed heartbeats and their granules rebuilt on survivors/spares.
   RecoveryOptions recovery;
+  // Erasure coding (src/recovery/ec.h): replaces replication (replication is
+  // forced to 1) with (k, m) striping; lost pages are served by degraded
+  // reads that decode k surviving stripe members. Requires k + m non-spare
+  // memory nodes.
+  ECConfig ec;
   PageManagerConfig pm;
   // Do not start new prefetches when free frames would drop below this
   // (prevents prefetch-driven thrash of the resident set).
@@ -112,6 +117,12 @@ class DilosRuntime : public FarRuntime {
   Completion DemandFetch(uint64_t page_va, uint64_t frame_addr,
                          const std::vector<PageSegment>* segs, int core, CommChannel ch,
                          uint64_t* cursor_ns);
+  // EC degraded read: when the page's only copy is unreadable, decode it
+  // from k surviving stripe members into the frame. Returns false if fewer
+  // than k members are readable (the page is then truly lost).
+  bool EcDemandReconstruct(uint64_t page_va, uint64_t frame_addr,
+                           const std::vector<PageSegment>* segs, int core, CommChannel ch,
+                           uint64_t* cursor_ns);
   // Cleaner/reclaimer plus recovery, one background hook.
   void Background(uint64_t now, uint64_t pinned_va);
   // Marks `page_va` fetching and posts an async read at `issue_ns` on the

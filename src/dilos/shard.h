@@ -7,8 +7,17 @@
 // fine enough to spread strided streams. With replication R > 1, every
 // granule also lives on the R-1 nodes following its home node; evictions
 // and cleanings write all replicas, demand fetches read the first *live*
-// replica — so a memory-node failure loses nothing (Infiniswap/Carbink-style
-// redundancy, without the erasure coding).
+// replica — so a memory-node failure loses nothing (Infiniswap-style
+// redundancy).
+//
+// Alternatively, erasure coding (ECConfig, Carbink-style) trades the Nx
+// capacity of replication for a reconstruction path: consecutive granules
+// form a (k, m) *stripe* — k data granules plus m parity granules, each
+// member on a distinct non-spare node (home of member j of stripe s is
+// (hash(s) + j) mod active). The single data copy of a page is read and
+// written normally; the cleaner keeps the m parity granules consistent via
+// read-modify-write deltas, and when a member's node dies, reads reconstruct
+// the page from any k surviving members (src/recovery/ec.h).
 //
 // The router also carries the recovery subsystem's view of the cluster
 // (src/recovery/): a per-node health state machine (live / suspect / dead /
@@ -28,6 +37,7 @@
 
 #include "src/dilos/comm.h"
 #include "src/memnode/fabric.h"
+#include "src/recovery/ec.h"
 
 namespace dilos {
 
@@ -36,6 +46,11 @@ inline constexpr uint32_t kShardGranuleShift = 18;
 inline constexpr uint64_t kShardGranuleBytes = 1ULL << kShardGranuleShift;  // 256 KB.
 inline constexpr uint32_t kPagesPerGranule =
     static_cast<uint32_t>(kShardGranuleBytes / kPageSize);
+
+// In EC mode parity granules live in the upper half of the far span (the
+// memory region is bounded to [kFarBase, kFarBase + kFarSpan), so parity
+// cannot sit above it); the data heap must stay below this line.
+inline constexpr uint64_t kEcParityBase = kFarBase + kFarSpan / 2;
 
 // Health of one memory node as tracked by the router. Transitions are driven
 // by the failure detector (live -> suspect -> dead) and the repair manager
@@ -55,16 +70,23 @@ class ShardRouter {
   struct ReadTarget {
     QueuePair* qp = nullptr;
     int node = -1;
-    bool degraded = false;  // Served by a non-primary replica.
+    bool degraded = false;     // Served by a non-primary replica.
+    bool reconstruct = false;  // EC: no copy readable; decode from survivors.
   };
 
   // The trailing `spare_nodes` of the fabric are excluded from hash
   // placement; they only receive data when the repair manager adopts them.
+  // When `ec.enabled`, erasure coding replaces replication: replication is
+  // forced to 1 and k is clamped so every stripe member lands on a distinct
+  // non-spare node.
   ShardRouter(Fabric& fabric, int num_cores, int replication, bool shared_queue,
-              int spare_nodes = 0)
+              int spare_nodes = 0, const ECConfig& ec = {})
       : num_nodes_(fabric.num_nodes()),
         active_(ClampActive(num_nodes_, spare_nodes)),
-        replication_(replication < 1 ? 1
+        ec_(ResolveEc(ec, active_)),
+        codec_(ec_.k, ec_.m),
+        replication_(ec_.enabled          ? 1
+                     : replication < 1    ? 1
                      : replication > active_ ? active_
                                              : replication),
         shared_(shared_queue),
@@ -86,12 +108,16 @@ class ShardRouter {
 
   // Home node of the page containing `vaddr` (hash-placed per granule so
   // strided or aligned access streams spread across nodes instead of
-  // marching on one node in lockstep). Spares never home granules.
+  // marching on one node in lockstep). Spares never home granules. In EC
+  // mode consecutive granules are stripe members, so the member offset is
+  // added to the *stripe's* hash: the k data + m parity members of one
+  // stripe land on k + m distinct nodes.
   int NodeOf(uint64_t vaddr) const {
     uint64_t granule = GranuleOf(vaddr);
-    granule *= 0x9E3779B97F4A7C15ULL;
-    granule ^= granule >> 29;
-    return static_cast<int>(granule % static_cast<uint64_t>(active_));
+    if (ec_.enabled) {
+      return EcHomeNode(EcStripeOf(granule), EcMemberOf(granule));
+    }
+    return static_cast<int>(Mix(granule) % static_cast<uint64_t>(active_));
   }
 
   // Effective replica set of the granule containing `vaddr`, primary first:
@@ -127,6 +153,11 @@ class ShardRouter {
       }
       return ReadTarget{Qp(core, ch, n), n, r > 0};
     }
+    // EC data granules have one copy; when it is unreadable the page is
+    // still recoverable by decoding k surviving stripe members.
+    if (ec_.enabled && ec_.m > 0 && vaddr < kEcParityBase) {
+      return ReadTarget{nullptr, -1, true, true};
+    }
     return ReadTarget{};
   }
 
@@ -144,8 +175,26 @@ class ShardRouter {
       nodes->clear();
     }
     uint64_t granule = GranuleOf(vaddr);
-    written_granules_.insert(granule);
+    bool first_write = written_granules_.insert(granule).second;
     auto it = remap_.find(granule);
+    if (first_write && it == remap_.end()) {
+      // A granule written for the *first* time while a replica is
+      // mid-readmission (kRebuilding, re-admitted with a stale store): that
+      // replica's copy of this granule is current — the write below is its
+      // only content. Record a committed remap so Readable() serves it,
+      // instead of waiting for the node-wide refill to finish.
+      int home = NodeOf(vaddr);
+      for (int r = 0; r < replication_; ++r) {
+        if (state_[static_cast<size_t>((home + r) % active_)] == NodeState::kRebuilding) {
+          std::vector<int> replicas;
+          for (int k = 0; k < replication_; ++k) {
+            replicas.push_back((home + k) % active_);
+          }
+          it = remap_.emplace(granule, GranuleRemap{std::move(replicas), -1}).first;
+          break;
+        }
+      }
+    }
     int count = it != remap_.end() ? static_cast<int>(it->second.replicas.size())
                                    : replication_;
     int home = it != remap_.end() ? -1 : NodeOf(vaddr);
@@ -245,6 +294,80 @@ class ShardRouter {
   // Every granule that ever received a write-back: the authoritative work
   // list for repair scans (remote page content only exists via write-backs).
   const std::unordered_set<uint64_t>& written_granules() const { return written_granules_; }
+  // Registers a granule written outside WriteQps (the cleaner's parity RMW
+  // path posts to parity granules directly).
+  void NoteWrittenGranule(uint64_t granule) { written_granules_.insert(granule); }
+
+  // -- Erasure-coding layout ---------------------------------------------------
+  // Stripe s = {data granules s*k .. s*k+k-1} ∪ {parity granules p=0..m-1 at
+  // kEcParityBase}. Member j of stripe s homes on (Mix(s) + j) % active; a
+  // rebuilt member's node comes from the remap table instead.
+  bool ec_enabled() const { return ec_.enabled; }
+  const ECConfig& ec() const { return ec_; }
+  const ECCodec& ec_codec() const { return codec_; }
+
+  bool EcIsParityGranule(uint64_t granule) const {
+    return granule >= (kEcParityBase >> kShardGranuleShift);
+  }
+
+  // Stripe of a data *or* parity granule.
+  uint64_t EcStripeOf(uint64_t granule) const {
+    if (EcIsParityGranule(granule)) {
+      uint64_t idx = granule - (kEcParityBase >> kShardGranuleShift);
+      return idx / static_cast<uint64_t>(ec_.m) + EcStripeBase();
+    }
+    return granule / static_cast<uint64_t>(ec_.k);
+  }
+
+  // Member index (0..k-1 data, k..k+m-1 parity) of a granule within its stripe.
+  int EcMemberOf(uint64_t granule) const {
+    if (EcIsParityGranule(granule)) {
+      uint64_t idx = granule - (kEcParityBase >> kShardGranuleShift);
+      return ec_.k + static_cast<int>(idx % static_cast<uint64_t>(ec_.m));
+    }
+    return static_cast<int>(granule % static_cast<uint64_t>(ec_.k));
+  }
+
+  uint64_t EcMemberGranule(uint64_t stripe, int member) const {
+    if (member < ec_.k) {
+      return stripe * static_cast<uint64_t>(ec_.k) + static_cast<uint64_t>(member);
+    }
+    return (kEcParityBase >> kShardGranuleShift) +
+           (stripe - EcStripeBase()) * static_cast<uint64_t>(ec_.m) +
+           static_cast<uint64_t>(member - ec_.k);
+  }
+
+  uint64_t EcMemberPageVa(uint64_t stripe, int member, uint32_t page_idx) const {
+    return (EcMemberGranule(stripe, member) << kShardGranuleShift) +
+           static_cast<uint64_t>(page_idx) * kPageSize;
+  }
+
+  // Node currently holding stripe member `member` (remap-aware).
+  int EcNode(uint64_t stripe, int member) const {
+    auto it = remap_.find(EcMemberGranule(stripe, member));
+    if (it != remap_.end() && !it->second.replicas.empty()) {
+      return it->second.replicas[0];
+    }
+    return EcHomeNode(stripe, member);
+  }
+
+  // Whether stripe member `member` can serve reconstruction reads: its node
+  // is readable for the member granule and no rebuild is mid-flight.
+  bool EcMemberReadable(uint64_t stripe, int member) const {
+    uint64_t g = EcMemberGranule(stripe, member);
+    int n = EcNode(stripe, member);
+    return n != RebuildTarget(g) && Readable(n, g);
+  }
+
+  // Members of `stripe` able to serve reconstruction reads, excluding `skip`.
+  void EcReadableMembers(uint64_t stripe, int skip, std::vector<int>* out) const {
+    out->clear();
+    for (int j = 0; j < ec_.k + ec_.m; ++j) {
+      if (j != skip && EcMemberReadable(stripe, j)) {
+        out->push_back(j);
+      }
+    }
+  }
 
   // -- Op-failure reporting ---------------------------------------------------
   // The RDMA paths (fault handler, cleaner, prefetcher) report timed-out ops
@@ -264,6 +387,10 @@ class ShardRouter {
   int replication() const { return replication_; }
   int num_cores() const { return static_cast<int>(qps_.size()); }
 
+  // Direct QP to a specific node (EC reconstruction and parity RMW address
+  // nodes by stripe membership rather than by vaddr hash).
+  QueuePair* NodeQp(int core, CommChannel ch, int node) { return Qp(core, ch, node); }
+
  private:
   struct GranuleRemap {
     std::vector<int> replicas;  // Effective replica set, primary first.
@@ -280,6 +407,42 @@ class ShardRouter {
     return num_nodes - spare_nodes;
   }
 
+  static ECConfig ResolveEc(ECConfig ec, int active) {
+    if (!ec.enabled) {
+      return ec;
+    }
+    if (ec.m < 0) {
+      ec.m = 0;
+    }
+    if (ec.m > active - 1) {
+      ec.m = active - 1;  // Need at least one data member.
+    }
+    if (ec.k < 1) {
+      ec.k = 1;
+    }
+    if (ec.k + ec.m > active) {
+      ec.k = active - ec.m;  // Distinct node per stripe member.
+    }
+    return ec;
+  }
+
+  static uint64_t Mix(uint64_t g) {
+    g *= 0x9E3779B97F4A7C15ULL;
+    g ^= g >> 29;
+    return g;
+  }
+
+  int EcHomeNode(uint64_t stripe, int member) const {
+    return static_cast<int>((Mix(stripe) + static_cast<uint64_t>(member)) %
+                            static_cast<uint64_t>(active_));
+  }
+
+  // First stripe id of the far heap; parity indices are relative to it so
+  // the parity region starts at kEcParityBase.
+  uint64_t EcStripeBase() const {
+    return (kFarBase >> kShardGranuleShift) / static_cast<uint64_t>(ec_.k);
+  }
+
   QueuePair* Qp(int core, CommChannel ch, int node) {
     return qps_[static_cast<size_t>(core)][shared_ ? 0 : static_cast<size_t>(ch)]
                [static_cast<size_t>(node)];
@@ -287,6 +450,8 @@ class ShardRouter {
 
   int num_nodes_;
   int active_;  // Nodes participating in hash placement; the rest are spares.
+  ECConfig ec_;
+  ECCodec codec_;
   int replication_;
   bool shared_;
   std::vector<NodeState> state_;

@@ -23,7 +23,6 @@ class PageStore : public AddressResolver {
   // A segment must lie within one 4 KB page: the store's registration is
   // page-granular, matching how the RNIC DMA-scatters into host pages.
   uint8_t* Resolve(uint64_t addr, uint32_t len, bool for_write) override {
-    (void)for_write;
     if (len == 0 || len > kPageSize) {
       return nullptr;
     }
@@ -31,6 +30,13 @@ class PageStore : public AddressResolver {
     uint32_t off = static_cast<uint32_t>(addr & (kPageSize - 1));
     if (off + len > kPageSize) {
       return nullptr;  // Crosses a page boundary.
+    }
+    if (!for_write && pages_.count(page) == 0) {
+      // Reads of never-written pages serve zeros without materializing, so
+      // page_count() measures stored capacity (what redundancy benchmarks
+      // compare), not read traffic like probes or EC survivor fan-outs.
+      static const uint8_t kZeroPage[kPageSize] = {};
+      return const_cast<uint8_t*>(kZeroPage) + off;
     }
     return PageData(page) + off;
   }
@@ -49,6 +55,11 @@ class PageStore : public AddressResolver {
 
   bool Materialized(uint64_t page) const { return pages_.count(page) != 0; }
   size_t page_count() const { return pages_.size(); }
+  // Stored page numbers, for capacity accounting in the redundancy benches
+  // (splitting data pages from parity pages by address).
+  const std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>>& pages() const {
+    return pages_;
+  }
 
   void Drop(uint64_t page) { pages_.erase(page); }
 

@@ -1,0 +1,162 @@
+#include "src/recovery/ec.h"
+
+#include <array>
+#include <vector>
+
+namespace dilos {
+
+namespace {
+
+// GF(2^8) log/antilog tables over the 0x11D polynomial, generator 2.
+struct GfTables {
+  std::array<uint8_t, 256> log{};
+  std::array<uint8_t, 512> exp{};  // Doubled so exp[log a + log b] needs no mod.
+
+  GfTables() {
+    uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<size_t>(i)] = static_cast<uint8_t>(x);
+      log[static_cast<size_t>(x)] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) {
+        x ^= 0x11D;
+      }
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<size_t>(i)] = exp[static_cast<size_t>(i - 255)];
+    }
+  }
+};
+
+const GfTables& Tables() {
+  static const GfTables t;
+  return t;
+}
+
+}  // namespace
+
+uint8_t ECCodec::GfMul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const GfTables& t = Tables();
+  return t.exp[static_cast<size_t>(t.log[a]) + static_cast<size_t>(t.log[b])];
+}
+
+uint8_t ECCodec::GfInv(uint8_t a) {
+  const GfTables& t = Tables();
+  return t.exp[static_cast<size_t>(255 - t.log[a])];
+}
+
+uint8_t ECCodec::GfPow(uint8_t base, unsigned e) {
+  if (base == 0) {
+    return 0;
+  }
+  const GfTables& t = Tables();
+  return t.exp[(static_cast<size_t>(t.log[base]) * e) % 255];
+}
+
+ECCodec::ECCodec(int k, int m) : k_(k < 1 ? 1 : k), m_(m < 0 ? 0 : m) {}
+
+uint8_t ECCodec::Coef(int member, int j) const {
+  if (member < k_) {
+    return member == j ? 1 : 0;  // Data rows: identity.
+  }
+  return GfPow(2, static_cast<unsigned>((member - k_) * j));
+}
+
+void ECCodec::XorMulInto(uint8_t* dst, const uint8_t* src, uint8_t coef, size_t n) {
+  if (coef == 0) {
+    return;
+  }
+  if (coef == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      dst[i] ^= src[i];
+    }
+    return;
+  }
+  const GfTables& t = Tables();
+  size_t lc = t.log[coef];
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t s = src[i];
+    if (s != 0) {
+      dst[i] ^= t.exp[lc + static_cast<size_t>(t.log[s])];
+    }
+  }
+}
+
+bool ECCodec::Reconstruct(int lost, const int* members, const uint8_t* const* blocks,
+                          int count, uint8_t* out, size_t n) const {
+  if (count < k_) {
+    return false;
+  }
+  int k = k_;
+  // A (k x k) system from the first k survivor rows of the generator matrix;
+  // Gauss-Jordan gives A^-1, then c = row(lost) * A^-1 are the combination
+  // coefficients of the survivor *values* that equal the lost member.
+  std::vector<uint8_t> a(static_cast<size_t>(k * k));
+  std::vector<uint8_t> inv(static_cast<size_t>(k * k), 0);
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < k; ++c) {
+      a[static_cast<size_t>(r * k + c)] = Coef(members[r], c);
+    }
+    inv[static_cast<size_t>(r * k + r)] = 1;
+  }
+  for (int col = 0; col < k; ++col) {
+    int pivot = -1;
+    for (int r = col; r < k; ++r) {
+      if (a[static_cast<size_t>(r * k + col)] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) {
+      return false;  // Singular survivor combination (possible only for m > 2).
+    }
+    if (pivot != col) {
+      for (int c = 0; c < k; ++c) {
+        std::swap(a[static_cast<size_t>(pivot * k + c)], a[static_cast<size_t>(col * k + c)]);
+        std::swap(inv[static_cast<size_t>(pivot * k + c)],
+                  inv[static_cast<size_t>(col * k + c)]);
+      }
+    }
+    uint8_t d = GfInv(a[static_cast<size_t>(col * k + col)]);
+    for (int c = 0; c < k; ++c) {
+      a[static_cast<size_t>(col * k + c)] = GfMul(a[static_cast<size_t>(col * k + c)], d);
+      inv[static_cast<size_t>(col * k + c)] = GfMul(inv[static_cast<size_t>(col * k + c)], d);
+    }
+    for (int r = 0; r < k; ++r) {
+      if (r == col) {
+        continue;
+      }
+      uint8_t f = a[static_cast<size_t>(r * k + col)];
+      if (f == 0) {
+        continue;
+      }
+      for (int c = 0; c < k; ++c) {
+        a[static_cast<size_t>(r * k + c)] ^=
+            GfMul(f, a[static_cast<size_t>(col * k + c)]);
+        inv[static_cast<size_t>(r * k + c)] ^=
+            GfMul(f, inv[static_cast<size_t>(col * k + c)]);
+      }
+    }
+  }
+  // c_i = sum_j Coef(lost, j) * inv[j][i].
+  std::vector<uint8_t> comb(static_cast<size_t>(k), 0);
+  for (int i = 0; i < k; ++i) {
+    uint8_t acc = 0;
+    for (int j = 0; j < k; ++j) {
+      acc ^= GfMul(Coef(lost, j), inv[static_cast<size_t>(j * k + i)]);
+    }
+    comb[static_cast<size_t>(i)] = acc;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = 0;
+  }
+  for (int i = 0; i < k; ++i) {
+    XorMulInto(out, blocks[i], comb[static_cast<size_t>(i)], n);
+  }
+  return true;
+}
+
+}  // namespace dilos

@@ -1,0 +1,76 @@
+// Erasure coding for remote-memory redundancy (Carbink-style, the ROADMAP's
+// "recover the capacity replication burns" item).
+//
+// Replication stores R full copies of every granule: R× remote capacity for
+// tolerance of R-1 failures. A (k, m) code stripes k *data* granules across
+// k distinct memory nodes and adds m *parity* granules on m further nodes;
+// any m members may be lost and every lost member is recoverable from the
+// surviving k — at (k+m)/k capacity instead of Nx.
+//
+// The code itself is XOR / Reed-Solomon-lite over GF(2^8): parity p is
+//     P_p[i] = XOR_j gmul(g^(p*j), D_j[i]),   g = 2, j = 0..k-1
+// so parity 0 is plain XOR (RAID-5) and parity 1 adds the classic RAID-6 Q
+// drive. The identity-plus-Vandermonde generator is MDS for m <= 2 (the
+// RAID-6 construction); for larger m Reconstruct() detects the rare singular
+// survivor combination and reports failure rather than decoding garbage.
+//
+// ECCodec is pure arithmetic: no fabric, no router, no clock. Layout
+// (which granule belongs to which stripe, which node holds which member)
+// lives in ShardRouter; orchestration (who reads what when) lives in the
+// runtime's degraded-read path, the cleaner's parity update, and the repair
+// manager's rebuild loop.
+#ifndef DILOS_SRC_RECOVERY_EC_H_
+#define DILOS_SRC_RECOVERY_EC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dilos {
+
+// Erasure-coding knob block consumed by DilosConfig / ShardRouter. When
+// enabled it *replaces* replication: each granule has one data copy plus a
+// share of m parity granules, instead of R full copies. Requires a fabric
+// with at least k + m non-spare nodes (the router clamps k down if not).
+struct ECConfig {
+  bool enabled = false;
+  int k = 4;  // Data granules per stripe.
+  int m = 2;  // Parity granules per stripe (failures tolerated).
+};
+
+class ECCodec {
+ public:
+  ECCodec(int k, int m);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+
+  // Generator-matrix coefficient of data member `j` (0..k-1) in stripe
+  // member `member` (0..k+m-1). Data rows are the identity; parity row
+  // k+p is g^(p*j).
+  uint8_t Coef(int member, int j) const;
+
+  // dst[i] ^= gmul(coef, src[i]) for n bytes — the parity-update primitive:
+  // with coef = Coef(k+p, j), folding (old ^ new) of data member j into
+  // parity p keeps the stripe consistent without touching other members.
+  static void XorMulInto(uint8_t* dst, const uint8_t* src, uint8_t coef, size_t n);
+
+  // Reconstructs stripe member `lost` (data or parity) from `count` >= k
+  // surviving members: members[i] names the member index of blocks[i].
+  // Returns false if the survivor set cannot determine the lost member
+  // (fewer than k survivors, or a singular combination for m > 2).
+  bool Reconstruct(int lost, const int* members, const uint8_t* const* blocks, int count,
+                   uint8_t* out, size_t n) const;
+
+  // GF(2^8) arithmetic (AES polynomial 0x11D), exposed for tests.
+  static uint8_t GfMul(uint8_t a, uint8_t b);
+  static uint8_t GfInv(uint8_t a);
+  static uint8_t GfPow(uint8_t base, unsigned e);
+
+ private:
+  int k_;
+  int m_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_RECOVERY_EC_H_

@@ -38,6 +38,18 @@ void FailureDetector::Tick(uint64_t now_ns) {
 void FailureDetector::ProbeAll(uint64_t now_ns) {
   for (int n = 0; n < fabric_.num_nodes(); ++n) {
     if (router_.state(n) == NodeState::kDead) {
+      if (!cfg_.readmit) {
+        continue;
+      }
+      // Dead nodes keep getting probed so a restarted node (Fabric::
+      // RestoreNode) is noticed. One answered probe re-admits it; a missed
+      // probe changes nothing (dead stays dead, no extra strikes).
+      stats_.probes_sent++;
+      Completion c = probe_qps_[static_cast<size_t>(n)]->PostRead(
+          ++wr_id_, reinterpret_cast<uint64_t>(scratch_), kFarBase, 8, now_ns);
+      if (c.status == WcStatus::kSuccess) {
+        Readmit(n, c.completion_time_ns);
+      }
       continue;
     }
     stats_.probes_sent++;
@@ -67,7 +79,7 @@ void FailureDetector::OnOpSuccess(int node, uint64_t now_ns) {
 
 void FailureDetector::RenewLease(int node, uint64_t now_ns) {
   if (router_.state(node) == NodeState::kDead) {
-    return;  // Dead is final; re-admission goes through the repair manager.
+    return;  // Only an answered *probe* re-admits a dead node (Readmit).
   }
   lease_expiry_[static_cast<size_t>(node)] = now_ns + cfg_.lease_ns;
   strikes_[static_cast<size_t>(node)] = 0;
@@ -93,6 +105,20 @@ void FailureDetector::DeclareDead(int node, uint64_t now_ns) {
   router_.MarkDead(node);
   stats_.nodes_failed++;
   tracer_->Record(now_ns, TraceEvent::kNodeDead, 0, static_cast<uint32_t>(node));
+}
+
+void FailureDetector::Readmit(int node, uint64_t now_ns) {
+  // The node is reachable again but its store may have missed every
+  // write-back since the crash: admit it for writes only (kRebuilding) and
+  // let the repair manager decide per granule when it may serve reads again.
+  router_.MarkRebuilding(node);
+  strikes_[static_cast<size_t>(node)] = 0;
+  lease_expiry_[static_cast<size_t>(node)] = now_ns + cfg_.lease_ns;
+  stats_.nodes_readmitted++;
+  tracer_->Record(now_ns, TraceEvent::kNodeReadmitted, 0, static_cast<uint32_t>(node));
+  if (on_readmit_) {
+    on_readmit_(node, now_ns);
+  }
 }
 
 Completion FailureDetector::ReadWithRetry(QueuePair* qp, int node, uint64_t local_addr,

@@ -20,6 +20,7 @@
 #define DILOS_SRC_RECOVERY_FAILURE_DETECTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/dilos/shard.h"
@@ -36,6 +37,9 @@ struct FailureDetectorConfig {
   uint32_t dead_after = 3;              // Strikes before -> dead.
   uint32_t max_retries = 3;             // Bounded retry for wrapped reads.
   uint64_t backoff_base_ns = 2'000;     // Exponential backoff: base << attempt.
+  // Keep probing dead nodes; one answered probe re-admits the node as
+  // kRebuilding (its store is stale until the repair manager refills it).
+  bool readmit = true;
 };
 
 class FailureDetector {
@@ -59,11 +63,18 @@ class FailureDetector {
 
   const FailureDetectorConfig& config() const { return cfg_; }
 
+  // Called when a dead node answers a probe and is re-admitted as
+  // kRebuilding — the repair manager subscribes to schedule the refill of
+  // its (stale) granules.
+  using ReadmitObserver = std::function<void(int node, uint64_t now_ns)>;
+  void set_readmit_observer(ReadmitObserver cb) { on_readmit_ = std::move(cb); }
+
  private:
   void ProbeAll(uint64_t now_ns);
   void Strike(int node, uint64_t now_ns);
   void RenewLease(int node, uint64_t now_ns);
   void DeclareDead(int node, uint64_t now_ns);
+  void Readmit(int node, uint64_t now_ns);
 
   Fabric& fabric_;
   ShardRouter& router_;
@@ -71,6 +82,7 @@ class FailureDetector {
   Tracer* tracer_;
   FailureDetectorConfig cfg_;
 
+  ReadmitObserver on_readmit_;
   std::vector<QueuePair*> probe_qps_;   // One dedicated QP per node.
   std::vector<uint32_t> strikes_;
   std::vector<uint64_t> lease_expiry_;  // 0 = no lease granted yet.

@@ -1,5 +1,7 @@
 #include "src/recovery/repair_manager.h"
 
+#include "src/recovery/ec_read.h"
+
 namespace dilos {
 
 RepairManager::RepairManager(Fabric& fabric, ShardRouter& router, FailureDetector& detector,
@@ -86,7 +88,21 @@ void RepairManager::ScanForFailures(uint64_t now_ns) {
       if (!degraded) {
         continue;
       }
-      int target = PickTarget(replica_scratch_);
+      int target;
+      if (router_.ec_enabled()) {
+        // An EC rebuild target must stay off every node of the stripe —
+        // co-locating two members would make one node failure a double
+        // erasure — so exclude all k + m member nodes, not just this
+        // granule's replica set.
+        uint64_t stripe = router_.EcStripeOf(granule);
+        ec_scratch_.clear();
+        for (int j = 0; j < router_.ec().k + router_.ec().m; ++j) {
+          ec_scratch_.push_back(router_.EcNode(stripe, j));
+        }
+        target = PickTarget(ec_scratch_);
+      } else {
+        target = PickTarget(replica_scratch_);
+      }
       if (target < 0) {
         // No healthy node outside the replica set: the granule stays at
         // reduced redundancy until capacity returns.
@@ -107,6 +123,46 @@ void RepairManager::ScanForFailures(uint64_t now_ns) {
       stats_.repairs_issued++;
       tracer_->Record(now_ns, TraceEvent::kRepairStart, va, static_cast<uint32_t>(target));
     }
+  }
+}
+
+void RepairManager::OnNodeReadmitted(int node, uint64_t now_ns) {
+  // Re-arm the death scan: the node may crash again after this readmission.
+  dead_handled_[static_cast<size_t>(node)] = 0;
+  size_t created = 0;
+  for (uint64_t granule : router_.written_granules()) {
+    uint64_t va = granule << kShardGranuleShift;
+    router_.ReplicaNodes(va, &replica_scratch_);
+    bool holds = false;
+    for (int n : replica_scratch_) {
+      if (n == node) {
+        holds = true;
+        break;
+      }
+    }
+    if (!holds) {
+      continue;  // The death scan remapped this granule off the node.
+    }
+    if (router_.RebuildTarget(granule) != -1) {
+      continue;  // A crash-repair job already owns this granule.
+    }
+    // In-place rebuild: replica set unchanged, target is the node itself —
+    // BeginRebuild's uncommitted target blocks reads from the stale copy
+    // while surviving replicas (or EC decode) refill it. With R = 1 and no
+    // EC there is no other holder: DrainFront finds no source, and the
+    // commit amounts to trusting the stale store, same as the RecoverNode
+    // oracle shim.
+    router_.BeginRebuild(granule, replica_scratch_, node);
+    ++target_refs_[static_cast<size_t>(node)];
+    jobs_.push_back(Job{granule, node, 0});
+    stats_.repairs_issued++;
+    tracer_->Record(now_ns, TraceEvent::kRepairStart, va, static_cast<uint32_t>(node));
+    ++created;
+  }
+  if (created == 0 && target_refs_[static_cast<size_t>(node)] == 0 &&
+      router_.state(node) == NodeState::kRebuilding) {
+    // Nothing it holds was ever written remotely: nothing can be stale.
+    router_.MarkLive(node);
   }
 }
 
@@ -159,14 +215,43 @@ uint64_t RepairManager::DrainFront(uint64_t now_ns, uint64_t budget) {
         break;
       }
     }
-    if (src < 0) {
-      continue;
-    }
-    Completion rc = detector_.ReadWithRetry(qps_[static_cast<size_t>(src)], src,
-                                            reinterpret_cast<uint64_t>(buf_), page_va,
-                                            kPageSize, &cursor_ns_);
-    if (rc.status != WcStatus::kSuccess) {
-      stats_.repair_pages_lost++;  // Source died mid-copy; no other holder.
+    uint64_t page_bytes = 0;
+    if (src >= 0) {
+      Completion rc = detector_.ReadWithRetry(qps_[static_cast<size_t>(src)], src,
+                                              reinterpret_cast<uint64_t>(buf_), page_va,
+                                              kPageSize, &cursor_ns_);
+      if (rc.status != WcStatus::kSuccess) {
+        stats_.repair_pages_lost++;  // Source died mid-copy; no other holder.
+        continue;
+      }
+      page_bytes = 2ULL * kPageSize;  // Source read + target write.
+    } else if (router_.ec_enabled() && router_.ec().m > 0) {
+      // EC: the lost member's single copy is gone — regenerate the page by
+      // decoding k surviving stripe members (rebuild-from-parity). Pages no
+      // survivor materialized decode to zeros; skip them so the target's
+      // store stays a capacity-honest image of what was actually written.
+      uint64_t stripe = router_.EcStripeOf(job.granule);
+      int member = router_.EcMemberOf(job.granule);
+      uint32_t page_idx = job.next_page - 1;
+      bool any = false;
+      for (int j = 0; j < router_.ec().k + router_.ec().m && !any; ++j) {
+        if (j == member || !router_.EcMemberReadable(stripe, j)) {
+          continue;
+        }
+        uint64_t member_page = router_.EcMemberPageVa(stripe, j, page_idx) >> kPageShift;
+        any = fabric_.node(router_.EcNode(stripe, j)).store().Materialized(member_page);
+      }
+      if (!any) {
+        continue;
+      }
+      if (!EcReconstructPage(router_, fabric_.cost(), /*core=*/0, CommChannel::kManager,
+                             stripe, member, page_idx, buf_, &cursor_ns_, &wr_id_, stats_,
+                             tracer_)) {
+        stats_.repair_pages_lost++;  // Fewer than k survivors remain.
+        continue;
+      }
+      page_bytes = static_cast<uint64_t>(router_.ec().k + 1) * kPageSize;
+    } else {
       continue;
     }
     Completion wc = qps_[static_cast<size_t>(job.target)]->PostWrite(
@@ -177,8 +262,8 @@ uint64_t RepairManager::DrainFront(uint64_t now_ns, uint64_t budget) {
       return moved;  // Target is failing; its death retires the job above.
     }
     stats_.repair_pages++;
-    stats_.repair_bytes += 2ULL * kPageSize;
-    moved += 2ULL * kPageSize;
+    stats_.repair_bytes += page_bytes;
+    moved += page_bytes;
   }
   if (job.next_page >= kPagesPerGranule) {
     retire(/*committed=*/true);

@@ -56,6 +56,13 @@ class RepairManager {
   // `bytes_per_tick` of queued page copies.
   void Tick(uint64_t now_ns);
 
+  // Detector callback: a dead node answered a probe and was re-admitted as
+  // kRebuilding with a stale store (it missed every write-back while dead).
+  // Queues an *in-place* rebuild job — target is the node itself, replica
+  // sets unchanged — for every written granule it still holds, so the node
+  // serves no reads until each granule's refill commits.
+  void OnNodeReadmitted(int node, uint64_t now_ns);
+
   bool idle() const { return jobs_.empty(); }
   size_t pending_granules() const { return jobs_.size(); }
 
@@ -84,6 +91,8 @@ class RepairManager {
   std::vector<char> dead_handled_;    // Dead nodes already scanned.
   std::vector<uint32_t> target_refs_;  // Granule rebuilds in flight per target.
   std::vector<int> replica_scratch_;
+  std::vector<int> ec_scratch_;  // Stripe member nodes (EC target exclusion).
+  uint64_t wr_id_ = 0;           // For reconstruction reads posted directly.
   uint64_t last_tick_ns_ = 0;
   uint64_t cursor_ns_ = 0;  // Issue-time cursor serializing the repair stream.
   uint8_t buf_[kPageSize] = {};

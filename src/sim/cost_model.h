@@ -67,6 +67,13 @@ struct CostModel {
   // --- Common post-arrival work ---------------------------------------------
   uint64_t map_tlb_flush_ns = 90;  // Kernel-side mapping cost shared by systems.
 
+  // --- Erasure coding (src/recovery/ec.h) -----------------------------------
+  // GF(2^8) decode of one 4 KB page from k survivors: table-driven XOR/mul
+  // runs at several GB/s per core on this class of CPU, so a page costs well
+  // under a microsecond; charged once per reconstructed page on top of the
+  // k parallel survivor reads.
+  uint64_t ec_decode_page_ns = 600;
+
   // --- Local (non-faulting) access path --------------------------------------
   // Cost of a pin that hits a present PTE: the amortized cache/TLB cost of a
   // local access (sequential accesses mostly hit cache lines; DRAM latency

@@ -139,6 +139,19 @@ std::string RuntimeStats::ToString() const {
                   static_cast<unsigned long long>(repair_pages_lost));
     out += buf;
   }
+  if (ec_degraded_reads != 0 || ec_parity_updates != 0 || ec_reconstructed_pages != 0 ||
+      ec_decode_failures != 0 || nodes_readmitted != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "ec: degraded=%llu reconstructed=%llu decode-failed=%llu | parity: "
+                  "%llu updates %llu bytes | nodes-readmitted=%llu\n",
+                  static_cast<unsigned long long>(ec_degraded_reads),
+                  static_cast<unsigned long long>(ec_reconstructed_pages),
+                  static_cast<unsigned long long>(ec_decode_failures),
+                  static_cast<unsigned long long>(ec_parity_updates),
+                  static_cast<unsigned long long>(ec_parity_bytes),
+                  static_cast<unsigned long long>(nodes_readmitted));
+    out += buf;
+  }
   return out + fault_breakdown.ToString();
 }
 

@@ -103,6 +103,14 @@ struct RuntimeStats {
   uint64_t repair_pages = 0;       // Pages re-replicated by the repair manager.
   uint64_t repair_bytes = 0;       // Repair traffic (read + write payload).
   uint64_t repair_pages_lost = 0;  // Pages with no surviving readable copy.
+  uint64_t nodes_readmitted = 0;   // Restored nodes re-admitted as rebuilding.
+
+  // --- Erasure coding (src/recovery/ec.h) -----------------------------------
+  uint64_t ec_degraded_reads = 0;       // Demand reads served by reconstruction.
+  uint64_t ec_reconstructed_pages = 0;  // Pages decoded from k surviving members.
+  uint64_t ec_parity_updates = 0;       // Parity RMW rounds on the write-back path.
+  uint64_t ec_parity_bytes = 0;         // Parity traffic (read + write payload).
+  uint64_t ec_decode_failures = 0;      // Reconstructions with < k readable members.
 
   LatencyBreakdown fault_breakdown;
 

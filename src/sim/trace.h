@@ -32,6 +32,10 @@ enum class TraceEvent : uint8_t {
   kRepairStart,   // Repair of one under-replicated granule scheduled.
   kRepairDone,    // Granule restored to full replication (remap committed).
   kDegradedRead,  // Demand read served by a non-primary replica.
+  // Erasure coding (src/recovery/ec.h).
+  kParityUpdate,    // Cleaner RMW'd a stripe's parity members for one page.
+  kEcReconstruct,   // A page was decoded from k surviving stripe members.
+  kNodeReadmitted,  // Detector re-admitted a restored node as rebuilding.
 };
 
 inline const char* TraceEventName(TraceEvent e) {
@@ -66,6 +70,12 @@ inline const char* TraceEventName(TraceEvent e) {
       return "repair-done";
     case TraceEvent::kDegradedRead:
       return "degraded-read";
+    case TraceEvent::kParityUpdate:
+      return "parity-update";
+    case TraceEvent::kEcReconstruct:
+      return "ec-reconstruct";
+    case TraceEvent::kNodeReadmitted:
+      return "node-readmit";
   }
   return "?";
 }

@@ -230,6 +230,70 @@ TEST(DegradedMode, WriteQpsSkipDeadAndIncludeRebuildTarget) {
   EXPECT_EQ(router.LiveReplicaCount(va), 2);
 }
 
+TEST(Readmission, RestoredNodeIsRefilledBeforeServingReads) {
+  // Two nodes, R = 2: when node 0 dies there is no repair target, so its
+  // granules stay degraded. Fabric::RestoreNode brings it back with a stale
+  // store (it missed every write-back while dead); a probe re-admits it as
+  // kRebuilding and the repair manager refills it in place from node 1.
+  Fabric fabric(CostModel::Default(), 2);
+  DilosRuntime rt(fabric, RecoveryConfig(2), std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 256;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);
+
+  fabric.CrashNode(0);
+  rt.DriveRecovery(2'000'000);
+  ASSERT_EQ(rt.router().state(0), NodeState::kDead);
+  DriveUntilIdle(rt);  // No target exists; the queue drains empty.
+
+  // Overwrite everything while node 0 is down: write-backs land only on
+  // node 1, so node 0's copies are now genuinely stale.
+  for (uint64_t p = 0; p < pages; ++p) {
+    rt.Write<uint64_t>(region + p * kPageSize, p ^ 0xF00D);
+  }
+
+  fabric.RestoreNode(0);
+  rt.DriveRecovery(2'000'000);  // A probe answers; the node is re-admitted.
+  EXPECT_GE(rt.stats().nodes_readmitted, 1u);
+  DriveUntilIdle(rt);
+  ASSERT_TRUE(rt.RecoveryIdle());
+  EXPECT_EQ(rt.router().state(0), NodeState::kLive);
+  EXPECT_GT(rt.stats().repair_granules, 0u);
+
+  // The staleness check: crash the node that carried the updates. Every
+  // value must now verify from the refilled node 0 alone.
+  fabric.CrashNode(1);
+  rt.DriveRecovery(2'000'000);
+  uint64_t errors = 0;
+  for (uint64_t p = 0; p < pages; ++p) {
+    if (rt.Read<uint64_t>(region + p * kPageSize) != (p ^ 0xF00D)) {
+      ++errors;
+    }
+  }
+  EXPECT_EQ(errors, 0u);
+  EXPECT_EQ(rt.stats().failed_fetches, 0u);
+}
+
+TEST(Readmission, FirstWriteDuringRefillMakesGranuleReadable) {
+  // A granule written for the very first time while a replica is
+  // mid-readmission: the write itself is the granule's only content, so the
+  // rebuilding replica is immediately readable for it (WriteQps records a
+  // committed remap) instead of waiting for the node-wide refill.
+  Fabric fabric(CostModel::Default(), 2);
+  ShardRouter router(fabric, 1, 2, false);
+  router.MarkRebuilding(0);
+  uint64_t va = kFarBase;
+  while (router.NodeOf(va) != 0) {
+    va += kShardGranuleBytes;
+  }
+  ASSERT_FALSE(router.Readable(0, ShardRouter::GranuleOf(va)));
+  std::vector<QueuePair*> qps;
+  std::vector<int> nodes;
+  router.WriteQps(0, CommChannel::kManager, va, &qps, &nodes);
+  ASSERT_EQ(nodes.size(), 2u) << "rebuilding replica receives the write";
+  EXPECT_TRUE(router.Readable(0, ShardRouter::GranuleOf(va)));
+}
+
 TEST(DegradedMode, RebuildingNodeReadableOnlyForCommittedGranules) {
   Fabric fabric(CostModel::Default(), 3);
   ShardRouter router(fabric, 1, 2, false, /*spare_nodes=*/1);

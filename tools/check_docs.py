@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Documentation linter: broken intra-repo links and README coverage.
+
+Run from anywhere: `python3 tools/check_docs.py`. Checks, stdlib only:
+
+  1. Every intra-repo markdown link ([text](path) and bare `path` mentions
+     of files that look like repo paths) in tracked *.md files resolves to
+     an existing file or directory.
+  2. Every top-level directory under src/ appears in README.md's
+     repository-layout table, so the directory map cannot silently rot.
+
+Exits nonzero with one line per violation.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — markdown links only; external schemes and anchors skipped.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+
+def md_files():
+    out = []
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in (".git", "build", "build-asan")]
+        for f in files:
+            if f.endswith(".md"):
+                out.append(os.path.join(root, f))
+    return sorted(out)
+
+
+def check_links(errors):
+    for path in md_files():
+        rel = os.path.relpath(path, REPO)
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                for target in MD_LINK.findall(line):
+                    if "://" in target or target.startswith("mailto:"):
+                        continue
+                    # Resolve relative to the file, falling back to repo root
+                    # (docs commonly link "src/..." from anywhere).
+                    cand = [
+                        os.path.normpath(os.path.join(os.path.dirname(path), target)),
+                        os.path.normpath(os.path.join(REPO, target)),
+                    ]
+                    if not any(os.path.exists(c) for c in cand):
+                        errors.append(f"{rel}:{lineno}: broken link -> {target}")
+
+
+def check_readme_covers_src(errors):
+    readme_path = os.path.join(REPO, "README.md")
+    if not os.path.exists(readme_path):
+        errors.append("README.md: missing")
+        return
+    with open(readme_path, encoding="utf-8") as fh:
+        readme = fh.read()
+    src = os.path.join(REPO, "src")
+    for d in sorted(os.listdir(src)):
+        if not os.path.isdir(os.path.join(src, d)):
+            continue
+        if f"src/{d}" not in readme:
+            errors.append(
+                f"README.md: directory src/{d} missing from the repository layout"
+            )
+
+
+def main():
+    errors = []
+    check_links(errors)
+    check_readme_covers_src(errors)
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)")
+        return 1
+    print(f"check_docs: OK ({len(md_files())} markdown files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
