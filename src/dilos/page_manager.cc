@@ -1,8 +1,10 @@
 #include "src/dilos/page_manager.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/recovery/ec_read.h"
+#include "src/recovery/integrity.h"
 
 namespace dilos {
 
@@ -118,6 +120,11 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
         router_.ReportOpFailure(write_nodes_[i], c.completion_time_ns);
         continue;  // The surviving replicas carry the page.
       }
+      // A partial write leaves the store-side bytes between segments
+      // indeterminate: any full-page checksum from an earlier clean is stale
+      // now, so the copy reverts to unverified (DESIGN.md §9 documents this
+      // guided-paging integrity gap).
+      router_.fabric().node(write_nodes_[i]).store().DropChecksum(page_va >> kPageShift);
       stats_.vectored_ops++;
       stats_.bytes_written += wr.TotalBytes();
     }
@@ -131,7 +138,12 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
     vector_cleaned_[page_va] = AllocActionSlot(std::move(segs));
   } else {
     for (size_t i = 0; i < write_qps_.size(); ++i) {
-      Completion c = write_qps_[i]->PostWrite(++wr_id_, frame_addr, page_va, kPageSize, now);
+      // Checked write: installs the page checksum and verifies the stored
+      // bytes (the ICRC analog), so a write-path bit flip never becomes
+      // durable silently on any replica.
+      Completion c = WritePageChecked(write_qps_[i],
+                                      router_.fabric().node(write_nodes_[i]).store(), page_va,
+                                      pool_.Data(frame), now, &wr_id_, stats_, tracer_);
       if (c.status != WcStatus::kSuccess) {
         router_.ReportOpFailure(write_nodes_[i], c.completion_time_ns);
         continue;
@@ -162,10 +174,19 @@ bool PageManager::EcOldContent(uint64_t page_va, uint8_t* out, uint64_t now) {
         router_.NodeQp(/*core=*/0, CommChannel::kManager, node)
             ->PostRead(++wr_id_, reinterpret_cast<uint64_t>(out), page_va, kPageSize, now);
     if (c.status == WcStatus::kSuccess) {
-      stats_.ec_parity_bytes += kPageSize;
-      return true;
+      if (VerifyPageBytes(router_.fabric().node(node).store(), page_va, out)) {
+        stats_.ec_parity_bytes += kPageSize;
+        return true;
+      }
+      // A rotted home copy is not the old content parity was encoded from —
+      // folding a delta against it would corrupt every parity member. Fall
+      // through to reconstruction, which yields the content parity agrees on.
+      stats_.checksum_mismatches++;
+      tracer_->Record(c.completion_time_ns, TraceEvent::kChecksumMismatch, page_va,
+                      /*detail=*/0);
+    } else {
+      router_.ReportOpFailure(node, c.completion_time_ns);
     }
-    router_.ReportOpFailure(node, c.completion_time_ns);
   }
   uint32_t page_idx = static_cast<uint32_t>((page_va & (kShardGranuleBytes - 1)) >> kPageShift);
   uint64_t cursor = now;
@@ -201,6 +222,7 @@ void PageManager::EcUpdateParity(uint64_t page_va, const uint8_t* old_page,
     }
     int node = router_.EcNode(stripe, pmember);
     uint64_t parity_va = router_.EcMemberPageVa(stripe, pmember, page_idx);
+    PageStore& pstore = router_.fabric().node(node).store();
     QueuePair* qp = router_.NodeQp(/*core=*/0, CommChannel::kManager, node);
     Completion r = qp->PostRead(++wr_id_, reinterpret_cast<uint64_t>(pbuf), parity_va,
                                 kPageSize, now);
@@ -208,9 +230,37 @@ void PageManager::EcUpdateParity(uint64_t page_va, const uint8_t* old_page,
       router_.ReportOpFailure(node, r.completion_time_ns);
       continue;
     }
+    if (!VerifyPageBytes(pstore, parity_va, pbuf)) {
+      // Rotted (or flipped-in-flight) parity: folding the delta into it and
+      // writing back under a fresh checksum would *launder* the corruption
+      // into verified state. Regenerate this parity page from the current
+      // members instead — we run after the data write landed, so the encode
+      // is consistent with the new content.
+      stats_.checksum_mismatches++;
+      tracer_->Record(r.completion_time_ns, TraceEvent::kChecksumMismatch, parity_va,
+                      /*detail=*/0);
+      uint64_t cursor = r.completion_time_ns;
+      if (!EcReconstructPage(router_, *cost_, /*core=*/0, CommChannel::kManager, stripe,
+                             pmember, page_idx, pbuf, &cursor, &wr_id_, stats_, tracer_)) {
+        continue;  // Too few readable members; the repair manager owns this.
+      }
+      Completion w = WritePageChecked(qp, pstore, parity_va, pbuf, cursor, &wr_id_, stats_,
+                                      tracer_);
+      if (w.status != WcStatus::kSuccess) {
+        router_.ReportOpFailure(node, w.completion_time_ns);
+        continue;
+      }
+      stats_.checksum_heals++;
+      tracer_->Record(w.completion_time_ns, TraceEvent::kChecksumHeal, parity_va,
+                      static_cast<uint32_t>(node));
+      router_.NoteWrittenGranule(ShardRouter::GranuleOf(parity_va));
+      stats_.ec_parity_bytes += 2 * kPageSize;
+      ++updated;
+      continue;
+    }
     ECCodec::XorMulInto(pbuf, delta, codec.Coef(pmember, member), kPageSize);
-    Completion w = qp->PostWrite(++wr_id_, reinterpret_cast<uint64_t>(pbuf), parity_va,
-                                 kPageSize, r.completion_time_ns);
+    Completion w = WritePageChecked(qp, pstore, parity_va, pbuf, r.completion_time_ns,
+                                    &wr_id_, stats_, tracer_);
     if (w.status != WcStatus::kSuccess) {
       router_.ReportOpFailure(node, w.completion_time_ns);
       continue;
@@ -223,6 +273,124 @@ void PageManager::EcUpdateParity(uint64_t page_va, const uint8_t* old_page,
     stats_.ec_parity_updates++;
     tracer_->Record(now, TraceEvent::kParityUpdate, page_va, static_cast<uint32_t>(updated));
   }
+}
+
+void PageManager::ScrubTick(uint64_t now) {
+  if (cfg_.scrub_pages_per_tick == 0 || router_.written_granules().empty()) {
+    return;
+  }
+  if (scrub_granule_idx_ >= scrub_granules_.size()) {
+    // Full pass done (or first tick): re-snapshot so granules written since
+    // the last pass join the rotation. Sorted for a deterministic scan order.
+    scrub_granules_.assign(router_.written_granules().begin(),
+                           router_.written_granules().end());
+    std::sort(scrub_granules_.begin(), scrub_granules_.end());
+    scrub_granule_idx_ = 0;
+    scrub_page_idx_ = 0;
+  }
+  for (size_t i = 0;
+       i < cfg_.scrub_pages_per_tick && scrub_granule_idx_ < scrub_granules_.size(); ++i) {
+    uint64_t page_va = (scrub_granules_[scrub_granule_idx_] << kShardGranuleShift) +
+                       static_cast<uint64_t>(scrub_page_idx_) * kPageSize;
+    ScrubPage(page_va, now);
+    if (++scrub_page_idx_ >= kPagesPerGranule) {
+      scrub_page_idx_ = 0;
+      ++scrub_granule_idx_;
+    }
+  }
+}
+
+void PageManager::ScrubPage(uint64_t page_va, uint64_t now) {
+  uint64_t granule = ShardRouter::GranuleOf(page_va);
+  router_.ReplicaNodes(page_va, &scrub_nodes_);
+  for (int node : scrub_nodes_) {
+    if (!router_.Readable(node, granule)) {
+      continue;  // Dead or mid-rebuild: the repair manager owns that copy.
+    }
+    PageStore& store = router_.fabric().node(node).store();
+    if (!store.HasChecksum(page_va >> kPageShift)) {
+      continue;  // Never fully written back; nothing to verify against.
+    }
+    stats_.scrub_pages++;
+    Completion c =
+        router_.NodeQp(/*core=*/0, CommChannel::kManager, node)
+            ->PostRead(++wr_id_, reinterpret_cast<uint64_t>(scrub_buf_), page_va, kPageSize,
+                       now);
+    if (c.status != WcStatus::kSuccess) {
+      router_.ReportOpFailure(node, c.completion_time_ns);
+      continue;
+    }
+    if (VerifyPageBytes(store, page_va, scrub_buf_)) {
+      continue;  // Healthy copy.
+    }
+    stats_.checksum_mismatches++;
+    tracer_->Record(c.completion_time_ns, TraceEvent::kChecksumMismatch, page_va,
+                    /*detail=*/0);
+    // Node-local re-hash of the *stored* bytes separates a bit flipped on
+    // the scrub read itself (stored copy fine — nothing to repair) from
+    // genuine at-rest rot.
+    if (PageChecksum(store.PageData(page_va >> kPageShift)) ==
+        store.Checksum(page_va >> kPageShift)) {
+      continue;
+    }
+    ScrubRepair(page_va, node, c.completion_time_ns);
+  }
+}
+
+void PageManager::ScrubRepair(uint64_t page_va, int node, uint64_t now) {
+  uint64_t granule = ShardRouter::GranuleOf(page_va);
+  uint8_t good[kPageSize];
+  bool have_good = false;
+  uint64_t cursor = now;
+  if (router_.ec_enabled() && router_.ec().m > 0) {
+    // EC holds one copy per page (data or parity member alike): the verified
+    // content can only come from decoding the other stripe members.
+    uint64_t stripe = router_.EcStripeOf(granule);
+    int member = router_.EcMemberOf(granule);
+    uint32_t page_idx =
+        static_cast<uint32_t>((page_va & (kShardGranuleBytes - 1)) >> kPageShift);
+    have_good = EcReconstructPage(router_, *cost_, /*core=*/0, CommChannel::kManager, stripe,
+                                  member, page_idx, good, &cursor, &wr_id_, stats_, tracer_);
+  } else {
+    // Replication: any other replica whose arrival verifies is a source.
+    // The source must itself hold a checksum — the repair write installs a
+    // fresh one, and hashing an unverifiable copy (one that missed its
+    // write-back) would launder its stale bytes into verified state.
+    for (int src : scrub_nodes_) {
+      if (src == node || !router_.Readable(src, granule) ||
+          !router_.fabric().node(src).store().HasChecksum(page_va >> kPageShift)) {
+        continue;
+      }
+      Completion c = router_.NodeQp(/*core=*/0, CommChannel::kManager, src)
+                         ->PostRead(++wr_id_, reinterpret_cast<uint64_t>(good), page_va,
+                                    kPageSize, cursor);
+      if (c.status != WcStatus::kSuccess) {
+        router_.ReportOpFailure(src, c.completion_time_ns);
+        continue;
+      }
+      cursor = c.completion_time_ns;
+      if (VerifyPageBytes(router_.fabric().node(src).store(), page_va, good)) {
+        have_good = true;
+        break;
+      }
+      stats_.checksum_mismatches++;
+      tracer_->Record(cursor, TraceEvent::kChecksumMismatch, page_va, /*detail=*/0);
+    }
+  }
+  if (!have_good) {
+    return;  // No verified source left; a later demand read will report loss.
+  }
+  Completion w =
+      WritePageChecked(router_.NodeQp(/*core=*/0, CommChannel::kManager, node),
+                       router_.fabric().node(node).store(), page_va, good, cursor, &wr_id_,
+                       stats_, tracer_);
+  if (w.status != WcStatus::kSuccess) {
+    router_.ReportOpFailure(node, w.completion_time_ns);
+    return;
+  }
+  stats_.scrub_repairs++;
+  tracer_->Record(w.completion_time_ns, TraceEvent::kScrubRepair, page_va,
+                  static_cast<uint32_t>(node));
 }
 
 bool PageManager::EvictOne(uint64_t now, uint64_t pinned_va) {
@@ -302,6 +470,9 @@ void PageManager::BackgroundTick(uint64_t now, uint64_t pinned_va) {
       break;
     }
   }
+  // Scrubber: opportunistic integrity sweep in the same idle loop (no-op
+  // unless scrub_pages_per_tick is set).
+  ScrubTick(now);
 }
 
 uint32_t PageManager::AllocFrame(Clock& clk, LatencyBreakdown* bd) {

@@ -38,6 +38,12 @@ struct PageManagerConfig {
   size_t clean_batch = 32;       // Dirty pages cleaned per background tick.
   uint32_t max_vector_segs = 3;  // Longest scatter/gather vector to use.
   uint64_t direct_reclaim_ns = 1800;  // Fault-path cost per direct-reclaim victim.
+  // Background scrubber: remote pages re-read and verified per background
+  // tick (0 = off). The scrubber walks every granule that ever received a
+  // write-back, round-robin, re-hashing each stored replica copy against its
+  // checksum and repairing latent corruption from another verified replica
+  // (or by EC reconstruction) before a demand read ever meets it.
+  size_t scrub_pages_per_tick = 0;
 };
 
 class PageManager {
@@ -98,6 +104,17 @@ class PageManager {
   void EcUpdateParity(uint64_t page_va, const uint8_t* old_page, const uint8_t* new_page,
                       uint64_t now);
 
+  // Scrubber: verifies the next scrub_pages_per_tick stored pages, cycling
+  // over a sorted snapshot of the written granules (re-snapshotted each full
+  // pass so new granules join the rotation).
+  void ScrubTick(uint64_t now);
+  // Re-reads every readable checksummed copy of one page; a copy whose
+  // *stored* bytes no longer hash to the installed checksum is rewritten
+  // from a verified replica or an EC reconstruction.
+  void ScrubPage(uint64_t page_va, uint64_t now);
+  // Rewrites the rotted copy of `page_va` on `node` from redundancy.
+  void ScrubRepair(uint64_t page_va, int node, uint64_t now);
+
   FramePool& pool_;
   PageTable& pt_;
   ShardRouter& router_;
@@ -119,6 +136,14 @@ class PageManager {
 
   std::vector<std::vector<PageSegment>> action_log_;
   std::vector<uint64_t> action_free_;
+
+  // Scrub cursor: sorted granule snapshot + position, so the scan order is
+  // deterministic regardless of hash-set iteration order.
+  std::vector<uint64_t> scrub_granules_;
+  size_t scrub_granule_idx_ = 0;
+  uint32_t scrub_page_idx_ = 0;
+  std::vector<int> scrub_nodes_;       // Scratch for replica enumeration.
+  uint8_t scrub_buf_[kPageSize] = {};  // Arrival buffer for scrub reads.
 
   uint64_t wr_id_ = 0;
   uint64_t direct_reclaims_ = 0;

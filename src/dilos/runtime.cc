@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/recovery/ec_read.h"
+#include "src/recovery/integrity.h"
 
 namespace dilos {
 
@@ -109,6 +110,9 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
   for (int c = 1; c < cfg.num_cores; ++c) {
     prefetchers_.push_back(prefetchers_[0]->Clone());
   }
+  if (cfg_.fault_seed != 0) {
+    fabric_.injector().Reseed(cfg_.fault_seed);
+  }
   if (cfg_.recovery.enabled) {
     detector_ = std::make_unique<FailureDetector>(fabric_, router_, stats_, &tracer_,
                                                   cfg_.recovery.detector);
@@ -156,13 +160,45 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
                                      CommChannel ch, uint64_t* cursor_ns) {
   uint32_t max_retries = detector_ != nullptr ? detector_->config().max_retries : 0;
   uint64_t backoff = detector_ != nullptr ? detector_->config().backoff_base_ns : 0;
+  // Mismatch retries are budgeted separately from timeout retries: a wire
+  // flip and a dead node are different failures and one must not starve the
+  // other's recovery path. The budget is deliberately generous — wire flips
+  // on successive reads are independent, so each extra re-read multiplies
+  // the abandon probability down by the flip rate, while the cost of a
+  // retry is one page read. Abandoning surfaces a zero-filled page, so only
+  // a copy that mismatches persistently (stored rot with every partner
+  // unreachable) should exhaust it.
+  constexpr uint32_t kMaxMismatchRetries = 8;
   Completion c{0, WcStatus::kTimeout, *cursor_ns};
-  for (uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
-    ShardRouter::ReadTarget t = router_.PickRead(core, ch, page_va);
-    if (t.qp == nullptr) {
-      if (t.reconstruct &&
-          EcDemandReconstruct(page_va, frame_addr, segs, core, ch, cursor_ns)) {
+  uint32_t timeout_attempts = 0;
+  uint32_t mismatch_attempts = 0;
+  int exclude = -1;        // Node whose stored copy proved corrupt.
+  int last_mismatch = -1;  // Node whose last arrival failed verification.
+  bool poisoned = false;   // The frame currently holds unverified bytes.
+  while (timeout_attempts <= max_retries && mismatch_attempts <= kMaxMismatchRetries) {
+    ShardRouter::ReadTarget t = router_.PickRead(core, ch, page_va, exclude);
+    if (t.reconstruct) {
+      // EC steering: the single copy is unreadable, corrupt, or on a suspect
+      // node — decode from survivors first; t.qp (a suspect copy, if any)
+      // is the fallback when fewer than k members are readable.
+      if (EcDemandReconstruct(page_va, frame_addr, segs, core, ch, cursor_ns)) {
+        if (exclude >= 0 && segs == nullptr) {
+          HealCorruptReplica(page_va, exclude, reinterpret_cast<const uint8_t*>(frame_addr),
+                             *cursor_ns);
+        }
         return Completion{wr_id_, WcStatus::kSuccess, *cursor_ns};
+      }
+    }
+    if (t.qp == nullptr) {
+      if (exclude >= 0) {
+        // Excluding the corrupt copy left nothing to read (its partners are
+        // dead or partitioned). A copy whose arrivals mismatched may still
+        // be flips on the wire, not rot in the store — un-exclude it and
+        // keep re-reading on the remaining mismatch budget rather than
+        // abandoning the fetch.
+        exclude = -1;
+        last_mismatch = -1;
+        continue;
       }
       break;  // No readable replica left at all.
     }
@@ -181,6 +217,41 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
     }
     *cursor_ns = c.completion_time_ns;
     if (c.status == WcStatus::kSuccess) {
+      if (segs == nullptr &&
+          !VerifyPageBytes(fabric_.node(t.node).store(), page_va,
+                           reinterpret_cast<const uint8_t*>(frame_addr))) {
+        // Corrupt arrival. First mismatch from a node: assume a wire flip
+        // and re-read (possibly the same replica). A second mismatch from
+        // the same node means its *stored* copy rotted: exclude it, fetch
+        // from another replica (or EC survivors), then heal it.
+        stats_.checksum_mismatches++;
+        stats_.refetches++;
+        ++mismatch_attempts;
+        poisoned = true;
+        tracer_.Record(*cursor_ns, TraceEvent::kChecksumMismatch, page_va, /*detail=*/0);
+        if (t.node == last_mismatch) {
+          exclude = t.node;
+        }
+        last_mismatch = t.node;
+        continue;
+      }
+      if (segs == nullptr && exclude < 0 &&
+          !fabric_.node(t.node).store().HasChecksum(page_va >> kPageShift) &&
+          ReplicaHasChecksumElsewhere(page_va, t.node)) {
+        // Unverifiable arrival from a replica that should have been cleaned:
+        // some other replica holds a checksum for this page, so a full
+        // write-back happened — this copy missed it (dropped by a partition
+        // or a transient fault). Its bytes are stale or zero; steer to a
+        // verifiable copy instead of trusting them.
+        stats_.refetches++;
+        ++mismatch_attempts;
+        poisoned = true;
+        tracer_.Record(*cursor_ns, TraceEvent::kChecksumMismatch, page_va,
+                       /*detail=*/2);  // 2 = unverifiable copy bypassed.
+        exclude = t.node;
+        continue;
+      }
+      poisoned = false;
       if (detector_ != nullptr) {
         detector_->OnOpSuccess(t.node, *cursor_ns);
       }
@@ -189,14 +260,57 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
         tracer_.Record(*cursor_ns, TraceEvent::kDegradedRead, page_va,
                        static_cast<uint32_t>(t.node));
       }
+      if (exclude >= 0 && segs == nullptr) {
+        HealCorruptReplica(page_va, exclude, reinterpret_cast<const uint8_t*>(frame_addr),
+                           *cursor_ns);
+      }
       return c;
     }
+    ++timeout_attempts;
     stats_.fetch_retries++;
     router_.ReportOpFailure(t.node, *cursor_ns);
-    *cursor_ns += backoff << attempt;  // Exponential backoff before failover.
+    *cursor_ns += backoff << (timeout_attempts - 1);  // Exponential backoff.
   }
   stats_.failed_fetches++;
+  if (poisoned && segs == nullptr) {
+    // Bytes that failed verification are never surfaced: zero the frame and
+    // report the fetch failed (the caller's !kSuccess path zeroes too).
+    std::memset(reinterpret_cast<uint8_t*>(frame_addr), 0, kPageSize);
+    c.status = WcStatus::kTimeout;
+  }
   return c;
+}
+
+void DilosRuntime::HealCorruptReplica(uint64_t page_va, int node, const uint8_t* good,
+                                      uint64_t issue_ns) {
+  if (node < 0) {
+    return;
+  }
+  if (!router_.Readable(node, ShardRouter::GranuleOf(page_va))) {
+    return;  // Died or went into rebuild meanwhile; the repair manager owns it.
+  }
+  PageStore& store = fabric_.node(node).store();
+  Completion c = WritePageChecked(router_.NodeQp(/*core=*/0, CommChannel::kManager, node),
+                                  store, page_va, good, issue_ns, &wr_id_, stats_, &tracer_);
+  if (c.status != WcStatus::kSuccess) {
+    router_.ReportOpFailure(node, c.completion_time_ns);
+    return;
+  }
+  stats_.checksum_heals++;
+  tracer_.Record(c.completion_time_ns, TraceEvent::kChecksumHeal, page_va,
+                 static_cast<uint32_t>(node));
+}
+
+bool DilosRuntime::ReplicaHasChecksumElsewhere(uint64_t page_va, int except) {
+  router_.ReplicaNodes(page_va, &replica_scratch_);
+  uint64_t granule = ShardRouter::GranuleOf(page_va);
+  for (int n : replica_scratch_) {
+    if (n != except && router_.Readable(n, granule) &&
+        fabric_.node(n).store().HasChecksum(page_va >> kPageShift)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool DilosRuntime::EcDemandReconstruct(uint64_t page_va, uint64_t frame_addr,
@@ -344,6 +458,25 @@ bool DilosRuntime::StartPrefetch(uint64_t page_va, uint64_t issue_ns, int core,
     // Speculation is not worth a retry loop: free the frame, feed the
     // detector, and leave the page remote for the demand path.
     router_.ReportOpFailure(target.node, c.completion_time_ns);
+    pool_.Free(*fid);
+    return false;
+  }
+  if (!VerifyPageBytes(fabric_.node(target.node).store(), page_va, pool_.Data(*fid))) {
+    // A corrupt speculative fill is simply dropped: the page stays remote
+    // and the demand path (which owns the refetch/heal machinery) serves it.
+    stats_.checksum_mismatches++;
+    tracer_.Record(c.completion_time_ns, TraceEvent::kChecksumMismatch, page_va,
+                   /*detail=*/0);
+    pool_.Free(*fid);
+    return false;
+  }
+  if (!fabric_.node(target.node).store().HasChecksum(page_va >> kPageShift) &&
+      ReplicaHasChecksumElsewhere(page_va, target.node)) {
+    // Unverifiable speculative fill from a copy that missed its write-back
+    // (another replica has the checksum): drop it, same as a mismatch.
+    stats_.refetches++;
+    tracer_.Record(c.completion_time_ns, TraceEvent::kChecksumMismatch, page_va,
+                   /*detail=*/2);
     pool_.Free(*fid);
     return false;
   }

@@ -53,6 +53,12 @@ struct DilosConfig {
   size_t hit_tracker_window = 256;
   // Paging-event trace ring capacity (0 = tracing off).
   size_t trace_capacity = 0;
+  // Chaos seed: nonzero reseeds the fabric's fault injector at construction,
+  // so every probabilistic fault drawn during the run derives from this one
+  // knob. Tests print it on failure; rerunning with the same seed replays
+  // the exact fault schedule. Arm the plan (Fabric::set_fault_plan) before
+  // constructing the runtime.
+  uint64_t fault_seed = 0;
 };
 
 class DilosRuntime : public FarRuntime {
@@ -123,6 +129,17 @@ class DilosRuntime : public FarRuntime {
   bool EcDemandReconstruct(uint64_t page_va, uint64_t frame_addr,
                            const std::vector<PageSegment>* segs, int core, CommChannel ch,
                            uint64_t* cursor_ns);
+  // Rewrites the known-corrupt stored copy of `page_va` on `node` with the
+  // verified bytes in `good` (read-path healing after a checksum mismatch).
+  // Posted on the manager channel at `issue_ns`: healing is off the fault
+  // path, so the caller's cursor does not wait on it.
+  void HealCorruptReplica(uint64_t page_va, int node, const uint8_t* good, uint64_t issue_ns);
+  // True when a readable replica of `page_va` other than `except` holds an
+  // installed checksum for it. Used to distrust an *unverifiable* arrival:
+  // a copy with no checksum on a page some other replica cleaned in full is
+  // a copy that missed its write-back (e.g. a partitioned node), not a page
+  // that was never written.
+  bool ReplicaHasChecksumElsewhere(uint64_t page_va, int except);
   // Cleaner/reclaimer plus recovery, one background hook.
   void Background(uint64_t now, uint64_t pinned_va);
   // Marks `page_va` fetching and posts an async read at `issue_ns` on the
@@ -151,6 +168,7 @@ class DilosRuntime : public FarRuntime {
   HitTracker tracker_;
   std::unique_ptr<FailureDetector> detector_;
   std::unique_ptr<RepairManager> repair_;
+  std::vector<int> replica_scratch_;  // ReplicaHasChecksumElsewhere scratch.
 
   std::unordered_map<uint64_t, Inflight> inflight_;  // Key: page vaddr.
   uint64_t next_region_ = kFarBase;

@@ -81,7 +81,8 @@ class ShardRouter {
   // non-spare node.
   ShardRouter(Fabric& fabric, int num_cores, int replication, bool shared_queue,
               int spare_nodes = 0, const ECConfig& ec = {})
-      : num_nodes_(fabric.num_nodes()),
+      : fabric_(&fabric),
+        num_nodes_(fabric.num_nodes()),
         active_(ClampActive(num_nodes_, spare_nodes)),
         ec_(ResolveEc(ec, active_)),
         codec_(ec_.k, ec_.m),
@@ -136,27 +137,46 @@ class ShardRouter {
     }
   }
 
-  // First readable replica of `vaddr` for reads. qp == nullptr only if no
-  // replica is readable (all dead, or the sole copy is mid-rebuild).
-  ReadTarget PickRead(int core, CommChannel ch, uint64_t vaddr) {
+  // First readable replica of `vaddr` for reads, preferring fully-live
+  // nodes: a replica on a suspect node (gray-slow, or striking out) is used
+  // only when nothing healthier exists — this is the read steering of the
+  // gray-failure path. `exclude` (a node whose copy failed checksum
+  // verification) is never returned. qp == nullptr with reconstruct false
+  // means no replica is readable at all; reconstruct true (EC) asks the
+  // caller to decode from survivors first, with qp (possibly null) as the
+  // suspect-copy fallback when fewer than k members remain readable.
+  ReadTarget PickRead(int core, CommChannel ch, uint64_t vaddr, int exclude = -1) {
     uint64_t granule = GranuleOf(vaddr);
     auto it = remap_.find(granule);
     int count = it != remap_.end() ? static_cast<int>(it->second.replicas.size())
                                    : replication_;
     int home = it != remap_.end() ? -1 : NodeOf(vaddr);
     int rebuilding = it != remap_.end() ? it->second.rebuilding : -1;
+    int suspect = -1;
+    int suspect_rank = 0;
     for (int r = 0; r < count; ++r) {
       int n = it != remap_.end() ? it->second.replicas[static_cast<size_t>(r)]
                                  : (home + r) % active_;
-      if (n == rebuilding || !Readable(n, granule)) {
+      if (n == exclude || n == rebuilding || !Readable(n, granule)) {
         continue;  // Repair copy not landed yet, or node unusable.
+      }
+      if (state_[static_cast<size_t>(n)] == NodeState::kSuspect) {
+        if (suspect < 0) {
+          suspect = n;
+          suspect_rank = r;
+        }
+        continue;
       }
       return ReadTarget{Qp(core, ch, n), n, r > 0};
     }
-    // EC data granules have one copy; when it is unreadable the page is
-    // still recoverable by decoding k surviving stripe members.
+    // EC data granules have one copy; when it is unreadable — or held by a
+    // suspect node — the page is better served by decoding k surviving
+    // stripe members than by waiting on the slow/flaky copy.
     if (ec_.enabled && ec_.m > 0 && vaddr < kEcParityBase) {
-      return ReadTarget{nullptr, -1, true, true};
+      return ReadTarget{suspect >= 0 ? Qp(core, ch, suspect) : nullptr, suspect, true, true};
+    }
+    if (suspect >= 0) {
+      return ReadTarget{Qp(core, ch, suspect), suspect, suspect_rank > 0};
     }
     return ReadTarget{};
   }
@@ -380,6 +400,11 @@ class ShardRouter {
     }
   }
 
+  // The fabric this router was built over — integrity verification reaches
+  // through it for the per-node checksum metadata (the model shortcut for a
+  // checksum trailer travelling with the payload).
+  Fabric& fabric() const { return *fabric_; }
+
   int num_nodes() const { return num_nodes_; }
   int active_nodes() const { return active_; }
   int spare_nodes() const { return num_nodes_ - active_; }
@@ -448,6 +473,7 @@ class ShardRouter {
                [static_cast<size_t>(node)];
   }
 
+  Fabric* fabric_;
   int num_nodes_;
   int active_;  // Nodes participating in hash placement; the rest are spares.
   ECConfig ec_;

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/memnode/fault_injector.h"
 #include "src/memnode/memory_node.h"
 #include "src/rdma/link.h"
 #include "src/rdma/queue_pair.h"
@@ -26,21 +27,31 @@ class Fabric {
     for (int i = 0; i < num_nodes; ++i) {
       links_.push_back(std::make_unique<Link>(cost));
       nodes_.push_back(std::make_unique<MemoryNode>(static_cast<uint32_t>(0x5EED + i)));
+      injector_.RegisterNode(nodes_.back().get());
     }
   }
 
   QueuePair* CreateQp(int node = 0) {
     qps_.push_back(std::make_unique<QueuePair>(links_[static_cast<size_t>(node)].get(),
-                                               &local_, &nodes_[static_cast<size_t>(node)]->mr()));
+                                               &local_, &nodes_[static_cast<size_t>(node)]->mr(),
+                                               &injector_, node));
     return qps_.back().get();
   }
 
   // Crashes memory node `i`: every QP connected to it times out from now on.
   // Unlike ShardRouter::FailNode this is not an oracle declaration — the
   // compute side only learns of the crash through op timeouts and missed
-  // heartbeats (src/recovery/failure_detector.h).
+  // heartbeats (src/recovery/failure_detector.h). A scheduled, window-bounded
+  // crash is the same thing as a plan: set_fault_plan with a kCrash spec.
   void CrashNode(int i) { nodes_[static_cast<size_t>(i)]->Crash(); }
   void RestoreNode(int i) { nodes_[static_cast<size_t>(i)]->Restore(); }
+
+  // Installs a deterministic chaos schedule (src/memnode/fault_injector.h).
+  // Arm the plan *before* constructing a runtime whose DilosConfig::
+  // fault_seed should govern it: the runtime reseeds the injector at
+  // construction, and a plan with seed == 0 keeps that seed.
+  void set_fault_plan(const FaultPlan& plan) { injector_.Arm(plan); }
+  FaultInjector& injector() { return injector_; }
 
   Link& link(int node = 0) { return *links_[static_cast<size_t>(node)]; }
   MemoryNode& node(int i = 0) { return *nodes_[static_cast<size_t>(i)]; }
@@ -49,6 +60,7 @@ class Fabric {
 
  private:
   CostModel cost_;
+  FaultInjector injector_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<MemoryNode>> nodes_;
   IdentityResolver local_;

@@ -61,10 +61,29 @@ class PageStore : public AddressResolver {
     return pages_;
   }
 
-  void Drop(uint64_t page) { pages_.erase(page); }
+  void Drop(uint64_t page) {
+    pages_.erase(page);
+    sums_.erase(page);
+  }
+
+  // -- Per-page integrity metadata (src/recovery/integrity.h) ----------------
+  // The cleaner installs a 64-bit checksum with each full-page write-back; a
+  // page written partially (vectored live segments) carries none, because the
+  // store-side content between segments is indeterminate. Checksums live next
+  // to the pages the way a real memory node would keep per-block CRCs in a
+  // metadata region of the same registration.
+  void SetChecksum(uint64_t page, uint64_t sum) { sums_[page] = sum; }
+  void DropChecksum(uint64_t page) { sums_.erase(page); }
+  bool HasChecksum(uint64_t page) const { return sums_.count(page) != 0; }
+  uint64_t Checksum(uint64_t page) const {
+    auto it = sums_.find(page);
+    return it == sums_.end() ? 0 : it->second;
+  }
+  const std::unordered_map<uint64_t, uint64_t>& checksums() const { return sums_; }
 
  private:
   std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+  std::unordered_map<uint64_t, uint64_t> sums_;
 };
 
 }  // namespace dilos

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/memnode/fault_injector.h"
+
 namespace dilos {
 
 Completion QueuePair::Fail(uint64_t wr_id, WcStatus status, uint64_t now_ns) {
@@ -10,19 +12,28 @@ Completion QueuePair::Fail(uint64_t wr_id, WcStatus status, uint64_t now_ns) {
   return c;
 }
 
+Completion QueuePair::Timeout(uint64_t wr_id, uint64_t now_ns) {
+  // The RC transport retransmits until its timer expires, then completes
+  // the WQE in error; no data moves. Subsequent ops on this QP still
+  // complete in order behind the timed-out one.
+  uint64_t done = now_ns + link_->cost().rdma_op_timeout_ns;
+  if (done < last_completion_ns_) {
+    done = last_completion_ns_;
+  }
+  last_completion_ns_ = done;
+  Completion c{wr_id, WcStatus::kTimeout, done};
+  cq_.Push(c);
+  return c;
+}
+
 Completion QueuePair::PostSend(const WorkRequest& wr, uint64_t now_ns) {
-  if (remote_mr_->crashed) {
-    // The RC transport retransmits until its timer expires, then completes
-    // the WQE in error; no data moves. Subsequent ops on this QP still
-    // complete in order behind the timed-out one.
-    uint64_t done = now_ns + link_->cost().rdma_op_timeout_ns;
-    if (done < last_completion_ns_) {
-      done = last_completion_ns_;
-    }
-    last_completion_ns_ = done;
-    Completion c{wr.wr_id, WcStatus::kTimeout, done};
-    cq_.Push(c);
-    return c;
+  bool is_write = wr.opcode == RdmaOpcode::kWrite;
+  OpFault fault;
+  if (injector_ != nullptr && node_ >= 0) {
+    fault = injector_->Decide(node_, is_write, now_ns, wr.TotalBytes());
+  }
+  if (remote_mr_->crashed || fault.drop) {
+    return Timeout(wr.wr_id, now_ns);
   }
   if (wr.local.size() != wr.remote.size() || wr.local.empty()) {
     return Fail(wr.wr_id, WcStatus::kLocalError, now_ns);
@@ -31,6 +42,7 @@ Completion QueuePair::PostSend(const WorkRequest& wr, uint64_t now_ns) {
     return Fail(wr.wr_id, WcStatus::kRemoteAccessError, now_ns);
   }
   // Validate and move the payload segment by segment.
+  uint64_t payload_off = 0;
   for (size_t i = 0; i < wr.local.size(); ++i) {
     const Sge& l = wr.local[i];
     const Sge& r = wr.remote[i];
@@ -40,7 +52,6 @@ Completion QueuePair::PostSend(const WorkRequest& wr, uint64_t now_ns) {
     if (!remote_mr_->Contains(r.addr, r.length)) {
       return Fail(wr.wr_id, WcStatus::kRemoteAccessError, now_ns);
     }
-    bool is_write = wr.opcode == RdmaOpcode::kWrite;
     uint8_t* lp = local_->Resolve(l.addr, l.length, /*for_write=*/!is_write);
     uint8_t* rp = remote_mr_->resolver->Resolve(r.addr, r.length, /*for_write=*/is_write);
     if (lp == nullptr || rp == nullptr) {
@@ -51,13 +62,25 @@ Completion QueuePair::PostSend(const WorkRequest& wr, uint64_t now_ns) {
     } else {
       std::memcpy(lp, rp, l.length);
     }
+    if (fault.corrupt && fault.corrupt_offset >= payload_off &&
+        fault.corrupt_offset < payload_off + l.length) {
+      // Injected wire corruption lands on the destination side: the stored
+      // bytes for a write, the local buffer for a read.
+      uint8_t* victim = (is_write ? rp : lp) + (fault.corrupt_offset - payload_off);
+      *victim ^= fault.corrupt_mask;
+    }
+    payload_off += l.length;
   }
 
   uint64_t bytes = wr.TotalBytes();
   auto nsegs = static_cast<uint32_t>(wr.local.size());
-  bool is_write = wr.opcode == RdmaOpcode::kWrite;
   uint64_t fabric = is_write ? link_->cost().WriteLatencyNs(bytes, nsegs)
                              : link_->cost().ReadLatencyNs(bytes, nsegs);
+  if (fault.delay_factor > 1.0) {
+    // Gray failure: the node answers, just slowly — stretch the fabric
+    // latency, not the wire serialization (the link itself is healthy).
+    fabric = static_cast<uint64_t>(static_cast<double>(fabric) * fault.delay_factor);
+  }
   uint64_t wire_done = link_->Occupy(now_ns, bytes, nsegs, is_write);
   uint64_t done = now_ns + fabric;
   if (wire_done > done) {

@@ -19,6 +19,8 @@
 
 namespace dilos {
 
+class FaultInjector;  // src/memnode/fault_injector.h
+
 class CompletionQueue {
  public:
   void Push(Completion c) {
@@ -61,9 +63,12 @@ class CompletionQueue {
 class QueuePair {
  public:
   // `local` resolves compute-node buffer addresses; `remote_mr` is the
-  // memory-node region this QP is connected to.
-  QueuePair(Link* link, AddressResolver* local, const MemoryRegion* remote_mr)
-      : link_(link), local_(local), remote_mr_(remote_mr) {}
+  // memory-node region this QP is connected to. `injector`/`node` connect
+  // the QP to the fabric's fault plan (src/memnode/fault_injector.h); bare
+  // QPs built outside a Fabric run fault-free.
+  QueuePair(Link* link, AddressResolver* local, const MemoryRegion* remote_mr,
+            FaultInjector* injector = nullptr, int node = -1)
+      : link_(link), local_(local), remote_mr_(remote_mr), injector_(injector), node_(node) {}
 
   // Posts a one-sided work request at simulated time `now_ns`. Data movement
   // is performed immediately; the completion time reflects fabric latency
@@ -83,10 +88,14 @@ class QueuePair {
 
  private:
   Completion Fail(uint64_t wr_id, WcStatus status, uint64_t now_ns);
+  // RC retransmit-exhausted path, shared by crashes and injected drops.
+  Completion Timeout(uint64_t wr_id, uint64_t now_ns);
 
   Link* link_;
   AddressResolver* local_;
   const MemoryRegion* remote_mr_;
+  FaultInjector* injector_;
+  int node_;
   CompletionQueue cq_;
   // RC QPs complete strictly in post order: a READ posted after a WRITE on
   // the same QP cannot complete before it. This is the head-of-line

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/dilos/shard.h"
+#include "src/recovery/integrity.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
@@ -51,21 +52,41 @@ inline bool EcReconstructPage(ShardRouter& router, const CostModel& cost, int co
   while (static_cast<int>(members.size()) < k && next < avail.size()) {
     int j = avail[next++];
     int node = router.EcNode(stripe, j);
+    uint64_t member_va = router.EcMemberPageVa(stripe, j, page_idx);
     bufs.emplace_back(kPageSize);
-    Completion c =
-        router.NodeQp(core, ch, node)
-            ->PostRead(++*wr_id, reinterpret_cast<uint64_t>(bufs.back().data()),
-                       router.EcMemberPageVa(stripe, j, page_idx), kPageSize, issue);
-    if (c.status != WcStatus::kSuccess) {
-      router.ReportOpFailure(node, c.completion_time_ns);
+    bool good = false;
+    for (int attempt = 0; attempt < 2 && !good; ++attempt) {
+      Completion c = router.NodeQp(core, ch, node)
+                         ->PostRead(++*wr_id, reinterpret_cast<uint64_t>(bufs.back().data()),
+                                    member_va, kPageSize, issue);
+      if (c.status != WcStatus::kSuccess) {
+        router.ReportOpFailure(node, c.completion_time_ns);
+        issue = c.completion_time_ns;  // Failover read starts after the timeout.
+        break;
+      }
+      if (VerifyPageBytes(router.fabric().node(node).store(), member_va,
+                          bufs.back().data())) {
+        good = true;
+        if (c.completion_time_ns > done) {
+          done = c.completion_time_ns;
+        }
+        break;
+      }
+      // A corrupt survivor decoded as-is would poison `out`. One re-read
+      // covers a wire flip; a second mismatch means the stored copy itself
+      // rotted, so the member is skipped (the scrubber repairs it later).
+      stats.checksum_mismatches++;
+      if (tracer != nullptr) {
+        tracer->Record(c.completion_time_ns, TraceEvent::kChecksumMismatch, member_va,
+                       /*detail=*/0);
+      }
+      issue = c.completion_time_ns;
+    }
+    if (!good) {
       bufs.pop_back();
-      issue = c.completion_time_ns;  // Failover read starts after the timeout.
       continue;
     }
     members.push_back(j);
-    if (c.completion_time_ns > done) {
-      done = c.completion_time_ns;
-    }
   }
   if (static_cast<int>(members.size()) < k) {
     stats.ec_decode_failures++;

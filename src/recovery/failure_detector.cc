@@ -12,12 +12,16 @@ FailureDetector::FailureDetector(Fabric& fabric, ShardRouter& router, RuntimeSta
   int n = fabric.num_nodes();
   strikes_.assign(static_cast<size_t>(n), 0);
   lease_expiry_.assign(static_cast<size_t>(n), 0);
+  rtt_ewma_.assign(static_cast<size_t>(n), 0.0);
+  rtt_samples_.assign(static_cast<size_t>(n), 0);
+  gray_.assign(static_cast<size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
     probe_qps_.push_back(fabric.CreateQp(i));
   }
 }
 
 void FailureDetector::Tick(uint64_t now_ns) {
+  now_ns = Witness(now_ns);
   if (now_ns >= next_probe_ns_) {
     ProbeAll(now_ns);
     next_probe_ns_ = now_ns + cfg_.probe_interval_ns;
@@ -57,6 +61,7 @@ void FailureDetector::ProbeAll(uint64_t now_ns) {
         ++wr_id_, reinterpret_cast<uint64_t>(scratch_), kFarBase, 8, now_ns);
     if (c.status == WcStatus::kSuccess) {
       RenewLease(n, c.completion_time_ns);
+      ObserveRtt(n, c.completion_time_ns - now_ns, c.completion_time_ns);
     } else {
       stats_.probe_misses++;
       tracer_->Record(c.completion_time_ns, TraceEvent::kProbeMiss, 0,
@@ -67,6 +72,7 @@ void FailureDetector::ProbeAll(uint64_t now_ns) {
 }
 
 void FailureDetector::OnOpTimeout(int node, uint64_t now_ns) {
+  now_ns = Witness(now_ns);
   stats_.op_timeouts++;
   tracer_->Record(now_ns, TraceEvent::kOpTimeout, 0, static_cast<uint32_t>(node));
   Strike(node, now_ns);
@@ -74,7 +80,7 @@ void FailureDetector::OnOpTimeout(int node, uint64_t now_ns) {
 
 void FailureDetector::OnOpSuccess(int node, uint64_t now_ns) {
   // Any completed op is as good as a heartbeat.
-  RenewLease(node, now_ns);
+  RenewLease(node, Witness(now_ns));
 }
 
 void FailureDetector::RenewLease(int node, uint64_t now_ns) {
@@ -83,8 +89,42 @@ void FailureDetector::RenewLease(int node, uint64_t now_ns) {
   }
   lease_expiry_[static_cast<size_t>(node)] = now_ns + cfg_.lease_ns;
   strikes_[static_cast<size_t>(node)] = 0;
-  if (router_.state(node) == NodeState::kSuspect) {
-    router_.MarkLive(node);  // False alarm (e.g. one lost op).
+  if (router_.state(node) == NodeState::kSuspect && !gray(node)) {
+    // False alarm (e.g. one lost op) — but a *gray* suspicion is about
+    // latency, not reachability, and only the EWMA recovering clears it;
+    // otherwise every slow-but-answered probe would undo the read steering.
+    router_.MarkLive(node);
+  }
+}
+
+void FailureDetector::ObserveRtt(int node, uint64_t rtt_ns, uint64_t now_ns) {
+  if (!cfg_.gray_detection) {
+    return;
+  }
+  size_t i = static_cast<size_t>(node);
+  double& ewma = rtt_ewma_[i];
+  ewma = rtt_samples_[i]++ == 0
+             ? static_cast<double>(rtt_ns)
+             : (1.0 - cfg_.gray_ewma_alpha) * ewma +
+                   cfg_.gray_ewma_alpha * static_cast<double>(rtt_ns);
+  if (baseline_rtt_ns_ == 0 || rtt_ns < baseline_rtt_ns_) {
+    baseline_rtt_ns_ = rtt_ns;  // Fleet-wide healthy floor.
+  }
+  if (rtt_samples_[i] < cfg_.gray_min_samples) {
+    return;
+  }
+  double base = static_cast<double>(baseline_rtt_ns_ < 1 ? 1 : baseline_rtt_ns_);
+  if (gray_[i] == 0 && ewma > cfg_.gray_trip_factor * base) {
+    gray_[i] = 1;
+    stats_.gray_suspects++;
+    router_.MarkSuspect(node);
+    tracer_->Record(now_ns, TraceEvent::kGraySuspect, 0, static_cast<uint32_t>(node));
+  } else if (gray_[i] != 0 && ewma < cfg_.gray_clear_factor * base) {
+    gray_[i] = 0;
+    if (router_.state(node) == NodeState::kSuspect && strikes_[i] == 0) {
+      router_.MarkLive(node);
+    }
+    tracer_->Record(now_ns, TraceEvent::kGrayClear, 0, static_cast<uint32_t>(node));
   }
 }
 

@@ -40,6 +40,20 @@ struct FailureDetectorConfig {
   // Keep probing dead nodes; one answered probe re-admits the node as
   // kRebuilding (its store is stale until the repair manager refills it).
   bool readmit = true;
+
+  // -- Gray-failure (alive-but-slow) detection --------------------------------
+  // Each answered probe's RTT feeds a per-node EWMA; the fleet-wide minimum
+  // RTT ever observed is the healthy baseline (fleet-relative, so a node
+  // that is slow from boot is still caught). A node whose EWMA exceeds
+  // baseline * gray_trip_factor is marked suspect — demand reads steer to
+  // replicas/EC survivors — but its answered probes keep renewing the lease,
+  // so it is never declared dead. It returns to live only when the EWMA
+  // drops back under baseline * gray_clear_factor (hysteresis).
+  bool gray_detection = true;
+  double gray_ewma_alpha = 0.3;    // Weight of the newest probe RTT.
+  double gray_trip_factor = 4.0;   // EWMA > baseline * this => suspect.
+  double gray_clear_factor = 2.0;  // EWMA < baseline * this => live again.
+  uint32_t gray_min_samples = 3;   // Probe RTTs before the EWMA is trusted.
 };
 
 class FailureDetector {
@@ -55,6 +69,14 @@ class FailureDetector {
   void OnOpTimeout(int node, uint64_t now_ns);
   void OnOpSuccess(int node, uint64_t now_ns);
 
+  // The detector's monotonic notion of now: the latest timestamp it has
+  // witnessed from any stream (ticks, op evidence). The simulator runs
+  // several time cursors, and during a timeout storm the demand cursor that
+  // feeds OnOpTimeout races ahead of the core clock that drives Tick; all
+  // liveness bookkeeping (probes, strikes, leases) uses this horizon so a
+  // node declared dead at cursor time T is never probed "before" T.
+  uint64_t latest_ns() const { return latest_ns_; }
+
   // Bounded-retry read with exponential backoff on `qp` (connected to
   // `node`). `cursor_ns` is the caller's simulated-time cursor; it advances
   // past each completion and backoff wait. Returns the final completion.
@@ -69,12 +91,28 @@ class FailureDetector {
   using ReadmitObserver = std::function<void(int node, uint64_t now_ns)>;
   void set_readmit_observer(ReadmitObserver cb) { on_readmit_ = std::move(cb); }
 
+  // Whether `node` is currently suspected for latency (gray), as opposed to
+  // strikes. Gray suspicion is not cleared by successful ops — only by the
+  // EWMA recovering.
+  bool gray(int node) const { return gray_[static_cast<size_t>(node)] != 0; }
+  double rtt_ewma_ns(int node) const { return rtt_ewma_[static_cast<size_t>(node)]; }
+
  private:
+  // Folds a witnessed timestamp into the horizon and returns the clamped
+  // (never-rewinding) time every liveness decision is made at.
+  uint64_t Witness(uint64_t now_ns) {
+    if (now_ns > latest_ns_) {
+      latest_ns_ = now_ns;
+    }
+    return latest_ns_;
+  }
   void ProbeAll(uint64_t now_ns);
   void Strike(int node, uint64_t now_ns);
   void RenewLease(int node, uint64_t now_ns);
   void DeclareDead(int node, uint64_t now_ns);
   void Readmit(int node, uint64_t now_ns);
+  // Feeds one answered probe's RTT into the gray-failure EWMA.
+  void ObserveRtt(int node, uint64_t rtt_ns, uint64_t now_ns);
 
   Fabric& fabric_;
   ShardRouter& router_;
@@ -86,6 +124,11 @@ class FailureDetector {
   std::vector<QueuePair*> probe_qps_;   // One dedicated QP per node.
   std::vector<uint32_t> strikes_;
   std::vector<uint64_t> lease_expiry_;  // 0 = no lease granted yet.
+  std::vector<double> rtt_ewma_;        // Per-node probe-RTT EWMA (gray path).
+  std::vector<uint32_t> rtt_samples_;
+  std::vector<char> gray_;              // Suspect *for latency*, not strikes.
+  uint64_t baseline_rtt_ns_ = 0;        // Fleet-wide healthy RTT floor (min seen).
+  uint64_t latest_ns_ = 0;              // Monotonic horizon (see latest_ns()).
   uint64_t next_probe_ns_ = 0;
   uint64_t wr_id_ = 0;
   uint8_t scratch_[64] = {};

@@ -1,0 +1,99 @@
+// End-to-end page integrity: per-page checksums, arrival verification, and
+// the checked write-back primitive.
+//
+// The cleaner computes a 64-bit checksum for every full page it writes back
+// and installs it next to the page on the memory node (PageStore keeps the
+// checksum map the way a real node keeps per-block CRCs in a metadata region
+// of the same registration). Three properties follow:
+//
+//  * Write-side ("ICRC analog"): WritePageChecked verifies the *stored*
+//    bytes against the checksum right after the write lands — the way an
+//    RNIC validates the ICRC trailer before committing a packet — and
+//    re-posts the write on mismatch. A payload bit flipped in flight on the
+//    write path therefore never becomes durable silently.
+//  * Read-side: every full-page arrival (demand fetch, prefetch, EC survivor
+//    read, repair source read, scrub read) re-hashes the received bytes and
+//    compares against the stored checksum. Computing the hash costs zero
+//    simulated time: NICs do CRC at line rate, so verification adds no
+//    latency and no wire ops on healthy runs.
+//  * Pages without a checksum verify trivially. Only full-page write-backs
+//    install one; a vectored (guided) write-back drops it, because the bytes
+//    between live segments are indeterminate by design. That gap is
+//    documented in DESIGN.md §9 — guided paging trades it for bandwidth.
+#ifndef DILOS_SRC_RECOVERY_INTEGRITY_H_
+#define DILOS_SRC_RECOVERY_INTEGRITY_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/memnode/page_store.h"
+#include "src/rdma/queue_pair.h"
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
+
+namespace dilos {
+
+// 64-bit FNV-1a-style mix over the page, hashed a word at a time — the
+// stand-in for the CRC an RNIC computes at line rate.
+inline uint64_t PageChecksum(const uint8_t* data) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (uint32_t i = 0; i < kPageSize; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, data + i, 8);
+    h ^= w;
+    h *= 0x100000001B3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+// Verifies `bytes` (a full page received for `page_va`) against the checksum
+// installed on `store`. True when no checksum exists — nothing to verify
+// against (the page was never fully written back).
+inline bool VerifyPageBytes(const PageStore& store, uint64_t page_va, const uint8_t* bytes) {
+  uint64_t page = page_va >> kPageShift;
+  if (!store.HasChecksum(page)) {
+    return true;
+  }
+  return store.Checksum(page) == PageChecksum(bytes);
+}
+
+// Full-page write with target-side integrity: posts the write at `issue_ns`,
+// installs the checksum, and verifies the bytes that actually landed —
+// re-posting on mismatch (a wire flip on the write path), up to
+// `max_retries` times. Returns the final completion; liveness failures
+// (kTimeout etc.) are returned untouched for the caller's failover logic.
+// If retries exhaust with the stored copy still corrupt, the (correct)
+// checksum stays installed, so every later read detects the rot and heals
+// from redundancy — metadata is never made to agree with bad bytes.
+inline Completion WritePageChecked(QueuePair* qp, PageStore& store, uint64_t page_va,
+                                   const uint8_t* data, uint64_t issue_ns, uint64_t* wr_id,
+                                   RuntimeStats& stats, Tracer* tracer, int max_retries = 3) {
+  uint64_t page = page_va >> kPageShift;
+  uint64_t sum = PageChecksum(data);
+  Completion c{};
+  for (int attempt = 0;; ++attempt) {
+    c = qp->PostWrite(++*wr_id, reinterpret_cast<uint64_t>(data), page_va, kPageSize, issue_ns);
+    if (c.status != WcStatus::kSuccess) {
+      return c;
+    }
+    store.SetChecksum(page, sum);
+    if (PageChecksum(store.PageData(page)) == sum) {
+      return c;
+    }
+    stats.checksum_mismatches++;
+    stats.checksum_write_retries++;
+    if (tracer != nullptr) {
+      tracer->Record(c.completion_time_ns, TraceEvent::kChecksumMismatch, page_va,
+                     /*detail=*/1);  // 1 = write side.
+    }
+    if (attempt >= max_retries) {
+      return c;
+    }
+    issue_ns = c.completion_time_ns;
+  }
+}
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_RECOVERY_INTEGRITY_H_

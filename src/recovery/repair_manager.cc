@@ -1,6 +1,7 @@
 #include "src/recovery/repair_manager.h"
 
 #include "src/recovery/ec_read.h"
+#include "src/recovery/integrity.h"
 
 namespace dilos {
 
@@ -25,6 +26,14 @@ RepairManager::RepairManager(Fabric& fabric, ShardRouter& router, FailureDetecto
 }
 
 void RepairManager::Tick(uint64_t now_ns) {
+  // Repair acts on deaths the detector may have witnessed on a cursor that
+  // runs ahead of the clock driving this tick (a demand-path timeout storm):
+  // clamp to the detector's horizon so copy reads are never posted at a time
+  // *before* the failure they react to — a read posted "in the past" would
+  // slip behind the fault window and fetch from a node that is down now.
+  if (detector_.latest_ns() > now_ns) {
+    now_ns = detector_.latest_ns();
+  }
   if (now_ns < last_tick_ns_ + cfg_.min_interval_ns) {
     return;
   }
@@ -105,7 +114,11 @@ void RepairManager::ScanForFailures(uint64_t now_ns) {
       }
       if (target < 0) {
         // No healthy node outside the replica set: the granule stays at
-        // reduced redundancy until capacity returns.
+        // reduced redundancy until capacity returns. Counted and traced so
+        // operators can see redundancy that silently failed to recover.
+        stats_.repair_no_target++;
+        tracer_->Record(now_ns, TraceEvent::kRepairNoTarget, va,
+                        static_cast<uint32_t>(dead));
         continue;
       }
       std::vector<int> replicas = replica_scratch_;
@@ -143,8 +156,27 @@ void RepairManager::OnNodeReadmitted(int node, uint64_t now_ns) {
     if (!holds) {
       continue;  // The death scan remapped this granule off the node.
     }
-    if (router_.RebuildTarget(granule) != -1) {
-      continue;  // A crash-repair job already owns this granule.
+    int pending = router_.RebuildTarget(granule);
+    if (pending != -1) {
+      // A rebuild of this granule is already tracked in the router. If a
+      // queued job still drives it, leave it alone. Otherwise the job was
+      // retired while its target was (briefly) dead — the death and the
+      // readmission both landed between two repair ticks, so the death scan
+      // never saw the episode — and the granule would be orphaned
+      // mid-rebuild: target never committed, hence never readable, with no
+      // job left to finish the fill. Re-queue the fill for the pending
+      // target; a target that is dead right now re-owns it at its own
+      // readmission instead.
+      if (HasJob(granule) || router_.state(pending) == NodeState::kDead) {
+        continue;
+      }
+      jobs_.push_back(Job{granule, pending, 0});
+      ++target_refs_[static_cast<size_t>(pending)];
+      stats_.repairs_issued++;
+      tracer_->Record(now_ns, TraceEvent::kRepairStart, va,
+                      static_cast<uint32_t>(pending));
+      ++created;
+      continue;
     }
     // In-place rebuild: replica set unchanged, target is the node itself —
     // BeginRebuild's uncommitted target blocks reads from the stale copy
@@ -197,73 +229,162 @@ uint64_t RepairManager::DrainFront(uint64_t now_ns, uint64_t budget) {
     return 0;
   }
 
+  size_t depth = cfg_.pipeline_depth == 0 ? 1 : cfg_.pipeline_depth;
   uint64_t moved = 0;
-  while (job.next_page < kPagesPerGranule && moved < budget) {
-    uint64_t page_va = granule_base + static_cast<uint64_t>(job.next_page) * kPageSize;
-    ++job.next_page;
-    router_.ReplicaNodes(page_va, &replica_scratch_);
-    // Source: a readable replica that actually holds the page. A page no
-    // surviving replica materialized was never cleaned anywhere remote
-    // (its content is local or all-zero) — nothing to copy.
-    int src = -1;
-    for (int n : replica_scratch_) {
-      if (n == job.target || !router_.Readable(n, job.granule)) {
-        continue;
-      }
-      if (fabric_.node(n).store().Materialized(page_va >> kPageShift)) {
-        src = n;
-        break;
-      }
-    }
-    uint64_t page_bytes = 0;
-    if (src >= 0) {
-      Completion rc = detector_.ReadWithRetry(qps_[static_cast<size_t>(src)], src,
-                                              reinterpret_cast<uint64_t>(buf_), page_va,
-                                              kPageSize, &cursor_ns_);
-      if (rc.status != WcStatus::kSuccess) {
-        stats_.repair_pages_lost++;  // Source died mid-copy; no other holder.
-        continue;
-      }
-      page_bytes = 2ULL * kPageSize;  // Source read + target write.
-    } else if (router_.ec_enabled() && router_.ec().m > 0) {
-      // EC: the lost member's single copy is gone — regenerate the page by
-      // decoding k surviving stripe members (rebuild-from-parity). Pages no
-      // survivor materialized decode to zeros; skip them so the target's
-      // store stays a capacity-honest image of what was actually written.
-      uint64_t stripe = router_.EcStripeOf(job.granule);
-      int member = router_.EcMemberOf(job.granule);
-      uint32_t page_idx = job.next_page - 1;
-      bool any = false;
-      for (int j = 0; j < router_.ec().k + router_.ec().m && !any; ++j) {
-        if (j == member || !router_.EcMemberReadable(stripe, j)) {
-          continue;
+  bool stalled = false;
+  while (!stalled && job.next_page < kPagesPerGranule && moved < budget) {
+    // Fill a window of up to `depth` source reads, all issued at the same
+    // cursor: their fabric latencies overlap, and the target writes below
+    // overlap the rest of the window's reads — with depth == 1 this
+    // degenerates to the serial read-then-write copy loop.
+    flights_.clear();
+    uint64_t issue = cursor_ns_;
+    uint64_t window_done = cursor_ns_;
+    uint64_t window_bytes = 0;
+    while (job.next_page < kPagesPerGranule && flights_.size() < depth &&
+           moved + window_bytes < budget) {
+      uint64_t page_va = granule_base + static_cast<uint64_t>(job.next_page) * kPageSize;
+      uint32_t page_idx = job.next_page;
+      ++job.next_page;
+      router_.ReplicaNodes(page_va, &replica_scratch_);
+      Flight f;
+      f.page_va = page_va;
+      f.buf.resize(kPageSize);
+      bool have = false;
+      bool had_source = false;
+      uint64_t fcursor = issue;
+      // Source: a readable replica that actually holds the page, whose
+      // arrival verifies against its stored checksum (one re-read covers a
+      // wire flip; a second mismatch moves on to the next replica). A page
+      // no surviving replica materialized was never cleaned anywhere remote
+      // (its content is local or all-zero) — nothing to copy. Checksummed
+      // copies are tried before unverifiable ones (pass 0 vs pass 1): the
+      // copy that lands on the target gets a *fresh* checksum, so sourcing
+      // from a replica that missed its write-back would launder stale bytes
+      // into verified state.
+      for (int pass = 0; pass < 2 && !have; ++pass) {
+        for (int n : replica_scratch_) {
+          if (have) {
+            break;
+          }
+          if (n == job.target || !router_.Readable(n, job.granule)) {
+            continue;
+          }
+          if (!fabric_.node(n).store().Materialized(page_va >> kPageShift)) {
+            continue;
+          }
+          if (fabric_.node(n).store().HasChecksum(page_va >> kPageShift) != (pass == 0)) {
+            continue;
+          }
+          had_source = true;
+          for (int attempt = 0; attempt < 2 && !have; ++attempt) {
+            Completion rc = qps_[static_cast<size_t>(n)]->PostRead(
+                ++wr_id_, reinterpret_cast<uint64_t>(f.buf.data()), page_va, kPageSize,
+                fcursor);
+            if (rc.status != WcStatus::kSuccess) {
+              detector_.OnOpTimeout(n, rc.completion_time_ns);
+              fcursor = rc.completion_time_ns;
+              break;  // Next replica.
+            }
+            if (VerifyPageBytes(fabric_.node(n).store(), page_va, f.buf.data())) {
+              have = true;
+              f.ready_ns = rc.completion_time_ns;
+              f.bytes = 2ULL * kPageSize;  // Source read + target write.
+            } else {
+              stats_.checksum_mismatches++;
+              stats_.refetches++;
+              tracer_->Record(rc.completion_time_ns, TraceEvent::kChecksumMismatch, page_va,
+                              /*detail=*/0);
+              fcursor = rc.completion_time_ns;
+            }
+          }
         }
-        uint64_t member_page = router_.EcMemberPageVa(stripe, j, page_idx) >> kPageShift;
-        any = fabric_.node(router_.EcNode(stripe, j)).store().Materialized(member_page);
       }
-      if (!any) {
+      if (!have && router_.ec_enabled() && router_.ec().m > 0) {
+        // EC: the lost member's single copy is gone — regenerate the page by
+        // decoding k surviving stripe members (rebuild-from-parity). Pages no
+        // survivor materialized decode to zeros; skip them so the target's
+        // store stays a capacity-honest image of what was actually written.
+        uint64_t stripe = router_.EcStripeOf(job.granule);
+        int member = router_.EcMemberOf(job.granule);
+        bool any = false;
+        for (int j = 0; j < router_.ec().k + router_.ec().m && !any; ++j) {
+          if (j == member || !router_.EcMemberReadable(stripe, j)) {
+            continue;
+          }
+          uint64_t member_page = router_.EcMemberPageVa(stripe, j, page_idx) >> kPageShift;
+          any = fabric_.node(router_.EcNode(stripe, j)).store().Materialized(member_page);
+        }
+        if (any) {
+          had_source = true;
+          if (EcReconstructPage(router_, fabric_.cost(), /*core=*/0, CommChannel::kManager,
+                                stripe, member, page_idx, f.buf.data(), &fcursor, &wr_id_,
+                                stats_, tracer_)) {
+            have = true;
+            f.ready_ns = fcursor;
+            f.bytes = static_cast<uint64_t>(router_.ec().k + 1) * kPageSize;
+          }
+        }
+      }
+      if (fcursor > window_done) {
+        window_done = fcursor;
+      }
+      if (!have) {
+        if (had_source) {
+          // A holder exists but no read yielded verified bytes — a source
+          // timeout or repeated wire flips, both transient. Skipping here
+          // would *commit the rebuild with this page missing*: if the holder
+          // later dies, a sole-copy page becomes permanently unreachable
+          // even though no two faults ever overlapped. Stall instead: rewind
+          // to this page and retry on a later tick, bounded so persistent
+          // rot on every readable holder cannot wedge the job.
+          if (job.stalls < cfg_.max_page_stalls) {
+            ++job.stalls;
+            job.next_page = page_idx;
+            stalled = true;
+            break;
+          }
+          stats_.repair_pages_lost++;  // Stall budget spent: bytes are gone.
+        }
         continue;
       }
-      if (!EcReconstructPage(router_, fabric_.cost(), /*core=*/0, CommChannel::kManager,
-                             stripe, member, page_idx, buf_, &cursor_ns_, &wr_id_, stats_,
-                             tracer_)) {
-        stats_.repair_pages_lost++;  // Fewer than k survivors remain.
-        continue;
+      window_bytes += f.bytes;
+      flights_.push_back(std::move(f));
+    }
+    // Drain: checked write of each verified page to the target, issued as
+    // its source read completes (not after the whole window returns).
+    for (Flight& f : flights_) {
+      Completion wc = WritePageChecked(qps_[static_cast<size_t>(job.target)],
+                                       fabric_.node(job.target).store(), f.page_va,
+                                       f.buf.data(), f.ready_ns, &wr_id_, stats_, tracer_);
+      if (wc.completion_time_ns > window_done) {
+        window_done = wc.completion_time_ns;
       }
-      page_bytes = static_cast<uint64_t>(router_.ec().k + 1) * kPageSize;
-    } else {
-      continue;
+      if (wc.status != WcStatus::kSuccess) {
+        detector_.OnOpTimeout(job.target, wc.completion_time_ns);
+        cursor_ns_ = window_done;
+        // Rewind past the failed write: `next_page` already advanced over
+        // this whole window, and returning without rewinding would commit
+        // the rebuild with every unwritten page of the window missing once
+        // the target blip clears. A genuinely dead target still retires the
+        // job via the state check above.
+        job.next_page = static_cast<uint32_t>((f.page_va - granule_base) >> kPageShift);
+        return moved;
+      }
+      job.stalls = 0;  // Progress refills the stall budget.
+      stats_.repair_pages++;
+      stats_.repair_bytes += f.bytes;
+      moved += f.bytes;
     }
-    Completion wc = qps_[static_cast<size_t>(job.target)]->PostWrite(
-        0, reinterpret_cast<uint64_t>(buf_), page_va, kPageSize, cursor_ns_);
-    cursor_ns_ = wc.completion_time_ns;
-    if (wc.status != WcStatus::kSuccess) {
-      detector_.OnOpTimeout(job.target, cursor_ns_);
-      return moved;  // Target is failing; its death retires the job above.
-    }
-    stats_.repair_pages++;
-    stats_.repair_bytes += page_bytes;
-    moved += page_bytes;
+    cursor_ns_ = window_done;
+  }
+  if (stalled) {
+    // Rotate the stalled job to the back so one unreadable source doesn't
+    // head-of-line block every other granule's rebuild.
+    Job j = job;
+    jobs_.pop_front();
+    jobs_.push_back(j);
+    return moved;
   }
   if (job.next_page >= kPagesPerGranule) {
     retire(/*committed=*/true);

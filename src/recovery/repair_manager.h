@@ -36,6 +36,17 @@ struct RepairConfig {
   // from demand fetches (measured by bench_ext_recovery).
   uint64_t bytes_per_tick = 512 * 1024;
   uint64_t min_interval_ns = 20'000;  // Spacing between repair ticks.
+  // Repair copies kept in flight at once: a window of source reads is posted
+  // at the same issue time (their fabric latencies overlap) and each target
+  // write overlaps the remaining reads. 1 = fully serial copy loop;
+  // bench_ext_recovery measures the rebuild-throughput gain.
+  size_t pipeline_depth = 8;
+  // How many times a job may stall on a page whose holders exist but yielded
+  // no verified bytes (source timeout or repeated wire flips) before the
+  // page is abandoned as lost. Each stall re-tries on a later tick — a
+  // transient fault clears by then — so only persistent rot on every
+  // readable holder exhausts it.
+  uint32_t max_page_stalls = 16;
 };
 
 // Aggregate knob block consumed by DilosConfig.
@@ -65,15 +76,39 @@ class RepairManager {
 
   bool idle() const { return jobs_.empty(); }
   size_t pending_granules() const { return jobs_.size(); }
+  // Completion frontier of the serialized repair copy stream: issue-time of
+  // the next copy, i.e. when the work drained so far is done in simulated
+  // time. (span = cursor at idle − time repair began) measures rebuild
+  // throughput independent of how often ticks fire.
+  uint64_t stream_cursor_ns() const { return cursor_ns_; }
 
  private:
   struct Job {
     uint64_t granule = 0;
     int target = -1;
     uint32_t next_page = 0;  // Index within the granule.
+    uint32_t stalls = 0;     // Source-failure retries burned (max_page_stalls).
+  };
+
+  // One pipelined repair copy: a verified source page waiting for (or in)
+  // its target write.
+  struct Flight {
+    uint64_t page_va = 0;
+    uint64_t ready_ns = 0;  // Source read (or EC decode) completion.
+    uint64_t bytes = 0;     // Payload accounting for the budget/stats.
+    std::vector<uint8_t> buf;
   };
 
   void ScanForFailures(uint64_t now_ns);
+  // Whether a queued job still drives this granule's rebuild.
+  bool HasJob(uint64_t granule) const {
+    for (const Job& j : jobs_) {
+      if (j.granule == granule) {
+        return true;
+      }
+    }
+    return false;
+  }
   // Replacement node for a degraded replica set, or -1 if none exists.
   int PickTarget(const std::vector<int>& replicas);
   // Copies the next pages of the front job; returns bytes moved.
@@ -92,10 +127,10 @@ class RepairManager {
   std::vector<uint32_t> target_refs_;  // Granule rebuilds in flight per target.
   std::vector<int> replica_scratch_;
   std::vector<int> ec_scratch_;  // Stripe member nodes (EC target exclusion).
+  std::vector<Flight> flights_;  // In-flight window scratch (DrainFront).
   uint64_t wr_id_ = 0;           // For reconstruction reads posted directly.
   uint64_t last_tick_ns_ = 0;
   uint64_t cursor_ns_ = 0;  // Issue-time cursor serializing the repair stream.
-  uint8_t buf_[kPageSize] = {};
 };
 
 }  // namespace dilos

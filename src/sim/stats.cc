@@ -152,6 +152,21 @@ std::string RuntimeStats::ToString() const {
                   static_cast<unsigned long long>(nodes_readmitted));
     out += buf;
   }
+  if (checksum_mismatches != 0 || refetches != 0 || checksum_heals != 0 || scrub_pages != 0 ||
+      gray_suspects != 0 || repair_no_target != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "integrity: mismatches=%llu wr-retries=%llu refetches=%llu heals=%llu | "
+                  "scrub: %llu pages %llu repairs | gray-suspects=%llu repair-no-target=%llu\n",
+                  static_cast<unsigned long long>(checksum_mismatches),
+                  static_cast<unsigned long long>(checksum_write_retries),
+                  static_cast<unsigned long long>(refetches),
+                  static_cast<unsigned long long>(checksum_heals),
+                  static_cast<unsigned long long>(scrub_pages),
+                  static_cast<unsigned long long>(scrub_repairs),
+                  static_cast<unsigned long long>(gray_suspects),
+                  static_cast<unsigned long long>(repair_no_target));
+    out += buf;
+  }
   return out + fault_breakdown.ToString();
 }
 

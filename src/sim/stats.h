@@ -112,6 +112,16 @@ struct RuntimeStats {
   uint64_t ec_parity_bytes = 0;         // Parity traffic (read + write payload).
   uint64_t ec_decode_failures = 0;      // Reconstructions with < k readable members.
 
+  // --- Integrity / chaos (src/recovery/integrity.h, fault_injector.h) -------
+  uint64_t checksum_mismatches = 0;    // Page payloads that failed verification.
+  uint64_t checksum_write_retries = 0; // Write-backs re-posted after the target-side check.
+  uint64_t refetches = 0;              // Demand reads re-issued after a mismatch.
+  uint64_t checksum_heals = 0;         // Corrupt stored copies rewritten from a good one.
+  uint64_t scrub_pages = 0;            // Remote pages verified by the scrubber.
+  uint64_t scrub_repairs = 0;          // Latent corruptions the scrubber repaired.
+  uint64_t gray_suspects = 0;          // Gray-failure (latency EWMA) suspicions raised.
+  uint64_t repair_no_target = 0;       // Degraded granules with no legal rebuild target.
+
   LatencyBreakdown fault_breakdown;
 
   uint64_t total_faults() const { return major_faults + minor_faults + zero_fill_faults; }

@@ -36,6 +36,14 @@ enum class TraceEvent : uint8_t {
   kParityUpdate,    // Cleaner RMW'd a stripe's parity members for one page.
   kEcReconstruct,   // A page was decoded from k surviving stripe members.
   kNodeReadmitted,  // Detector re-admitted a restored node as rebuilding.
+  // Integrity / chaos (src/recovery/integrity.h): detail is 0 for a read-
+  // side mismatch, 1 for a write-side (ICRC-analog) one, node id otherwise.
+  kChecksumMismatch,  // A page payload failed checksum verification.
+  kChecksumHeal,      // A corrupt stored copy was rewritten from a good one.
+  kScrubRepair,       // The background scrubber repaired latent corruption.
+  kGraySuspect,       // Latency EWMA marked an alive-but-slow node suspect.
+  kGrayClear,         // A gray-suspected node's latency recovered.
+  kRepairNoTarget,    // A degraded granule found no legal rebuild target.
 };
 
 inline const char* TraceEventName(TraceEvent e) {
@@ -76,6 +84,18 @@ inline const char* TraceEventName(TraceEvent e) {
       return "ec-reconstruct";
     case TraceEvent::kNodeReadmitted:
       return "node-readmit";
+    case TraceEvent::kChecksumMismatch:
+      return "checksum-mismatch";
+    case TraceEvent::kChecksumHeal:
+      return "checksum-heal";
+    case TraceEvent::kScrubRepair:
+      return "scrub-repair";
+    case TraceEvent::kGraySuspect:
+      return "gray-suspect";
+    case TraceEvent::kGrayClear:
+      return "gray-clear";
+    case TraceEvent::kRepairNoTarget:
+      return "repair-no-target";
   }
   return "?";
 }
