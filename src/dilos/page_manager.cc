@@ -76,20 +76,6 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
   uint32_t frame = static_cast<uint32_t>(PtePayload(*e));
   uint64_t frame_addr = pool_.Addr(frame);
 
-  // EC: parity is maintained by read-modify-write against the page's current
-  // remote content, so the old bytes must be in hand *before* the data write
-  // lands. The old copy comes from the home member, or — when that copy is
-  // unreadable (crashed node, uncommitted rebuild target) — from a decode of
-  // the surviving stripe members; skipping that decode would write fresh data
-  // under stale parity and corrupt every later reconstruction of the stripe.
-  uint8_t old_page[kPageSize];
-  bool ec_parity = router_.ec_enabled() && router_.ec().m > 0 && page_va < kEcParityBase;
-  if (ec_parity && !EcOldContent(page_va, old_page, now)) {
-    // More than m members already lost: the stripe is unrecoverable anyway;
-    // fold against zeros so the write itself still lands.
-    std::memset(old_page, 0, kPageSize);
-  }
-
   std::vector<PageSegment> segs;
   // EC write-backs are always whole pages: the parity delta must cover every
   // byte the data write changes, and vectored segment lists make the
@@ -102,9 +88,9 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
     vectored = false;
   }
 
-  // Fan the write-back out to every live replica of the page.
-  router_.WriteQps(/*core=*/0, CommChannel::kManager, page_va, &write_qps_, &write_nodes_);
   if (vectored) {
+    // Fan the vectored write-back out to every live replica of the page.
+    router_.WriteQps(/*core=*/0, CommChannel::kManager, page_va, &write_qps_, &write_nodes_);
     for (size_t i = 0; i < write_qps_.size(); ++i) {
       QueuePair* qp = write_qps_[i];
       WorkRequest wr;
@@ -137,31 +123,69 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
     }
     vector_cleaned_[page_va] = AllocActionSlot(std::move(segs));
   } else {
-    for (size_t i = 0; i < write_qps_.size(); ++i) {
-      // Checked write: installs the page checksum and verifies the stored
-      // bytes (the ICRC analog), so a write-path bit flip never becomes
-      // durable silently on any replica.
-      Completion c = WritePageChecked(write_qps_[i],
-                                      router_.fabric().node(write_nodes_[i]).store(), page_va,
-                                      pool_.Data(frame), now, &wr_id_, stats_, tracer_);
-      if (c.status != WcStatus::kSuccess) {
-        router_.ReportOpFailure(write_nodes_[i], c.completion_time_ns);
-        continue;
-      }
-      stats_.bytes_written += kPageSize;
+    // Only a write-back some replica accepted may clear the dirty bit: if
+    // every node dropped it (all partitioned/down), the frame — or the tier
+    // entry it is about to become — is still the only current copy, and
+    // "clean" would license dropping it.
+    if (!WriteBackFull(page_va, pool_.Data(frame), now)) {
+      return;
     }
-    stats_.writebacks++;
-    tracer_->Record(now, TraceEvent::kWriteback, page_va, 0);
     auto old = vector_cleaned_.find(page_va);
     if (old != vector_cleaned_.end()) {
       ReleaseAction(old->second);
       vector_cleaned_.erase(old);
     }
-    if (ec_parity) {
-      EcUpdateParity(page_va, old_page, pool_.Data(frame), now);
-    }
   }
   *e &= ~kPteDirty;
+}
+
+bool PageManager::WriteBackFull(uint64_t page_va, const uint8_t* data, uint64_t now) {
+  // EC: parity is maintained by read-modify-write against the page's current
+  // remote content, so the old bytes must be in hand *before* the data write
+  // lands. The old copy comes from the home member, or — when that copy is
+  // unreadable (crashed node, uncommitted rebuild target) — from a decode of
+  // the surviving stripe members; skipping that decode would write fresh data
+  // under stale parity and corrupt every later reconstruction of the stripe.
+  uint8_t old_page[kPageSize];
+  bool ec_parity = router_.ec_enabled() && router_.ec().m > 0 && page_va < kEcParityBase;
+  if (ec_parity && !EcOldContent(page_va, old_page, now)) {
+    // More than m members already lost: the stripe is unrecoverable anyway;
+    // fold against zeros so the write itself still lands.
+    std::memset(old_page, 0, kPageSize);
+  }
+
+  // Bump-on-attempt generation: the expected generation rises once per
+  // write-back round, *before* the fan-out. A replica the round never
+  // reaches (partitioned: its write drops on a timeout, installing neither
+  // checksum nor generation) is left verifiably behind — readers compare
+  // the stored generation against the router's expected one and steer away
+  // from the stale-but-checksum-valid copy.
+  uint32_t gen = router_.PageGeneration(page_va) + 1;
+  router_.SetPageGeneration(page_va, gen);
+
+  // Fan the write-back out to every live replica of the page.
+  router_.WriteQps(/*core=*/0, CommChannel::kManager, page_va, &write_qps_, &write_nodes_);
+  int ok = 0;
+  for (size_t i = 0; i < write_qps_.size(); ++i) {
+    // Checked write: installs the page checksum and verifies the stored
+    // bytes (the ICRC analog), so a write-path bit flip never becomes
+    // durable silently on any replica.
+    Completion c = WritePageChecked(write_qps_[i],
+                                    router_.fabric().node(write_nodes_[i]).store(), page_va,
+                                    data, now, &wr_id_, stats_, tracer_, gen);
+    if (c.status != WcStatus::kSuccess) {
+      router_.ReportOpFailure(write_nodes_[i], c.completion_time_ns);
+      continue;
+    }
+    stats_.bytes_written += kPageSize;
+    ++ok;
+  }
+  stats_.writebacks++;
+  tracer_->Record(now, TraceEvent::kWriteback, page_va, 0);
+  if (ec_parity) {
+    EcUpdateParity(page_va, old_page, data, now);
+  }
+  return ok > 0;
 }
 
 bool PageManager::EcOldContent(uint64_t page_va, uint8_t* out, uint64_t now) {
@@ -174,16 +198,27 @@ bool PageManager::EcOldContent(uint64_t page_va, uint8_t* out, uint64_t now) {
         router_.NodeQp(/*core=*/0, CommChannel::kManager, node)
             ->PostRead(++wr_id_, reinterpret_cast<uint64_t>(out), page_va, kPageSize, now);
     if (c.status == WcStatus::kSuccess) {
-      if (VerifyPageBytes(router_.fabric().node(node).store(), page_va, out)) {
-        stats_.ec_parity_bytes += kPageSize;
-        return true;
+      const PageStore& store = router_.fabric().node(node).store();
+      if (VerifyPageBytes(store, page_va, out)) {
+        if (!PageIsStale(store, page_va, router_.PageGeneration(page_va))) {
+          stats_.ec_parity_bytes += kPageSize;
+          return true;
+        }
+        // Verified-but-stale home copy: the last data write never landed
+        // (dropped behind a partition), so the content parity agrees on is
+        // the reconstructed one, not these old bytes.
+        stats_.stale_copies_detected++;
+        tracer_->Record(c.completion_time_ns, TraceEvent::kStaleCopy, page_va,
+                        static_cast<uint32_t>(node));
+      } else {
+        // A rotted home copy is not the old content parity was encoded from —
+        // folding a delta against it would corrupt every parity member. Fall
+        // through to reconstruction, which yields the content parity agrees
+        // on.
+        stats_.checksum_mismatches++;
+        tracer_->Record(c.completion_time_ns, TraceEvent::kChecksumMismatch, page_va,
+                        /*detail=*/0);
       }
-      // A rotted home copy is not the old content parity was encoded from —
-      // folding a delta against it would corrupt every parity member. Fall
-      // through to reconstruction, which yields the content parity agrees on.
-      stats_.checksum_mismatches++;
-      tracer_->Record(c.completion_time_ns, TraceEvent::kChecksumMismatch, page_va,
-                      /*detail=*/0);
     } else {
       router_.ReportOpFailure(node, c.completion_time_ns);
     }
@@ -230,22 +265,37 @@ void PageManager::EcUpdateParity(uint64_t page_va, const uint8_t* old_page,
       router_.ReportOpFailure(node, r.completion_time_ns);
       continue;
     }
-    if (!VerifyPageBytes(pstore, parity_va, pbuf)) {
-      // Rotted (or flipped-in-flight) parity: folding the delta into it and
-      // writing back under a fresh checksum would *launder* the corruption
-      // into verified state. Regenerate this parity page from the current
-      // members instead — we run after the data write landed, so the encode
-      // is consistent with the new content.
-      stats_.checksum_mismatches++;
-      tracer_->Record(r.completion_time_ns, TraceEvent::kChecksumMismatch, parity_va,
-                      /*detail=*/0);
+    bool healthy = VerifyPageBytes(pstore, parity_va, pbuf);
+    bool stale =
+        healthy && PageIsStale(pstore, parity_va, router_.PageGeneration(parity_va));
+    // Parity generations use bump-on-attempt too: the expected generation
+    // rises before every RMW write, so a parity write dropped behind a
+    // partition leaves that member detectably behind for the next round.
+    uint32_t pgen = router_.PageGeneration(parity_va) + 1;
+    if (!healthy || stale) {
+      // Rotted (or flipped-in-flight) parity — or a verified-but-stale one
+      // whose last RMW write never landed: folding the delta into it and
+      // writing back under a fresh checksum would *launder* the bad content
+      // into verified-and-fresh state. Regenerate this parity page from the
+      // current members instead — we run after the data write landed, so the
+      // encode is consistent with the new content.
+      if (!healthy) {
+        stats_.checksum_mismatches++;
+        tracer_->Record(r.completion_time_ns, TraceEvent::kChecksumMismatch, parity_va,
+                        /*detail=*/0);
+      } else {
+        stats_.stale_copies_detected++;
+        tracer_->Record(r.completion_time_ns, TraceEvent::kStaleCopy, parity_va,
+                        static_cast<uint32_t>(node));
+      }
       uint64_t cursor = r.completion_time_ns;
       if (!EcReconstructPage(router_, *cost_, /*core=*/0, CommChannel::kManager, stripe,
                              pmember, page_idx, pbuf, &cursor, &wr_id_, stats_, tracer_)) {
         continue;  // Too few readable members; the repair manager owns this.
       }
+      router_.SetPageGeneration(parity_va, pgen);
       Completion w = WritePageChecked(qp, pstore, parity_va, pbuf, cursor, &wr_id_, stats_,
-                                      tracer_);
+                                      tracer_, pgen);
       if (w.status != WcStatus::kSuccess) {
         router_.ReportOpFailure(node, w.completion_time_ns);
         continue;
@@ -259,8 +309,9 @@ void PageManager::EcUpdateParity(uint64_t page_va, const uint8_t* old_page,
       continue;
     }
     ECCodec::XorMulInto(pbuf, delta, codec.Coef(pmember, member), kPageSize);
+    router_.SetPageGeneration(parity_va, pgen);
     Completion w = WritePageChecked(qp, pstore, parity_va, pbuf, r.completion_time_ns,
-                                    &wr_id_, stats_, tracer_);
+                                    &wr_id_, stats_, tracer_, pgen);
     if (w.status != WcStatus::kSuccess) {
       router_.ReportOpFailure(node, w.completion_time_ns);
       continue;
@@ -321,7 +372,16 @@ void PageManager::ScrubPage(uint64_t page_va, uint64_t now) {
       continue;
     }
     if (VerifyPageBytes(store, page_va, scrub_buf_)) {
-      continue;  // Healthy copy.
+      if (PageIsStale(store, page_va, router_.PageGeneration(page_va))) {
+        // Content-valid but generation-lagged: this copy missed a write-back
+        // round behind a partition or a dropped write. Heal it from a fresh
+        // replica before a failover could make it the only copy.
+        stats_.stale_copies_detected++;
+        tracer_->Record(c.completion_time_ns, TraceEvent::kStaleCopy, page_va,
+                        static_cast<uint32_t>(node));
+        ScrubRepair(page_va, node, c.completion_time_ns);
+      }
+      continue;  // Content-healthy copy.
     }
     stats_.checksum_mismatches++;
     tracer_->Record(c.completion_time_ns, TraceEvent::kChecksumMismatch, page_va,
@@ -342,6 +402,10 @@ void PageManager::ScrubRepair(uint64_t page_va, int node, uint64_t now) {
   uint8_t good[kPageSize];
   bool have_good = false;
   uint64_t cursor = now;
+  // The generation installed with the repair write: a reconstruction yields
+  // the current content (expected generation); a replica source carries its
+  // own stored generation with its bytes.
+  uint32_t gen = 0;
   if (router_.ec_enabled() && router_.ec().m > 0) {
     // EC holds one copy per page (data or parity member alike): the verified
     // content can only come from decoding the other stripe members.
@@ -351,14 +415,21 @@ void PageManager::ScrubRepair(uint64_t page_va, int node, uint64_t now) {
         static_cast<uint32_t>((page_va & (kShardGranuleBytes - 1)) >> kPageShift);
     have_good = EcReconstructPage(router_, *cost_, /*core=*/0, CommChannel::kManager, stripe,
                                   member, page_idx, good, &cursor, &wr_id_, stats_, tracer_);
+    if (have_good) {
+      gen = router_.PageGeneration(page_va);
+    }
   } else {
     // Replication: any other replica whose arrival verifies is a source.
-    // The source must itself hold a checksum — the repair write installs a
-    // fresh one, and hashing an unverifiable copy (one that missed its
-    // write-back) would launder its stale bytes into verified state.
+    // The source must itself hold a checksum and a current generation — the
+    // repair write installs fresh metadata, and hashing an unverifiable or
+    // lagging copy would launder its stale bytes into verified-fresh state.
     for (int src : scrub_nodes_) {
-      if (src == node || !router_.Readable(src, granule) ||
-          !router_.fabric().node(src).store().HasChecksum(page_va >> kPageShift)) {
+      if (src == node || !router_.Readable(src, granule)) {
+        continue;
+      }
+      const PageStore& sstore = router_.fabric().node(src).store();
+      if (!sstore.HasChecksum(page_va >> kPageShift) ||
+          PageIsStale(sstore, page_va, router_.PageGeneration(page_va))) {
         continue;
       }
       Completion c = router_.NodeQp(/*core=*/0, CommChannel::kManager, src)
@@ -369,8 +440,9 @@ void PageManager::ScrubRepair(uint64_t page_va, int node, uint64_t now) {
         continue;
       }
       cursor = c.completion_time_ns;
-      if (VerifyPageBytes(router_.fabric().node(src).store(), page_va, good)) {
+      if (VerifyPageBytes(sstore, page_va, good)) {
         have_good = true;
+        gen = sstore.Generation(page_va >> kPageShift);
         break;
       }
       stats_.checksum_mismatches++;
@@ -383,7 +455,7 @@ void PageManager::ScrubRepair(uint64_t page_va, int node, uint64_t now) {
   Completion w =
       WritePageChecked(router_.NodeQp(/*core=*/0, CommChannel::kManager, node),
                        router_.fabric().node(node).store(), page_va, good, cursor, &wr_id_,
-                       stats_, tracer_);
+                       stats_, tracer_, gen);
   if (w.status != WcStatus::kSuccess) {
     router_.ReportOpFailure(node, w.completion_time_ns);
     return;
@@ -417,7 +489,13 @@ bool PageManager::EvictOne(uint64_t now, uint64_t pinned_va) {
       where_[page_va] = std::prev(lru_.end());
       continue;
     }
-    // Victim found. Ensure the memory-node copy is current.
+    // Victim found. Offer it to the compressed tier first — a tier-resident
+    // page costs one local decompress on refault instead of an RDMA round
+    // trip, and a dirty one defers its write-back to the background drain.
+    if (tier_ != nullptr && TierAdmit(page_va, e, now)) {
+      return true;
+    }
+    // Ensure the memory-node copy is current.
     if (*e & kPteDirty) {
       Clean(page_va, e, now);
     }
@@ -447,6 +525,89 @@ bool PageManager::EvictOne(uint64_t now, uint64_t pinned_va) {
   return false;
 }
 
+bool PageManager::TierAdmit(uint64_t page_va, Pte* e, uint64_t now) {
+  // Guided pages decline: their action-PTE eviction (live-segment encoding)
+  // moves fewer bytes on the refault than whole-page compression saves.
+  if (vector_cleaned_.count(page_va) != 0) {
+    return false;
+  }
+  std::vector<PageSegment> segs;
+  if (guide_ != nullptr && guide_->LiveSegments(page_va, &segs) && !segs.empty() &&
+      segs.size() <= cfg_.max_vector_segs &&
+      !(segs.size() == 1 && segs[0].offset == 0 && segs[0].length == kPageSize)) {
+    return false;
+  }
+  uint32_t frame = static_cast<uint32_t>(PtePayload(*e));
+  bool dirty = (*e & kPteDirty) != 0;
+  uint32_t csize = 0;
+  if (tier_->AdmitPage(page_va, pool_.Data(frame), dirty, &csize) !=
+      CompressedTier::Admit::kStored) {
+    stats_.tier_bypass_incompressible++;
+    return false;  // Denser than max_ratio: take the normal remote path.
+  }
+  *pt_.Entry(page_va, true) = MakeTierPte(page_va >> kPageShift);
+  pool_.Free(frame);
+  stats_.evictions++;
+  stats_.tier_stored_pages++;
+  stats_.tier_compressed_bytes += csize;
+  tracer_->Record(now, TraceEvent::kTierAdmit, page_va, csize);
+  tracer_->Record(now, TraceEvent::kEvict, page_va);
+  // One admission can push the pool at most one entry over budget; trim it
+  // back right away so the DRAM budget holds between background ticks. The
+  // stored_pages() > 1 guard keeps a sub-page-capacity tier from evicting
+  // the entry it just admitted.
+  while (tier_->OverCapacity() && tier_->stored_pages() > 1) {
+    if (!TierEvictOne(now)) {
+      break;
+    }
+  }
+  return true;
+}
+
+bool PageManager::TierEvictOne(uint64_t now) {
+  uint64_t va = 0;
+  bool dirty = false;
+  if (!tier_->Oldest(&va, &dirty)) {
+    return false;
+  }
+  if (dirty) {
+    // The tier may only drop content that has reached remote redundancy:
+    // drain the deferred write-back first. If no replica accepts it (every
+    // node down or partitioned), keep the entry and requeue it — the tier
+    // stays the only copy until a later tick succeeds.
+    if (!tier_->Read(va, tier_buf_) || !WriteBackFull(va, tier_buf_, now)) {
+      tier_->Requeue(va);
+      return false;
+    }
+    tier_->MarkClean(va);
+  }
+  tier_->Drop(va);
+  *pt_.Entry(va, true) = MakeRemotePte(va >> kPageShift);
+  stats_.tier_evictions++;
+  tracer_->Record(now, TraceEvent::kTierEvict, va);
+  return true;
+}
+
+void PageManager::TierTick(uint64_t now) {
+  if (tier_ == nullptr) {
+    return;
+  }
+  // Drain deferred write-backs oldest-first, so entries nearing eviction are
+  // already clean (droppable without a fault-path write) when pressure hits.
+  tier_dirty_scratch_.clear();
+  tier_->CollectDirty(tier_->config().clean_batch, &tier_dirty_scratch_);
+  for (uint64_t va : tier_dirty_scratch_) {
+    if (tier_->Read(va, tier_buf_) && WriteBackFull(va, tier_buf_, now)) {
+      tier_->MarkClean(va);
+    }
+  }
+  while (tier_->OverCapacity() && tier_->stored_pages() > 1) {
+    if (!TierEvictOne(now)) {
+      break;
+    }
+  }
+}
+
 void PageManager::BackgroundTick(uint64_t now, uint64_t pinned_va) {
   // Cleaner: sweep a batch of the oldest pages, writing back dirty ones so
   // the reclaimer always finds clean victims.
@@ -470,6 +631,8 @@ void PageManager::BackgroundTick(uint64_t now, uint64_t pinned_va) {
       break;
     }
   }
+  // Compressed tier: drain deferred write-backs and trim to budget.
+  TierTick(now);
   // Scrubber: opportunistic integrity sweep in the same idle loop (no-op
   // unless scrub_pages_per_tick is set).
   ScrubTick(now);
@@ -481,12 +644,20 @@ uint32_t PageManager::AllocFrame(Clock& clk, LatencyBreakdown* bd) {
     // The background thread fell behind: direct reclaim in the fault path.
     ++direct_reclaims_;
     while (!fid.has_value()) {
+      uint64_t admitted_before = stats_.tier_stored_pages;
       if (!EvictOne(clk.now())) {
         break;  // Nothing evictable: the pool is truly exhausted.
       }
-      clk.Advance(cfg_.direct_reclaim_ns);
+      uint64_t reclaim_ns = cfg_.direct_reclaim_ns;
+      if (stats_.tier_stored_pages != admitted_before) {
+        // Direct reclaim into the tier compresses in the fault path — the
+        // one place compression is charged to an application core (the
+        // background cleaner/reclaimer runs on spare cores).
+        reclaim_ns += cost_->tier_compress_page_ns;
+      }
+      clk.Advance(reclaim_ns);
       if (bd != nullptr) {
-        bd->Add(LatComp::kReclaim, cfg_.direct_reclaim_ns);
+        bd->Add(LatComp::kReclaim, reclaim_ns);
       }
       fid = pool_.Alloc();
     }

@@ -30,6 +30,7 @@
 #include "src/sim/cost_model.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
+#include "src/tier/tier.h"
 
 namespace dilos {
 
@@ -58,6 +59,10 @@ class PageManager {
               const CostModel* cost = nullptr);
 
   void set_guide(Guide* guide) { guide_ = guide; }
+  // Arms the compressed local tier (src/tier): clock victims are compressed
+  // into it instead of leaving the machine, with write-backs deferred to
+  // this manager's background loop. Null disables the tier (default).
+  void set_tier(CompressedTier* tier) { tier_ = tier; }
 
   // Registers a page that just became resident (most recently used).
   void OnMapped(uint64_t page_va);
@@ -89,8 +94,26 @@ class PageManager {
   // the action log so eviction can use it.
   void Clean(uint64_t page_va, Pte* e, uint64_t now);
 
+  // Full-page checked write-back of `data` to every writable replica (with
+  // the EC parity RMW and a write-generation bump), shared by the cleaner
+  // and the tier's deferred write-back drain. True if at least one replica
+  // accepted the write — the durability bar for dropping local copies.
+  bool WriteBackFull(uint64_t page_va, const uint8_t* data, uint64_t now);
+
   // One clock-algorithm step; returns true if a page was evicted.
   bool EvictOne(uint64_t now, uint64_t pinned_va = UINT64_MAX);
+
+  // Compressed-tier admission of the eviction victim behind `e`: returns
+  // true if the page moved into the tier (frame freed, PTE -> kTier).
+  // Guided pages and incompressible pages decline.
+  bool TierAdmit(uint64_t page_va, Pte* e, uint64_t now);
+  // Pushes the tier's oldest entry remotely (draining its deferred
+  // write-back first); false when the tier is empty or the write-back
+  // found no live replica (the entry is kept and requeued).
+  bool TierEvictOne(uint64_t now);
+  // Background tier maintenance: drain a batch of deferred write-backs and
+  // trim the pool back under its capacity budget.
+  void TierTick(uint64_t now);
 
   uint64_t AllocActionSlot(std::vector<PageSegment> segs);
 
@@ -125,6 +148,7 @@ class PageManager {
   PageManagerConfig cfg_;
   const CostModel* cost_;
   Guide* guide_ = nullptr;
+  CompressedTier* tier_ = nullptr;
 
   // LRU order: front = oldest. The clock hand sweeps from the front.
   std::list<uint64_t> lru_;
@@ -144,6 +168,9 @@ class PageManager {
   uint32_t scrub_page_idx_ = 0;
   std::vector<int> scrub_nodes_;       // Scratch for replica enumeration.
   uint8_t scrub_buf_[kPageSize] = {};  // Arrival buffer for scrub reads.
+
+  uint8_t tier_buf_[kPageSize] = {};        // Decompression buffer for tier drains.
+  std::vector<uint64_t> tier_dirty_scratch_;  // Dirty-batch scratch.
 
   uint64_t wr_id_ = 0;
   uint64_t direct_reclaims_ = 0;

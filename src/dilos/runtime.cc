@@ -113,6 +113,10 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
   if (cfg_.fault_seed != 0) {
     fabric_.injector().Reseed(cfg_.fault_seed);
   }
+  if (cfg_.tier.enabled) {
+    tier_ = std::make_unique<CompressedTier>(cfg_.tier);
+    pm_.set_tier(tier_.get());
+  }
   if (cfg_.recovery.enabled) {
     detector_ = std::make_unique<FailureDetector>(fabric_, router_, stats_, &tracer_,
                                                   cfg_.recovery.detector);
@@ -251,6 +255,24 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
         exclude = t.node;
         continue;
       }
+      if (segs == nullptr &&
+          PageIsStale(fabric_.node(t.node).store(), page_va,
+                      router_.PageGeneration(page_va))) {
+        // Verified-but-stale arrival: the copy's checksum matches its bytes,
+        // but its write generation lags the cleaner's expected one — it
+        // missed at least one full write-back round (dropped behind a
+        // partition). Steer to a fresh replica or the EC survivors; the
+        // successful fetch then heals this copy with current bytes and
+        // generation.
+        stats_.stale_copies_detected++;
+        stats_.refetches++;
+        ++mismatch_attempts;
+        poisoned = true;
+        tracer_.Record(*cursor_ns, TraceEvent::kStaleCopy, page_va,
+                       static_cast<uint32_t>(t.node));
+        exclude = t.node;
+        continue;
+      }
       poisoned = false;
       if (detector_ != nullptr) {
         detector_->OnOpSuccess(t.node, *cursor_ns);
@@ -290,8 +312,11 @@ void DilosRuntime::HealCorruptReplica(uint64_t page_va, int node, const uint8_t*
     return;  // Died or went into rebuild meanwhile; the repair manager owns it.
   }
   PageStore& store = fabric_.node(node).store();
+  // The healed copy carries the current expected generation: the bytes we
+  // write are the ones the successful (fresh) fetch verified.
   Completion c = WritePageChecked(router_.NodeQp(/*core=*/0, CommChannel::kManager, node),
-                                  store, page_va, good, issue_ns, &wr_id_, stats_, &tracer_);
+                                  store, page_va, good, issue_ns, &wr_id_, stats_, &tracer_,
+                                  router_.PageGeneration(page_va));
   if (c.status != WcStatus::kSuccess) {
     router_.ReportOpFailure(node, c.completion_time_ns);
     return;
@@ -374,6 +399,9 @@ void DilosRuntime::FreeRegion(uint64_t addr, uint64_t bytes) {
       }
       case PteTag::kAction:
         pm_.ReleaseAction(PtePayload(*e));
+        break;
+      case PteTag::kTier:
+        tier_->Drop(page_va);  // Freed content needs no write-back.
         break;
       case PteTag::kRemote:
       case PteTag::kEmpty:
@@ -477,6 +505,18 @@ bool DilosRuntime::StartPrefetch(uint64_t page_va, uint64_t issue_ns, int core,
     stats_.refetches++;
     tracer_.Record(c.completion_time_ns, TraceEvent::kChecksumMismatch, page_va,
                    /*detail=*/2);
+    pool_.Free(*fid);
+    return false;
+  }
+  if (PageIsStale(fabric_.node(target.node).store(), page_va,
+                  router_.PageGeneration(page_va))) {
+    // Generation-lagged speculative fill: verified bytes from before the
+    // last write-back round. Drop it and leave the page to the demand path,
+    // which steers to a fresh copy and heals this one.
+    stats_.stale_copies_detected++;
+    stats_.refetches++;
+    tracer_.Record(c.completion_time_ns, TraceEvent::kStaleCopy, page_va,
+                   static_cast<uint32_t>(target.node));
     pool_.Free(*fid);
     return false;
   }
@@ -591,10 +631,48 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       break;
     }
 
+    case PteTag::kTier: {
+      // Tier hit: the page sits compressed in local DRAM — expand it in
+      // place, no network. A cold miss costs one decompress instead of the
+      // RDMA round trip; that gap is the tier's entire point.
+      stats_.minor_faults++;
+      stats_.tier_hits++;
+      bd.CountEvent();
+      bd.Add(LatComp::kHwException, cost_.hw_exception_ns);
+      bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
+      uint32_t frame = pm_.AllocFrame(clk, &bd);
+      bool was_dirty = false;
+      if (tier_ == nullptr || !tier_->Take(page_va, pool_.Data(frame), &was_dirty)) {
+        // Defensive: a tier PTE without a tier entry should not happen; fall
+        // back to the remote copy (re-faulting charges the exception again).
+        pool_.Free(frame);
+        stats_.tier_hits--;
+        stats_.minor_faults--;
+        *pt_.Entry(page_va, true) = MakeRemotePte(page_va >> kPageShift);
+        return Pin(vaddr, len, write, core);
+      }
+      clk.Advance(cost_.tier_decompress_page_ns);
+      bd.Add(LatComp::kDecompress, cost_.tier_decompress_page_ns);
+      // A page admitted dirty whose deferred write-back has not drained yet
+      // comes back dirty: its content still exists nowhere but here.
+      *pt_.Entry(page_va, true) = MakeLocalPte(frame, true) | kPteAccessed |
+                                  ((write || was_dirty) ? kPteDirty : 0);
+      pm_.OnMapped(page_va);
+      clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
+      bd.Add(LatComp::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
+      tracer_.Record(clk.now(), TraceEvent::kTierHit, page_va, was_dirty ? 1 : 0);
+      DrainArrivals(clk.now());
+      Background(clk.now(), page_va);
+      break;
+    }
+
     case PteTag::kRemote: {
       // Major fault: mark fetching, post the read, then hide every other
       // piece of work inside the fetch window.
       stats_.major_faults++;
+      if (tier_ != nullptr) {
+        stats_.tier_misses++;  // Cold miss the tier no longer holds (or never did).
+      }
       tracer_.Record(clk.now(), TraceEvent::kMajorFault, page_va);
       bd.CountEvent();
       bd.Add(LatComp::kHwException, cost_.hw_exception_ns);

@@ -46,6 +46,10 @@ struct DilosConfig {
   // reads that decode k surviving stripe members. Requires k + m non-spare
   // memory nodes.
   ECConfig ec;
+  // Compressed local cold tier (src/tier): clock victims are compressed into
+  // an in-DRAM pool instead of written remotely; a refault decompresses
+  // locally instead of paying the RDMA round trip.
+  TierConfig tier;
   PageManagerConfig pm;
   // Do not start new prefetches when free frames would drop below this
   // (prevents prefetch-driven thrash of the resident set).
@@ -91,6 +95,8 @@ class DilosRuntime : public FarRuntime {
   // Recovery subsystem (null unless cfg.recovery.enabled).
   FailureDetector* detector() { return detector_.get(); }
   RepairManager* repair() { return repair_.get(); }
+  // Compressed tier (null unless cfg.tier.enabled).
+  CompressedTier* tier() { return tier_.get(); }
 
   // Runs detector probes and repair work at simulated time `now`. Called
   // from the same background hook as the cleaner/reclaimer; public so
@@ -168,6 +174,7 @@ class DilosRuntime : public FarRuntime {
   HitTracker tracker_;
   std::unique_ptr<FailureDetector> detector_;
   std::unique_ptr<RepairManager> repair_;
+  std::unique_ptr<CompressedTier> tier_;
   std::vector<int> replica_scratch_;  // ReplicaHasChecksumElsewhere scratch.
 
   std::unordered_map<uint64_t, Inflight> inflight_;  // Key: page vaddr.

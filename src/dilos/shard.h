@@ -318,6 +318,20 @@ class ShardRouter {
   // path posts to parity granules directly).
   void NoteWrittenGranule(uint64_t granule) { written_granules_.insert(granule); }
 
+  // -- Write generations (freshness authority) --------------------------------
+  // The expected generation of each page's remote copies: bumped by the
+  // cleaner once per full-page write-back round *before* the replica fan-out
+  // (bump-on-attempt), so a replica whose write was dropped — partitioned,
+  // transient fault — holds a lagging generation and every read path can
+  // tell its verified-but-stale bytes from fresh ones. 0 = never cleaned.
+  uint32_t PageGeneration(uint64_t page_va) const {
+    auto it = page_gen_.find(page_va >> kPageShift);
+    return it == page_gen_.end() ? 0 : it->second;
+  }
+  void SetPageGeneration(uint64_t page_va, uint32_t gen) {
+    page_gen_[page_va >> kPageShift] = gen;
+  }
+
   // -- Erasure-coding layout ---------------------------------------------------
   // Stripe s = {data granules s*k .. s*k+k-1} ∪ {parity granules p=0..m-1 at
   // kEcParityBase}. Member j of stripe s homes on (Mix(s) + j) % active; a
@@ -483,6 +497,7 @@ class ShardRouter {
   std::vector<NodeState> state_;
   std::unordered_map<uint64_t, GranuleRemap> remap_;
   std::unordered_set<uint64_t> written_granules_;
+  std::unordered_map<uint64_t, uint32_t> page_gen_;  // page number -> expected gen.
   OpFailureObserver on_op_failure_;
   // [core][channel][node].
   std::vector<std::vector<std::vector<QueuePair*>>> qps_;

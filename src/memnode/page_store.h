@@ -64,6 +64,7 @@ class PageStore : public AddressResolver {
   void Drop(uint64_t page) {
     pages_.erase(page);
     sums_.erase(page);
+    gens_.erase(page);
   }
 
   // -- Per-page integrity metadata (src/recovery/integrity.h) ----------------
@@ -81,9 +82,23 @@ class PageStore : public AddressResolver {
   }
   const std::unordered_map<uint64_t, uint64_t>& checksums() const { return sums_; }
 
+  // -- Write-generation tags (freshness metadata) -----------------------------
+  // A checksum authenticates *content*, not *currency*: a replica that missed
+  // write-backs behind a partition still verifies against its old checksum.
+  // The cleaner therefore installs a monotonically increasing generation with
+  // every checked full-page write-back; readers compare it against the
+  // router's expected generation and treat a lagging copy as stale
+  // (src/recovery/integrity.h::PageIsStale). 0 means "never tagged".
+  void SetGeneration(uint64_t page, uint32_t gen) { gens_[page] = gen; }
+  uint32_t Generation(uint64_t page) const {
+    auto it = gens_.find(page);
+    return it == gens_.end() ? 0 : it->second;
+  }
+
  private:
   std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
   std::unordered_map<uint64_t, uint64_t> sums_;
+  std::unordered_map<uint64_t, uint32_t> gens_;
 };
 
 }  // namespace dilos

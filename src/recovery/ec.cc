@@ -62,7 +62,13 @@ uint8_t ECCodec::Coef(int member, int j) const {
   if (member < k_) {
     return member == j ? 1 : 0;  // Data rows: identity.
   }
-  return GfPow(2, static_cast<unsigned>((member - k_) * j));
+  // Cauchy rows: coef(k+p, j) = 1 / (x_p ^ y_j) with x_p = k+p, y_j = j.
+  // The x's and y's are distinct and disjoint (j < k <= member), so the
+  // denominator is never zero and every square submatrix of the Cauchy
+  // block is nonsingular — the code is MDS for any (k, m) with k+m <= 256,
+  // unlike the identity-plus-Vandermonde construction it replaces (MDS only
+  // for m <= 2).
+  return GfInv(static_cast<uint8_t>(member ^ j));
 }
 
 void ECCodec::XorMulInto(uint8_t* dst, const uint8_t* src, uint8_t coef, size_t n) {

@@ -7,12 +7,15 @@
 // any m members may be lost and every lost member is recoverable from the
 // surviving k — at (k+m)/k capacity instead of Nx.
 //
-// The code itself is XOR / Reed-Solomon-lite over GF(2^8): parity p is
-//     P_p[i] = XOR_j gmul(g^(p*j), D_j[i]),   g = 2, j = 0..k-1
-// so parity 0 is plain XOR (RAID-5) and parity 1 adds the classic RAID-6 Q
-// drive. The identity-plus-Vandermonde generator is MDS for m <= 2 (the
-// RAID-6 construction); for larger m Reconstruct() detects the rare singular
-// survivor combination and reports failure rather than decoding garbage.
+// The code itself is Reed-Solomon over GF(2^8) with an identity-plus-Cauchy
+// generator: parity p is
+//     P_p[i] = XOR_j gmul(1 / ((k+p) ^ j), D_j[i]),   j = 0..k-1
+// i.e. the parity block is the Cauchy matrix C[p][j] = (x_p ^ y_j)^-1 with
+// x_p = k+p and y_j = j. Every square submatrix of a Cauchy matrix is
+// nonsingular, so the code is MDS for *arbitrary* (k, m) with k+m <= 256:
+// any m lost members are recoverable from any k survivors. (The previous
+// identity-plus-Vandermonde rows were MDS only for m <= 2; Reconstruct()'s
+// singularity check remains as a defense-in-depth guard.)
 //
 // ECCodec is pure arithmetic: no fabric, no router, no clock. Layout
 // (which granule belongs to which stripe, which node holds which member)
@@ -46,7 +49,7 @@ class ECCodec {
 
   // Generator-matrix coefficient of data member `j` (0..k-1) in stripe
   // member `member` (0..k+m-1). Data rows are the identity; parity row
-  // k+p is g^(p*j).
+  // k+p is the Cauchy row ((k+p) ^ j)^-1.
   uint8_t Coef(int member, int j) const;
 
   // dst[i] ^= gmul(coef, src[i]) for n bytes — the parity-update primitive:

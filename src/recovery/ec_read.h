@@ -66,6 +66,20 @@ inline bool EcReconstructPage(ShardRouter& router, const CostModel& cost, int co
       }
       if (VerifyPageBytes(router.fabric().node(node).store(), member_va,
                           bufs.back().data())) {
+        if (PageIsStale(router.fabric().node(node).store(), member_va,
+                        router.PageGeneration(member_va))) {
+          // Verified-but-stale survivor: its write generation lags the
+          // cleaner's expected one, so decoding it would mix old and new
+          // stripe content. Re-reading cannot freshen a stored copy — skip
+          // straight to the next member (the scrubber heals it later).
+          stats.stale_copies_detected++;
+          if (tracer != nullptr) {
+            tracer->Record(c.completion_time_ns, TraceEvent::kStaleCopy, member_va,
+                           static_cast<uint32_t>(node));
+          }
+          issue = c.completion_time_ns;
+          break;
+        }
         good = true;
         if (c.completion_time_ns > done) {
           done = c.completion_time_ns;

@@ -58,17 +58,33 @@ inline bool VerifyPageBytes(const PageStore& store, uint64_t page_va, const uint
   return store.Checksum(page) == PageChecksum(bytes);
 }
 
+// Freshness check beside the content check: true when the copy on `store`
+// lags the expected write generation — it verified against its (old)
+// checksum but missed at least one later full-page write-back (the
+// partitioned-replica gap: stale-but-verified bytes). expected_gen == 0
+// (page never generation-tagged by a cleaner) verifies trivially.
+inline bool PageIsStale(const PageStore& store, uint64_t page_va, uint32_t expected_gen) {
+  if (expected_gen == 0) {
+    return false;
+  }
+  return store.Generation(page_va >> kPageShift) < expected_gen;
+}
+
 // Full-page write with target-side integrity: posts the write at `issue_ns`,
-// installs the checksum, and verifies the bytes that actually landed —
-// re-posting on mismatch (a wire flip on the write path), up to
-// `max_retries` times. Returns the final completion; liveness failures
-// (kTimeout etc.) are returned untouched for the caller's failover logic.
+// installs the checksum (and, when `generation` is nonzero, the write
+// generation — freshness metadata travelling with the payload), and
+// verifies the bytes that actually landed — re-posting on mismatch (a wire
+// flip on the write path), up to `max_retries` times. Returns the final
+// completion; liveness failures (kTimeout etc.) are returned untouched for
+// the caller's failover logic — a dropped write installs neither checksum
+// nor generation, which is exactly what lets readers detect the laggard.
 // If retries exhaust with the stored copy still corrupt, the (correct)
 // checksum stays installed, so every later read detects the rot and heals
 // from redundancy — metadata is never made to agree with bad bytes.
 inline Completion WritePageChecked(QueuePair* qp, PageStore& store, uint64_t page_va,
                                    const uint8_t* data, uint64_t issue_ns, uint64_t* wr_id,
-                                   RuntimeStats& stats, Tracer* tracer, int max_retries = 3) {
+                                   RuntimeStats& stats, Tracer* tracer,
+                                   uint32_t generation = 0, int max_retries = 3) {
   uint64_t page = page_va >> kPageShift;
   uint64_t sum = PageChecksum(data);
   Completion c{};
@@ -78,6 +94,9 @@ inline Completion WritePageChecked(QueuePair* qp, PageStore& store, uint64_t pag
       return c;
     }
     store.SetChecksum(page, sum);
+    if (generation != 0) {
+      store.SetGeneration(page, generation);
+    }
     if (PageChecksum(store.PageData(page)) == sum) {
       return c;
     }

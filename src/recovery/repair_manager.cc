@@ -257,12 +257,16 @@ uint64_t RepairManager::DrainFront(uint64_t now_ns, uint64_t budget) {
       // arrival verifies against its stored checksum (one re-read covers a
       // wire flip; a second mismatch moves on to the next replica). A page
       // no surviving replica materialized was never cleaned anywhere remote
-      // (its content is local or all-zero) — nothing to copy. Checksummed
-      // copies are tried before unverifiable ones (pass 0 vs pass 1): the
-      // copy that lands on the target gets a *fresh* checksum, so sourcing
-      // from a replica that missed its write-back would launder stale bytes
-      // into verified state.
-      for (int pass = 0; pass < 2 && !have; ++pass) {
+      // (its content is local or all-zero) — nothing to copy. Sources rank
+      // by trustworthiness — pass 0: checksummed and generation-fresh;
+      // pass 1: checksummed but generation-lagged (missed a write-back
+      // round); pass 2: unverifiable. The copy that lands on the target
+      // gets fresh metadata, so preferring a fresh source keeps a laggard
+      // replica's stale bytes from being laundered into verified-current
+      // state — while a stale copy still beats losing the page outright
+      // when it is the last one standing (its lagging generation travels
+      // with it, so readers keep seeing it for what it is).
+      for (int pass = 0; pass < 3 && !have; ++pass) {
         for (int n : replica_scratch_) {
           if (have) {
             break;
@@ -270,10 +274,15 @@ uint64_t RepairManager::DrainFront(uint64_t now_ns, uint64_t budget) {
           if (n == job.target || !router_.Readable(n, job.granule)) {
             continue;
           }
-          if (!fabric_.node(n).store().Materialized(page_va >> kPageShift)) {
+          const PageStore& nstore = fabric_.node(n).store();
+          if (!nstore.Materialized(page_va >> kPageShift)) {
             continue;
           }
-          if (fabric_.node(n).store().HasChecksum(page_va >> kPageShift) != (pass == 0)) {
+          int rank = 2;
+          if (nstore.HasChecksum(page_va >> kPageShift)) {
+            rank = PageIsStale(nstore, page_va, router_.PageGeneration(page_va)) ? 1 : 0;
+          }
+          if (rank != pass) {
             continue;
           }
           had_source = true;
@@ -290,6 +299,7 @@ uint64_t RepairManager::DrainFront(uint64_t now_ns, uint64_t budget) {
               have = true;
               f.ready_ns = rc.completion_time_ns;
               f.bytes = 2ULL * kPageSize;  // Source read + target write.
+              f.gen = nstore.Generation(page_va >> kPageShift);
             } else {
               stats_.checksum_mismatches++;
               stats_.refetches++;
@@ -323,6 +333,8 @@ uint64_t RepairManager::DrainFront(uint64_t now_ns, uint64_t budget) {
             have = true;
             f.ready_ns = fcursor;
             f.bytes = static_cast<uint64_t>(router_.ec().k + 1) * kPageSize;
+            // A decode of fresh survivors yields the current content.
+            f.gen = router_.PageGeneration(page_va);
           }
         }
       }
@@ -356,7 +368,8 @@ uint64_t RepairManager::DrainFront(uint64_t now_ns, uint64_t budget) {
     for (Flight& f : flights_) {
       Completion wc = WritePageChecked(qps_[static_cast<size_t>(job.target)],
                                        fabric_.node(job.target).store(), f.page_va,
-                                       f.buf.data(), f.ready_ns, &wr_id_, stats_, tracer_);
+                                       f.buf.data(), f.ready_ns, &wr_id_, stats_, tracer_,
+                                       f.gen);
       if (wc.completion_time_ns > window_done) {
         window_done = wc.completion_time_ns;
       }

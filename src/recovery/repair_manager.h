@@ -96,6 +96,7 @@ class RepairManager {
     uint64_t page_va = 0;
     uint64_t ready_ns = 0;  // Source read (or EC decode) completion.
     uint64_t bytes = 0;     // Payload accounting for the budget/stats.
+    uint32_t gen = 0;       // Write generation travelling with the bytes.
     std::vector<uint8_t> buf;
   };
 

@@ -74,6 +74,16 @@ struct CostModel {
   // k parallel survivor reads.
   uint64_t ec_decode_page_ns = 600;
 
+  // --- Compressed local tier (src/tier) --------------------------------------
+  // LZ4/Snappy-class byte-LZ on this CPU class runs ~2.5 GB/s compressing and
+  // ~8 GB/s decompressing: ~1.6 us to squeeze a 4 KB page, ~0.5 us to expand
+  // it. Compression runs on the background reclaim path (spare cores) except
+  // under direct reclaim; decompression is charged in the fault path — it is
+  // the entire miss penalty of a tier hit, vs the RDMA round trip of a cold
+  // miss that goes remote.
+  uint64_t tier_compress_page_ns = 1600;
+  uint64_t tier_decompress_page_ns = 500;
+
   // --- Local (non-faulting) access path --------------------------------------
   // Cost of a pin that hits a present PTE: the amortized cache/TLB cost of a
   // local access (sequential accesses mostly hit cache lines; DRAM latency

@@ -28,6 +28,8 @@ std::string_view LatCompName(LatComp c) {
       return "map";
     case LatComp::kPrefetch:
       return "prefetch-work";
+    case LatComp::kDecompress:
+      return "decompress";
     case LatComp::kCount:
       break;
   }
@@ -153,18 +155,33 @@ std::string RuntimeStats::ToString() const {
     out += buf;
   }
   if (checksum_mismatches != 0 || refetches != 0 || checksum_heals != 0 || scrub_pages != 0 ||
-      gray_suspects != 0 || repair_no_target != 0) {
+      gray_suspects != 0 || repair_no_target != 0 || stale_copies_detected != 0) {
     std::snprintf(buf, sizeof(buf),
-                  "integrity: mismatches=%llu wr-retries=%llu refetches=%llu heals=%llu | "
-                  "scrub: %llu pages %llu repairs | gray-suspects=%llu repair-no-target=%llu\n",
+                  "integrity: mismatches=%llu wr-retries=%llu refetches=%llu heals=%llu "
+                  "stale=%llu | scrub: %llu pages %llu repairs | gray-suspects=%llu "
+                  "repair-no-target=%llu\n",
                   static_cast<unsigned long long>(checksum_mismatches),
                   static_cast<unsigned long long>(checksum_write_retries),
                   static_cast<unsigned long long>(refetches),
                   static_cast<unsigned long long>(checksum_heals),
+                  static_cast<unsigned long long>(stale_copies_detected),
                   static_cast<unsigned long long>(scrub_pages),
                   static_cast<unsigned long long>(scrub_repairs),
                   static_cast<unsigned long long>(gray_suspects),
                   static_cast<unsigned long long>(repair_no_target));
+    out += buf;
+  }
+  if (tier_hits != 0 || tier_misses != 0 || tier_stored_pages != 0 ||
+      tier_bypass_incompressible != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "tier: hits=%llu misses=%llu stored=%llu bypassed=%llu evicted=%llu "
+                  "compressed-bytes=%llu\n",
+                  static_cast<unsigned long long>(tier_hits),
+                  static_cast<unsigned long long>(tier_misses),
+                  static_cast<unsigned long long>(tier_stored_pages),
+                  static_cast<unsigned long long>(tier_bypass_incompressible),
+                  static_cast<unsigned long long>(tier_evictions),
+                  static_cast<unsigned long long>(tier_compressed_bytes));
     out += buf;
   }
   return out + fault_breakdown.ToString();

@@ -23,6 +23,7 @@ enum class LatComp : uint8_t {
   kReclaim,           // In-path (direct) reclamation.
   kMap,               // Mapping the fetched frame.
   kPrefetch,          // Prefetch issue + hit tracker work in the fault path.
+  kDecompress,        // Expanding a compressed-tier page on a tier hit.
   kCount,
 };
 
@@ -121,6 +122,15 @@ struct RuntimeStats {
   uint64_t scrub_repairs = 0;          // Latent corruptions the scrubber repaired.
   uint64_t gray_suspects = 0;          // Gray-failure (latency EWMA) suspicions raised.
   uint64_t repair_no_target = 0;       // Degraded granules with no legal rebuild target.
+  uint64_t stale_copies_detected = 0;  // Verified-but-stale copies caught by generation tags.
+
+  // --- Compressed local tier (src/tier) --------------------------------------
+  uint64_t tier_hits = 0;    // Faults served by local decompression.
+  uint64_t tier_misses = 0;  // Faults that went remote with the tier enabled.
+  uint64_t tier_stored_pages = 0;           // Pages admitted into the tier (cumulative).
+  uint64_t tier_bypass_incompressible = 0;  // Evictions too dense for the tier.
+  uint64_t tier_evictions = 0;              // Tier-pressure evictions pushed remote.
+  uint64_t tier_compressed_bytes = 0;       // Compressed payload bytes admitted.
 
   LatencyBreakdown fault_breakdown;
 

@@ -44,6 +44,14 @@ enum class TraceEvent : uint8_t {
   kGraySuspect,       // Latency EWMA marked an alive-but-slow node suspect.
   kGrayClear,         // A gray-suspected node's latency recovered.
   kRepairNoTarget,    // A degraded granule found no legal rebuild target.
+  // Compressed local tier (src/tier).
+  kTierHit,    // Fault served by local decompression (detail: 1 if dirty).
+  kTierAdmit,  // Evicted page compressed into the tier (detail: csize).
+  kTierEvict,  // Tier pressure pushed a compressed page remote.
+  // Write-generation staleness (src/recovery/integrity.h): a verified-but-
+  // stale copy (missed write-backs behind a partition) was detected and
+  // bypassed. detail carries the node id.
+  kStaleCopy,
 };
 
 inline const char* TraceEventName(TraceEvent e) {
@@ -96,6 +104,14 @@ inline const char* TraceEventName(TraceEvent e) {
       return "gray-clear";
     case TraceEvent::kRepairNoTarget:
       return "repair-no-target";
+    case TraceEvent::kTierHit:
+      return "tier-hit";
+    case TraceEvent::kTierAdmit:
+      return "tier-admit";
+    case TraceEvent::kTierEvict:
+      return "tier-evict";
+    case TraceEvent::kStaleCopy:
+      return "stale-copy";
   }
   return "?";
 }

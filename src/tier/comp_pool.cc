@@ -1,0 +1,78 @@
+#include "src/tier/comp_pool.h"
+
+#include <cstring>
+
+namespace dilos {
+
+CompHandle CompPool::Alloc(const uint8_t* data, uint32_t bytes) {
+  uint32_t cls = ClassOf(bytes);
+  size_t cid = cls / kTierClassStep - 1;
+  if (avail_.size() <= cid) {
+    avail_.resize(cid + 1);
+  }
+  uint32_t slab_idx;
+  if (!avail_[cid].empty()) {
+    slab_idx = avail_[cid].back();
+  } else {
+    // Repurpose an empty slab, or grow a new one, for this class.
+    if (!free_slabs_.empty()) {
+      slab_idx = free_slabs_.back();
+      free_slabs_.pop_back();
+    } else {
+      slab_idx = static_cast<uint32_t>(slabs_.size());
+      slabs_.emplace_back();
+      slabs_.back().mem = std::make_unique<uint8_t[]>(kTierSlabBytes);
+    }
+    Slab& s = slabs_[slab_idx];
+    s.block_bytes = cls;
+    s.used = 0;
+    s.free_blocks.clear();
+    for (uint32_t b = kTierSlabBytes / cls; b-- > 0;) {
+      s.free_blocks.push_back(b);
+    }
+    avail_[cid].push_back(slab_idx);
+  }
+  Slab& s = slabs_[slab_idx];
+  uint32_t block = s.free_blocks.back();
+  s.free_blocks.pop_back();
+  ++s.used;
+  if (s.free_blocks.empty()) {
+    avail_[cid].pop_back();  // Slab full; it re-registers on the next Free.
+  }
+  std::memcpy(s.mem.get() + static_cast<size_t>(block) * cls, data, bytes);
+  ++blob_count_;
+  payload_bytes_ += bytes;
+  block_bytes_ += cls;
+  return CompHandle{slab_idx, block};
+}
+
+void CompPool::Free(CompHandle h, uint32_t bytes) {
+  Slab& s = slabs_[h.slab];
+  uint32_t cls = s.block_bytes;
+  size_t cid = cls / kTierClassStep - 1;
+  bool was_full = s.free_blocks.empty();
+  s.free_blocks.push_back(h.block);
+  --s.used;
+  --blob_count_;
+  payload_bytes_ -= bytes;
+  block_bytes_ -= cls;
+  if (s.used == 0) {
+    // Whole slab drained: recycle it for any class.
+    if (!was_full) {
+      auto& v = avail_[cid];
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (v[i] == h.slab) {
+          v[i] = v.back();
+          v.pop_back();
+          break;
+        }
+      }
+    }
+    s.free_blocks.clear();
+    free_slabs_.push_back(h.slab);
+  } else if (was_full) {
+    avail_[cid].push_back(h.slab);
+  }
+}
+
+}  // namespace dilos

@@ -1,0 +1,80 @@
+// Slab-style frame pool for variable-size compressed pages (zbud/zsmalloc
+// analog).
+//
+// Compressed blobs are rounded up to a size class (multiples of
+// kTierClassStep) and stored in fixed-size slabs dedicated to one class
+// each, so the pool never external-fragments: freeing a blob returns its
+// block to the slab's free list, and a fully-free slab is recycled for any
+// class. The capacity knob is *soft* — Alloc always succeeds — because the
+// eviction machinery that makes room lives a layer up (the tier must write
+// dirty victims back remotely before dropping them); callers watch
+// block_bytes() against their budget and trim.
+#ifndef DILOS_SRC_TIER_COMP_POOL_H_
+#define DILOS_SRC_TIER_COMP_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dilos {
+
+inline constexpr uint32_t kTierClassStep = 256;       // Size-class granularity.
+inline constexpr uint32_t kTierSlabBytes = 64 << 10;  // One slab = 64 KB.
+
+// Handle to a stored blob: slab index + block index within it. Valid until
+// Free().
+struct CompHandle {
+  uint32_t slab = UINT32_MAX;
+  uint32_t block = 0;
+
+  bool valid() const { return slab != UINT32_MAX; }
+};
+
+class CompPool {
+ public:
+  // Rounds a payload size up to its size class (>= 1 byte, <= kTierSlabBytes).
+  static uint32_t ClassOf(uint32_t bytes) {
+    uint32_t cls = (bytes + kTierClassStep - 1) / kTierClassStep * kTierClassStep;
+    return cls == 0 ? kTierClassStep : cls;
+  }
+
+  // Stores `bytes` of `data`, growing a new slab if no block of the class is
+  // free. Never fails for payloads <= kTierSlabBytes.
+  CompHandle Alloc(const uint8_t* data, uint32_t bytes);
+
+  const uint8_t* Data(CompHandle h) const {
+    const Slab& s = slabs_[h.slab];
+    return s.mem.get() + static_cast<size_t>(h.block) * s.block_bytes;
+  }
+
+  void Free(CompHandle h, uint32_t bytes);
+
+  size_t blob_count() const { return blob_count_; }
+  // Payload bytes stored (exact compressed sizes).
+  uint64_t payload_bytes() const { return payload_bytes_; }
+  // Block bytes committed (class-rounded) — what capacity budgeting sees;
+  // the gap to payload_bytes() is internal fragmentation.
+  uint64_t block_bytes() const { return block_bytes_; }
+  // Slab bytes ever allocated (recycled slabs still count until reused).
+  uint64_t slab_bytes() const { return slabs_.size() * uint64_t{kTierSlabBytes}; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<uint8_t[]> mem;
+    uint32_t block_bytes = 0;  // Size class this slab currently serves.
+    uint32_t used = 0;         // Live blocks.
+    std::vector<uint32_t> free_blocks;
+  };
+
+  // slabs with a free block, per class id (class / kTierClassStep - 1).
+  std::vector<std::vector<uint32_t>> avail_;
+  std::vector<uint32_t> free_slabs_;  // Fully-empty slabs, any class.
+  std::vector<Slab> slabs_;
+  size_t blob_count_ = 0;
+  uint64_t payload_bytes_ = 0;
+  uint64_t block_bytes_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_TIER_COMP_POOL_H_

@@ -1,0 +1,122 @@
+#include "src/tier/compress.h"
+
+#include <cstring>
+
+namespace dilos {
+
+namespace {
+
+// Hash of the 4 bytes at `p` into the match table. 8 bits of table is
+// plenty for a 4 KB window and keeps the table cache-resident.
+inline uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 24;
+}
+
+}  // namespace
+
+size_t TierCompress(const uint8_t* src, size_t n, uint8_t* dst, size_t cap) {
+  // Match-candidate table: last position whose 4-byte prefix hashed here.
+  // n is page-bounded, so 16-bit positions suffice; 0xFFFF marks empty.
+  uint16_t table[256];
+  std::memset(table, 0xFF, sizeof(table));
+
+  size_t out = 0;
+  size_t pos = 0;
+  size_t lit_start = 0;  // First byte of the pending literal run.
+
+  auto flush_literals = [&](size_t end) -> bool {
+    size_t i = lit_start;
+    while (i < end) {
+      size_t run = end - i;
+      if (run > 128) {
+        run = 128;
+      }
+      if (out + 1 + run > cap) {
+        return false;
+      }
+      dst[out++] = static_cast<uint8_t>(run - 1);
+      std::memcpy(dst + out, src + i, run);
+      out += run;
+      i += run;
+    }
+    return true;
+  };
+
+  while (pos + kTierMinMatch <= n) {
+    uint32_t h = Hash4(src + pos);
+    size_t cand = table[h];
+    table[h] = static_cast<uint16_t>(pos);
+    if (cand != 0xFFFF && cand < pos &&
+        std::memcmp(src + cand, src + pos, kTierMinMatch) == 0) {
+      size_t len = kTierMinMatch;
+      size_t max_len = n - pos;
+      if (max_len > kTierMaxMatch) {
+        max_len = kTierMaxMatch;
+      }
+      while (len < max_len && src[cand + len] == src[pos + len]) {
+        ++len;
+      }
+      if (!flush_literals(pos)) {
+        return 0;
+      }
+      if (out + 3 > cap) {
+        return 0;
+      }
+      size_t dist = pos - cand;
+      dst[out++] = static_cast<uint8_t>(0x80 | (len - kTierMinMatch));
+      dst[out++] = static_cast<uint8_t>(dist & 0xFF);
+      dst[out++] = static_cast<uint8_t>(dist >> 8);
+      // Seed the table inside the match so later runs find nearer sources.
+      size_t stop = pos + len;
+      for (size_t p = pos + 1; p + kTierMinMatch <= stop && p + kTierMinMatch <= n; ++p) {
+        table[Hash4(src + p)] = static_cast<uint16_t>(p);
+      }
+      pos = stop;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  if (!flush_literals(n)) {
+    return 0;
+  }
+  return out;
+}
+
+size_t TierDecompress(const uint8_t* src, size_t n, uint8_t* dst, size_t dst_cap) {
+  size_t in = 0;
+  size_t out = 0;
+  while (in < n) {
+    uint8_t tag = src[in++];
+    if ((tag & 0x80) == 0) {
+      size_t run = static_cast<size_t>(tag) + 1;
+      if (in + run > n || out + run > dst_cap) {
+        return 0;
+      }
+      std::memcpy(dst + out, src + in, run);
+      in += run;
+      out += run;
+    } else {
+      if (in + 2 > n) {
+        return 0;
+      }
+      size_t len = static_cast<size_t>(tag & 0x7F) + kTierMinMatch;
+      size_t dist = static_cast<size_t>(src[in]) | (static_cast<size_t>(src[in + 1]) << 8);
+      in += 2;
+      if (dist == 0 || dist > out || out + len > dst_cap) {
+        return 0;
+      }
+      // Byte copy: overlapping matches (dist < len) replicate runs.
+      const uint8_t* from = dst + out - dist;
+      for (size_t i = 0; i < len; ++i) {
+        dst[out + i] = from[i];
+      }
+      out += len;
+    }
+  }
+  return out;
+}
+
+}  // namespace dilos

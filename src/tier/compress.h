@@ -1,0 +1,46 @@
+// Page-oriented LZ-class codec for the compressed local tier.
+//
+// The tier trades CPU for capacity the way zswap/zbud does: a page evicted
+// from DRAM is squeezed through a byte-level LZ77 compressor (greedy
+// hash-chain match finder, Snappy/LZ4-class speed under the sim cost model)
+// before it is allowed to stay local. The format is self-contained and
+// page-bounded — matches never reference bytes outside the page being
+// encoded — so a compressed blob decodes with no external state:
+//
+//   tag byte t:
+//     t & 0x80 == 0 -> literal run of (t & 0x7f) + 1 bytes (1..128), the
+//                      bytes follow verbatim.
+//     t & 0x80 != 0 -> match of (t & 0x7f) + kTierMinMatch bytes (4..131)
+//                      at distance d back from the output cursor, d given
+//                      by the following 2-byte little-endian offset (>= 1).
+//
+// Overlapping matches (d < length) are legal and decode byte-by-byte,
+// which is what makes runs compress: a zero page encodes to ~100 bytes.
+#ifndef DILOS_SRC_TIER_COMPRESS_H_
+#define DILOS_SRC_TIER_COMPRESS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dilos {
+
+inline constexpr size_t kTierMinMatch = 4;
+inline constexpr size_t kTierMaxMatch = 131;  // 7-bit length field + kTierMinMatch.
+
+// Worst case: every byte a literal costs 1 tag per 128 bytes of payload.
+inline constexpr size_t TierCompressBound(size_t n) { return n + n / 128 + 2; }
+
+// Compresses `src[0..n)` into `dst`, returning the compressed size, or 0 if
+// the output would exceed `cap` (the caller's admission budget — an
+// incompressible page is rejected, not truncated).
+size_t TierCompress(const uint8_t* src, size_t n, uint8_t* dst, size_t cap);
+
+// Decompresses `src[0..n)` into `dst[0..dst_cap)`, returning the number of
+// bytes produced, or 0 on malformed input (truncated stream, match before
+// the start of output, or output overrun). A valid tier blob for a page
+// always decodes to exactly kPageSize bytes.
+size_t TierDecompress(const uint8_t* src, size_t n, uint8_t* dst, size_t dst_cap);
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_TIER_COMPRESS_H_

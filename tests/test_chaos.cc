@@ -387,6 +387,86 @@ TEST(ChaosPartition, InboundDropNeverServesTheStaleCopy) {
   EXPECT_EQ(rt.stats().failed_fetches, 0u);
 }
 
+TEST(ChaosPartition, StaleButVerifiedCopyIsDetectedByGeneration) {
+  // The nastier partition shape: node 0 is reachable and holds *verified*
+  // copies — checksums installed by write-backs that landed before the
+  // partition — but misses every write-back after it. Checksum verification
+  // alone passes those stale bytes; the per-page write generation is what
+  // exposes them (the router's expected generation was bumped by each
+  // write-back round node 0 never saw). Recovery stays disabled: detection
+  // must not depend on the failure detector ever condemning the node.
+  Fabric fabric(CostModel::Default(), 2);
+  DilosConfig cfg = ChaosConfig(2);
+  cfg.recovery.enabled = false;
+  cfg.pm.scrub_pages_per_tick = 64;  // Phase 3: the scrubber heals the laggards.
+  cfg.fault_seed = 11;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 128;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+
+  auto populate_salted = [&](uint64_t salt) {
+    for (uint64_t p = 0; p < pages; ++p) {
+      rt.Write<uint64_t>(region + p * kPageSize, p ^ salt);
+    }
+  };
+  auto sweep_salted = [&](uint64_t salt) {
+    uint64_t errors = 0;
+    for (uint64_t p = 0; p < pages; ++p) {
+      if (rt.Read<uint64_t>(region + p * kPageSize) != (p ^ salt)) {
+        ++errors;
+      }
+    }
+    return errors;
+  };
+  // Node-0 copies that would pass checksum verification but lag the
+  // expected write generation — the exact copies this test is about.
+  auto stale_verified_on_node0 = [&]() {
+    uint64_t n = 0;
+    const PageStore& store = fabric.node(0).store();
+    for (uint64_t p = 0; p < pages; ++p) {
+      uint64_t va = region + p * kPageSize;
+      if (store.HasChecksum(va >> kPageShift) &&
+          PageIsStale(store, va, rt.router().PageGeneration(va))) {
+        ++n;
+      }
+    }
+    return n;
+  };
+
+  // Phase 1: healthy fabric. 128 pages over 64 frames: evictions write both
+  // replicas back verified, installing checksum + generation on node 0 too.
+  populate_salted(0xAAAA);
+  ASSERT_EQ(sweep_salted(0xAAAA), 0u);
+
+  // Phase 2: partition node 0 inbound and overwrite everything. Each
+  // write-back round bumps the expected generation; node 0 drops the bytes
+  // and keeps serving its old — still checksum-valid — phase-1 copies.
+  FaultPlan plan;
+  plan.specs.push_back({0, FaultKind::kPartitionIn, 1.0, 1.0, 0, UINT64_MAX});
+  fabric.set_fault_plan(plan);
+  populate_salted(0xBBBB);
+  EXPECT_EQ(sweep_salted(0xBBBB), 0u)
+      << "a verified-but-stale arrival from node 0 leaked through";
+  EXPECT_GT(rt.stats().stale_copies_detected, 0u)
+      << "the sweep should have tripped over node 0's lagging copies";
+  EXPECT_GT(stale_verified_on_node0(), 0u)
+      << "the partition should have left checksum-valid stale copies behind";
+  EXPECT_EQ(rt.stats().failed_fetches, 0u);
+
+  // Phase 3: partition lifts. Reads still never see phase-2 ghosts, and the
+  // scrubber (driven by the sweeps' background hook) rewrites node 0's
+  // laggards with current bytes and generations.
+  fabric.set_fault_plan(FaultPlan{});
+  uint64_t stale_before = stale_verified_on_node0();
+  for (int round = 0; round < 6 && stale_verified_on_node0() > 0; ++round) {
+    EXPECT_EQ(sweep_salted(0xBBBB), 0u) << "round " << round;
+  }
+  EXPECT_LT(stale_verified_on_node0(), stale_before)
+      << "scrub repairs should freshen node 0's stale copies";
+  EXPECT_GT(rt.stats().scrub_repairs, 0u);
+  EXPECT_EQ(sweep_salted(0xBBBB), 0u);
+}
+
 // -- Repair observability + pipelining ----------------------------------------
 
 TEST(ChaosRepair, NoLegalTargetIsCountedAndTraced) {

@@ -120,6 +120,43 @@ TEST(ECCodec, ReconstructsDoubleLossFromKSurvivors) {
   }
 }
 
+TEST(ECCodec, CauchyMatrixIsMdsForTripleParity) {
+  // (4, 3): every choice of 3 lost members out of 7 must be recoverable from
+  // the 4 survivors — the MDS property the Cauchy construction guarantees
+  // for arbitrary (k, m), where the old Vandermonde-row generator went
+  // singular beyond m = 2. All C(7,3) = 35 loss patterns, every lost member.
+  const int k = 4, m = 3;
+  ECCodec codec(k, m);
+  const size_t n = 64;
+  auto blocks = MakeStripe(codec, n);
+  int patterns = 0;
+  for (int a = 0; a < k + m; ++a) {
+    for (int b = a + 1; b < k + m; ++b) {
+      for (int c = b + 1; c < k + m; ++c) {
+        ++patterns;
+        std::vector<int> members;
+        std::vector<const uint8_t*> ptrs;
+        for (int j = 0; j < k + m && static_cast<int>(members.size()) < k; ++j) {
+          if (j == a || j == b || j == c) {
+            continue;
+          }
+          members.push_back(j);
+          ptrs.push_back(blocks[static_cast<size_t>(j)].data());
+        }
+        ASSERT_EQ(static_cast<int>(members.size()), k);
+        for (int lost : {a, b, c}) {
+          std::vector<uint8_t> out(n);
+          ASSERT_TRUE(codec.Reconstruct(lost, members.data(), ptrs.data(), k, out.data(), n))
+              << "lost {" << a << "," << b << "," << c << "}, decoding " << lost;
+          EXPECT_EQ(std::memcmp(out.data(), blocks[static_cast<size_t>(lost)].data(), n), 0)
+              << "lost {" << a << "," << b << "," << c << "}, decoding " << lost;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(patterns, 35);
+}
+
 TEST(ECCodec, RefusesFewerThanKSurvivors) {
   const int k = 3, m = 1;
   ECCodec codec(k, m);

@@ -16,6 +16,7 @@ TEST(Pte, TagEncodingRoundTrips) {
   EXPECT_EQ(PteTagOf(MakeRemotePte(42)), PteTag::kRemote);
   EXPECT_EQ(PteTagOf(MakeFetchingPte(42)), PteTag::kFetching);
   EXPECT_EQ(PteTagOf(MakeActionPte(42)), PteTag::kAction);
+  EXPECT_EQ(PteTagOf(MakeTierPte(42)), PteTag::kTier);
 }
 
 TEST(Pte, PayloadPreserved) {
@@ -23,6 +24,7 @@ TEST(Pte, PayloadPreserved) {
   EXPECT_EQ(PtePayload(MakeRemotePte(0xFFFFFFFF)), 0xFFFFFFFFu);
   EXPECT_EQ(PtePayload(MakeFetchingPte(7)), 7u);
   EXPECT_EQ(PtePayload(MakeActionPte(0)), 0u);
+  EXPECT_EQ(PtePayload(MakeTierPte(0xABCDEF)), 0xABCDEFu);
 }
 
 TEST(Pte, TagsUseOnlyLowThreeBitsPlusPayload) {
@@ -30,6 +32,17 @@ TEST(Pte, TagsUseOnlyLowThreeBitsPlusPayload) {
   Pte p = MakeLocalPte(9, true) | kPteAccessed | kPteDirty;
   EXPECT_EQ(PteTagOf(p), PteTag::kLocal);
   EXPECT_EQ(PtePayload(p & ~(kPteAccessed | kPteDirty)), 9u);
+}
+
+TEST(Pte, TierTagIsDistinctFromEveryOtherState) {
+  // kTier is a non-present software state: it must never read as local
+  // (mapped), and sticky accessed/dirty bits must not morph it into one.
+  Pte t = MakeTierPte(42);
+  EXPECT_NE(PteTagOf(t), PteTag::kLocal);
+  EXPECT_NE(PteTagOf(t), PteTag::kRemote);
+  EXPECT_NE(PteTagOf(t), PteTag::kFetching);
+  EXPECT_NE(PteTagOf(t), PteTag::kAction);
+  EXPECT_EQ(PteTagOf(t | kPteAccessed | kPteDirty), PteTag::kTier);
 }
 
 TEST(PageTable, GetOnEmptyReturnsZero) {
