@@ -91,6 +91,7 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
   if (vectored) {
     // Fan the vectored write-back out to every live replica of the page.
     router_.WriteQps(/*core=*/0, CommChannel::kManager, page_va, &write_qps_, &write_nodes_);
+    int ok = 0;
     for (size_t i = 0; i < write_qps_.size(); ++i) {
       QueuePair* qp = write_qps_[i];
       WorkRequest wr;
@@ -113,9 +114,18 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
       router_.fabric().node(write_nodes_[i]).store().DropChecksum(page_va >> kPageShift);
       stats_.vectored_ops++;
       stats_.bytes_written += wr.TotalBytes();
+      ++ok;
     }
     stats_.writebacks++;
     tracer_->Record(now, TraceEvent::kWriteback, page_va, 1);
+    // Same contract as WriteBackFull(): only a write-back some replica
+    // accepted may clear the dirty bit. With every segment write dropped
+    // (total partition) the frame is still the only current copy, and an
+    // action PTE recorded now would refetch segments that were never
+    // written — a lost update dressed up as a clean page.
+    if (ok == 0) {
+      return;
+    }
     // Remember the valid extents so eviction produces an action PTE.
     auto old = vector_cleaned_.find(page_va);
     if (old != vector_cleaned_.end()) {
@@ -495,9 +505,18 @@ bool PageManager::EvictOne(uint64_t now, uint64_t pinned_va) {
     if (tier_ != nullptr && TierAdmit(page_va, e, now)) {
       return true;
     }
-    // Ensure the memory-node copy is current.
+    // Ensure the memory-node copy is current. Clean() deliberately keeps
+    // the dirty bit when no replica accepted the write-back (total
+    // partition): this frame is then the only current copy, and freeing it
+    // would discard the page. Requeue such a victim and keep scanning —
+    // clean pages (whose remote copy is current) remain evictable.
     if (*e & kPteDirty) {
       Clean(page_va, e, now);
+      if (*e & kPteDirty) {
+        lru_.push_back(page_va);
+        where_[page_va] = std::prev(lru_.end());
+        continue;
+      }
     }
     uint32_t frame = static_cast<uint32_t>(PtePayload(*e));
     auto vec = vector_cleaned_.find(page_va);
@@ -572,10 +591,16 @@ bool PageManager::TierEvictOne(uint64_t now) {
   }
   if (dirty) {
     // The tier may only drop content that has reached remote redundancy:
-    // drain the deferred write-back first. If no replica accepts it (every
-    // node down or partitioned), keep the entry and requeue it — the tier
-    // stays the only copy until a later tick succeeds.
-    if (!tier_->Read(va, tier_buf_) || !WriteBackFull(va, tier_buf_, now)) {
+    // drain the deferred write-back first. A blob that no longer
+    // decompresses (in-DRAM rot) can never drain — drop it rather than
+    // wedge eviction behind it forever. If no replica accepts the write
+    // (every node down or partitioned), keep the entry and requeue it —
+    // the tier stays the only copy until a later tick succeeds.
+    if (!tier_->Read(va, tier_buf_)) {
+      TierDropCorrupt(va, now);
+      return true;
+    }
+    if (!WriteBackFull(va, tier_buf_, now)) {
       tier_->Requeue(va);
       return false;
     }
@@ -588,6 +613,19 @@ bool PageManager::TierEvictOne(uint64_t now) {
   return true;
 }
 
+void PageManager::TierDropCorrupt(uint64_t va, uint64_t now) {
+  // A compressed blob that fails decompression holds nothing recoverable:
+  // leaving it would leak its pool blocks against the capacity budget and
+  // wedge LRU eviction on a Read() that can never succeed. Drop it and
+  // fall back to the remote copy — which, for a dirty entry, misses the
+  // deferred write-back: that loss is exactly what this counter makes
+  // observable.
+  tier_->Drop(va);
+  *pt_.Entry(va, true) = MakeRemotePte(va >> kPageShift);
+  stats_.tier_corrupt_drops++;
+  tracer_->Record(now, TraceEvent::kTierCorrupt, va);
+}
+
 void PageManager::TierTick(uint64_t now) {
   if (tier_ == nullptr) {
     return;
@@ -597,7 +635,11 @@ void PageManager::TierTick(uint64_t now) {
   tier_dirty_scratch_.clear();
   tier_->CollectDirty(tier_->config().clean_batch, &tier_dirty_scratch_);
   for (uint64_t va : tier_dirty_scratch_) {
-    if (tier_->Read(va, tier_buf_) && WriteBackFull(va, tier_buf_, now)) {
+    if (!tier_->Read(va, tier_buf_)) {
+      TierDropCorrupt(va, now);  // Undecompressable: it can never drain.
+      continue;
+    }
+    if (WriteBackFull(va, tier_buf_, now)) {
       tier_->MarkClean(va);
     }
   }
@@ -646,7 +688,11 @@ uint32_t PageManager::AllocFrame(Clock& clk, LatencyBreakdown* bd) {
     while (!fid.has_value()) {
       uint64_t admitted_before = stats_.tier_stored_pages;
       if (!EvictOne(clk.now())) {
-        break;  // Nothing evictable: the pool is truly exhausted.
+        // Nothing evictable: the pool is exhausted and every resident page
+        // is pinned — or dirty with no replica accepting write-backs, in
+        // which case no frame can be freed without discarding a sole copy.
+        // fid.value() below then fails loudly rather than corrupt silently.
+        break;
       }
       uint64_t reclaim_ns = cfg_.direct_reclaim_ns;
       if (stats_.tier_stored_pages != admitted_before) {

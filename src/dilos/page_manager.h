@@ -111,6 +111,9 @@ class PageManager {
   // write-back first); false when the tier is empty or the write-back
   // found no live replica (the entry is kept and requeued).
   bool TierEvictOne(uint64_t now);
+  // Drops a tier entry whose blob no longer decompresses (in-DRAM rot),
+  // pointing the PTE back at the remote copy and counting the loss.
+  void TierDropCorrupt(uint64_t va, uint64_t now);
   // Background tier maintenance: drain a batch of deferred write-backs and
   // trim the pool back under its capacity budget.
   void TierTick(uint64_t now);

@@ -255,15 +255,16 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
         exclude = t.node;
         continue;
       }
-      if (segs == nullptr &&
-          PageIsStale(fabric_.node(t.node).store(), page_va,
+      if (PageIsStale(fabric_.node(t.node).store(), page_va,
                       router_.PageGeneration(page_va))) {
         // Verified-but-stale arrival: the copy's checksum matches its bytes,
         // but its write generation lags the cleaner's expected one — it
         // missed at least one full write-back round (dropped behind a
         // partition). Steer to a fresh replica or the EC survivors; the
         // successful fetch then heals this copy with current bytes and
-        // generation.
+        // generation. Generations are pure store-side metadata, so unlike
+        // the checksum checks above this applies to vectored (action-PTE)
+        // refetches too — only the byte-level heal stays full-page-only.
         stats_.stale_copies_detected++;
         stats_.refetches++;
         ++mismatch_attempts;
@@ -642,9 +643,19 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
       uint32_t frame = pm_.AllocFrame(clk, &bd);
       bool was_dirty = false;
+      bool present = tier_ != nullptr && tier_->Contains(page_va);
       if (tier_ == nullptr || !tier_->Take(page_va, pool_.Data(frame), &was_dirty)) {
-        // Defensive: a tier PTE without a tier entry should not happen; fall
-        // back to the remote copy (re-faulting charges the exception again).
+        if (present) {
+          // The entry existed but its blob failed decompression (in-DRAM
+          // rot): Take() dropped it. The remote copy serves the fault —
+          // minus any deferred write-back the entry still carried; the
+          // counter is what makes that loss observable.
+          stats_.tier_corrupt_drops++;
+          tracer_.Record(clk.now(), TraceEvent::kTierCorrupt, page_va);
+        }
+        // Otherwise defensive: a tier PTE without a tier entry should not
+        // happen. Either way fall back to the remote copy (re-faulting
+        // charges the exception again).
         pool_.Free(frame);
         stats_.tier_hits--;
         stats_.minor_faults--;

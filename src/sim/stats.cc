@@ -175,13 +175,14 @@ std::string RuntimeStats::ToString() const {
       tier_bypass_incompressible != 0) {
     std::snprintf(buf, sizeof(buf),
                   "tier: hits=%llu misses=%llu stored=%llu bypassed=%llu evicted=%llu "
-                  "compressed-bytes=%llu\n",
+                  "compressed-bytes=%llu corrupt-drops=%llu\n",
                   static_cast<unsigned long long>(tier_hits),
                   static_cast<unsigned long long>(tier_misses),
                   static_cast<unsigned long long>(tier_stored_pages),
                   static_cast<unsigned long long>(tier_bypass_incompressible),
                   static_cast<unsigned long long>(tier_evictions),
-                  static_cast<unsigned long long>(tier_compressed_bytes));
+                  static_cast<unsigned long long>(tier_compressed_bytes),
+                  static_cast<unsigned long long>(tier_corrupt_drops));
     out += buf;
   }
   return out + fault_breakdown.ToString();

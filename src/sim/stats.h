@@ -131,6 +131,7 @@ struct RuntimeStats {
   uint64_t tier_bypass_incompressible = 0;  // Evictions too dense for the tier.
   uint64_t tier_evictions = 0;              // Tier-pressure evictions pushed remote.
   uint64_t tier_compressed_bytes = 0;       // Compressed payload bytes admitted.
+  uint64_t tier_corrupt_drops = 0;          // Blobs that failed decompression, dropped.
 
   LatencyBreakdown fault_breakdown;
 

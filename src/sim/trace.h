@@ -45,9 +45,10 @@ enum class TraceEvent : uint8_t {
   kGrayClear,         // A gray-suspected node's latency recovered.
   kRepairNoTarget,    // A degraded granule found no legal rebuild target.
   // Compressed local tier (src/tier).
-  kTierHit,    // Fault served by local decompression (detail: 1 if dirty).
-  kTierAdmit,  // Evicted page compressed into the tier (detail: csize).
-  kTierEvict,  // Tier pressure pushed a compressed page remote.
+  kTierHit,      // Fault served by local decompression (detail: 1 if dirty).
+  kTierAdmit,    // Evicted page compressed into the tier (detail: csize).
+  kTierEvict,    // Tier pressure pushed a compressed page remote.
+  kTierCorrupt,  // A blob failed decompression and was dropped (content lost).
   // Write-generation staleness (src/recovery/integrity.h): a verified-but-
   // stale copy (missed write-backs behind a partition) was detected and
   // bypassed. detail carries the node id.
@@ -110,6 +111,8 @@ inline const char* TraceEventName(TraceEvent e) {
       return "tier-admit";
     case TraceEvent::kTierEvict:
       return "tier-evict";
+    case TraceEvent::kTierCorrupt:
+      return "tier-corrupt";
     case TraceEvent::kStaleCopy:
       return "stale-copy";
   }

@@ -39,6 +39,13 @@ bool CompressedTier::Take(uint64_t page_va, uint8_t* out, bool* was_dirty) {
   }
   const Entry& e = it->second;
   if (TierDecompress(pool_.Data(e.h), e.csize, out, kPageSize) != kPageSize) {
+    // Corrupt blob: the content is unrecoverable, so keeping the entry
+    // would only leak its pool blocks against the capacity budget and fail
+    // every later Take()/Read() the same way. Drop it; the caller falls
+    // back to the remote copy and accounts the loss.
+    pool_.Free(e.h, e.csize);
+    lru_.erase(e.lru_it);
+    entries_.erase(it);
     return false;
   }
   if (was_dirty != nullptr) {

@@ -67,12 +67,27 @@ class CompressedTier {
 
   // Decompresses the entry into `out` (kPageSize bytes) and removes it —
   // the fault path's exclusive promotion back to DRAM. `*was_dirty` reports
-  // the deferred-write-back flag. False if absent or the blob is corrupt
-  // (never happens for blobs this tier wrote).
+  // the deferred-write-back flag. False if absent, or if the blob fails to
+  // decompress (in-DRAM rot) — in that case the entry is dropped too, so a
+  // corrupt blob neither leaks pool blocks nor fails every later call.
   bool Take(uint64_t page_va, uint8_t* out, bool* was_dirty);
 
   // Decompresses without removing (write-back drains read through this).
+  // False on a corrupt blob; the entry is left for the caller to drop.
   bool Read(uint64_t page_va, uint8_t* out) const;
+
+  // Read-only view of the stored compressed blob (debug/introspection);
+  // null when absent. Valid until the entry is removed.
+  const uint8_t* BlobData(uint64_t page_va, uint32_t* csize) const {
+    auto it = entries_.find(page_va);
+    if (it == entries_.end()) {
+      return nullptr;
+    }
+    if (csize != nullptr) {
+      *csize = it->second.csize;
+    }
+    return pool_.Data(it->second.h);
+  }
 
   void MarkClean(uint64_t page_va);
 

@@ -467,6 +467,113 @@ TEST(ChaosPartition, StaleButVerifiedCopyIsDetectedByGeneration) {
   EXPECT_EQ(sweep_salted(0xBBBB), 0u);
 }
 
+TEST(ChaosPartition, TotalPartitionNeverEvictsTheOnlyCopy) {
+  // Every replica of every page refuses writes (single node, inbound
+  // partition): a dirty page's frame is then the only current copy of the
+  // page. The reclaimer must keep such victims resident — clean pages,
+  // whose remote copy is current, are the only legal victims — because an
+  // eviction would resurface the pre-partition bytes (or zeros) on the
+  // refault.
+  Fabric fabric(CostModel::Default(), 1);
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 64 * kPageSize;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 128;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);  // Phase 1: healthy write-backs land.
+  ASSERT_EQ(VerifySweep(rt, region, pages), 0u);
+
+  FaultPlan plan;  // Phase 2: nothing written reaches the node anymore.
+  plan.specs.push_back({0, FaultKind::kPartitionIn, 1.0, 1.0, 0, UINT64_MAX});
+  fabric.set_fault_plan(plan);
+  const uint64_t dirtied = 24;
+  for (uint64_t p = 0; p < dirtied; ++p) {
+    rt.Write<uint64_t>(region + p * kPageSize, p ^ 0xFEED);
+  }
+  // Eviction pressure: sweep the remaining pages twice through 64 frames.
+  for (int round = 0; round < 2; ++round) {
+    for (uint64_t p = dirtied; p < pages; ++p) {
+      rt.Read<uint64_t>(region + p * kPageSize);
+    }
+  }
+  for (uint64_t p = 0; p < dirtied; ++p) {
+    EXPECT_EQ(rt.Read<uint64_t>(region + p * kPageSize), p ^ 0xFEED)
+        << "page " << p << " was evicted while its write-back could not land";
+  }
+
+  fabric.set_fault_plan(FaultPlan{});  // Phase 3: the partition lifts.
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t p = dirtied; p < pages; ++p) {
+      rt.Read<uint64_t>(region + p * kPageSize);  // Background drains cleans.
+    }
+  }
+  for (uint64_t p = 0; p < dirtied; ++p) {
+    EXPECT_EQ(rt.Read<uint64_t>(region + p * kPageSize), p ^ 0xFEED);
+  }
+  for (uint64_t p = dirtied; p < pages; ++p) {
+    EXPECT_EQ(rt.Read<uint64_t>(region + p * kPageSize), p ^ 0xD15C0);
+  }
+  EXPECT_EQ(rt.stats().failed_fetches, 0u);
+}
+
+// Guide that reports the same live segments for every page: drives the
+// vectored write-back / action-PTE eviction path without the full
+// allocator machinery. Segment 0 covers the test payload at offset 0.
+class FixedSegsGuide : public Guide {
+ public:
+  bool LiveSegments(uint64_t, std::vector<PageSegment>* segs) override {
+    segs->assign({{0, 64}, {256, 64}});
+    return true;
+  }
+};
+
+TEST(ChaosPartition, TotalPartitionKeepsVectoredDirtyPagesResident) {
+  // The same durability bar for guided (vectored) write-backs: when every
+  // replica drops the segment writes, Clean() must neither clear the dirty
+  // bit nor record an action vector — an eviction would then install an
+  // action PTE whose segments were never written remotely, and the refault
+  // would read the pre-partition bytes.
+  Fabric fabric(CostModel::Default(), 1);
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 64 * kPageSize;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  FixedSegsGuide guide;
+  rt.set_guide(&guide);
+  const uint64_t pages = 128;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);  // Phase 1: vectored write-backs land.
+  ASSERT_EQ(VerifySweep(rt, region, pages), 0u);
+  ASSERT_GT(rt.stats().vectored_ops, 0u) << "the guide must force the vectored path";
+
+  FaultPlan plan;  // Phase 2: every segment write toward the node drops.
+  plan.specs.push_back({0, FaultKind::kPartitionIn, 1.0, 1.0, 0, UINT64_MAX});
+  fabric.set_fault_plan(plan);
+  const uint64_t dirtied = 24;
+  for (uint64_t p = 0; p < dirtied; ++p) {
+    rt.Write<uint64_t>(region + p * kPageSize, p ^ 0xFEED);
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (uint64_t p = dirtied; p < pages; ++p) {
+      rt.Read<uint64_t>(region + p * kPageSize);
+    }
+  }
+  for (uint64_t p = 0; p < dirtied; ++p) {
+    EXPECT_EQ(rt.Read<uint64_t>(region + p * kPageSize), p ^ 0xFEED)
+        << "page " << p << ": a vectored clean that landed nowhere licensed eviction";
+  }
+
+  fabric.set_fault_plan(FaultPlan{});  // Phase 3: the partition lifts.
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t p = dirtied; p < pages; ++p) {
+      rt.Read<uint64_t>(region + p * kPageSize);
+    }
+  }
+  for (uint64_t p = 0; p < dirtied; ++p) {
+    EXPECT_EQ(rt.Read<uint64_t>(region + p * kPageSize), p ^ 0xFEED);
+  }
+  EXPECT_EQ(rt.stats().failed_fetches, 0u);
+}
+
 // -- Repair observability + pipelining ----------------------------------------
 
 TEST(ChaosRepair, NoLegalTargetIsCountedAndTraced) {

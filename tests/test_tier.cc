@@ -5,6 +5,7 @@
 // and a 32-seed chaos soak with the tier enabled.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -301,6 +302,32 @@ TEST(TierPolicy, ReadmittingAPageReplacesItsContent) {
   EXPECT_EQ(std::memcmp(out, b.data(), kPageSize), 0);
 }
 
+TEST(TierPolicy, CorruptBlobIsDroppedOnTakeNotLeaked) {
+  CompressedTier tier(TierConfig{});
+  auto page = CompressiblePage(9);
+  uint32_t csize = 0;
+  ASSERT_EQ(tier.AdmitPage(0x1000, page.data(), /*dirty=*/true, &csize),
+            CompressedTier::Admit::kStored);
+  uint32_t n = 0;
+  const uint8_t* blob = tier.BlobData(0x1000, &n);
+  ASSERT_NE(blob, nullptr);
+  // Simulate in-DRAM rot: a run of match tags whose distances reach before
+  // the start of the output can never decompress to a full page.
+  std::memset(const_cast<uint8_t*>(blob), 0x80, n);
+
+  uint8_t out[kPageSize];
+  bool dirty = false;
+  EXPECT_FALSE(tier.Take(0x1000, out, &dirty));
+  EXPECT_FALSE(tier.Contains(0x1000)) << "a corrupt entry must be dropped, not kept";
+  EXPECT_EQ(tier.stored_pages(), 0u);
+  EXPECT_EQ(tier.block_bytes(), 0u) << "the corrupt blob's pool blocks leaked";
+  // The slot is reusable afterwards.
+  ASSERT_EQ(tier.AdmitPage(0x1000, page.data(), false, &csize),
+            CompressedTier::Admit::kStored);
+  EXPECT_TRUE(tier.Take(0x1000, out, &dirty));
+  EXPECT_EQ(std::memcmp(out, page.data(), kPageSize), 0);
+}
+
 TEST(TierPolicy, CapacityBudgetTracksBlockBytes) {
   TierConfig cfg;
   cfg.capacity_bytes = 2 * kTierClassStep;
@@ -468,6 +495,43 @@ TEST(TierRuntime, PartitionedWriteBacksKeepDirtyPagesInTheTier) {
   EXPECT_GT(rt.tier()->stored_pages(), 0u);
   EXPECT_TRUE(rt.tier()->OverCapacity())
       << "with every write-back dropped, trimming must stall rather than drop data";
+}
+
+TEST(TierRuntime, CorruptBlobFallsBackToRemoteAndCountsTheDrop) {
+  Fabric fabric(CostModel::Default(), 1);
+  DilosConfig cfg = TierConfigured();
+  cfg.trace_capacity = 1 << 16;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 256;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);
+
+  // Pick a tier-resident page whose deferred write-back already drained:
+  // its remote copy is current, so the fault must still read correct bytes
+  // after the blob rots in DRAM.
+  std::vector<uint64_t> dirty_vas;
+  rt.tier()->CollectDirty(rt.tier()->stored_pages(), &dirty_vas);
+  uint64_t victim = 0;
+  for (uint64_t p = 0; p < pages && victim == 0; ++p) {
+    uint64_t va = region + p * kPageSize;
+    if (PteTagOf(rt.page_table().Get(va)) == PteTag::kTier &&
+        std::find(dirty_vas.begin(), dirty_vas.end(), va) == dirty_vas.end()) {
+      victim = va;
+    }
+  }
+  ASSERT_NE(victim, 0u) << "expected a clean tier-resident page after populate";
+  uint32_t n = 0;
+  const uint8_t* blob = rt.tier()->BlobData(victim, &n);
+  ASSERT_NE(blob, nullptr);
+  std::memset(const_cast<uint8_t*>(blob), 0x80, n);  // In-DRAM rot.
+
+  uint64_t p = (victim - region) / kPageSize;
+  EXPECT_EQ(rt.Read<uint64_t>(victim), p ^ 0xD15C0)
+      << "the remote copy must serve the fault once the blob is corrupt";
+  EXPECT_EQ(rt.stats().tier_corrupt_drops, 1u);
+  EXPECT_FALSE(rt.tier()->Contains(victim)) << "the corrupt entry must not linger";
+  EXPECT_GT(rt.tracer().Count(TraceEvent::kTierCorrupt), 0u);
+  EXPECT_EQ(rt.stats().failed_fetches, 0u);
 }
 
 TEST(TierRuntime, FreeRegionDropsTierEntries) {
