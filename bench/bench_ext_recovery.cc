@@ -114,6 +114,16 @@ void RunAll() {
                 static_cast<unsigned long long>(r.repair_p50),
                 static_cast<unsigned long long>(r.repair_p99), r.repair_mb_s, r.repair_ms,
                 static_cast<unsigned long long>(r.failed));
+    BenchJson& j = BenchJson::Instance();
+    j.BeginRecord("ext_recovery.throttle");
+    j.Config("repair_bytes_per_tick", throttles[i]);
+    j.Metric("healthy_p50_ns", r.healthy_p50);
+    j.Metric("healthy_p99_ns", r.healthy_p99);
+    j.Metric("repair_p50_ns", r.repair_p50);
+    j.Metric("repair_p99_ns", r.repair_p99);
+    j.Metric("repair_mb_s", r.repair_mb_s);
+    j.Metric("repair_ms", r.repair_ms);
+    j.Metric("pages_lost", r.failed);
   }
   std::printf("\n");
 
@@ -136,6 +146,15 @@ void RunAll() {
                 r.repair_mb_s, r.repair_ms, static_cast<unsigned long long>(r.repair_p99),
                 static_cast<unsigned long long>(r.failed),
                 serial_mb_s > 0 ? r.repair_mb_s / serial_mb_s : 0.0);
+    BenchJson& j = BenchJson::Instance();
+    j.BeginRecord("ext_recovery.pipelining");
+    j.Config("pipeline_depth", static_cast<uint64_t>(depths[i]));
+    j.Config("repair_bytes_per_tick", static_cast<uint64_t>(2ULL << 20));
+    j.Metric("repair_mb_s", r.repair_mb_s);
+    j.Metric("repair_ms", r.repair_ms);
+    j.Metric("repair_p99_ns", r.repair_p99);
+    j.Metric("pages_lost", r.failed);
+    j.Metric("vs_serial", serial_mb_s > 0 ? r.repair_mb_s / serial_mb_s : 0.0);
   }
   std::printf("\n");
 }
@@ -143,7 +162,8 @@ void RunAll() {
 }  // namespace
 }  // namespace dilos
 
-int main() {
+int main(int argc, char** argv) {
+  dilos::BenchParseArgs(argc, argv);
   dilos::RunAll();
-  return 0;
+  return dilos::BenchJson::Instance().Flush() ? 0 : 1;
 }

@@ -149,6 +149,16 @@ void RunMissLatency() {
                 static_cast<unsigned long long>(r.tier_p99),
                 static_cast<unsigned long long>(r.remote_p50),
                 static_cast<unsigned long long>(r.remote_p99), r.ratio);
+    BenchJson& j = BenchJson::Instance();
+    j.BeginRecord("ext_tier.miss_latency");
+    j.Config("fabric", p.name);
+    j.Config("cores", static_cast<uint64_t>(p.cores));
+    j.Config("working_set_bytes", WorkingSetBytes());
+    j.Metric("tier_p50_ns", r.tier_p50);
+    j.Metric("tier_p99_ns", r.tier_p99);
+    j.Metric("remote_p50_ns", r.remote_p50);
+    j.Metric("remote_p99_ns", r.remote_p99);
+    j.Metric("speedup", r.ratio);
   }
   std::printf("\n");
 }
@@ -187,6 +197,16 @@ void RunCapacity() {
                 static_cast<double>(logical) / 1e6, static_cast<double>(dram) / 1e6, comp,
                 static_cast<unsigned long long>(rt.stats().tier_bypass_incompressible),
                 gain);
+    BenchJson& j = BenchJson::Instance();
+    j.BeginRecord("ext_tier.capacity");
+    j.Config("random_frac", frac);
+    j.Config("working_set_bytes", ws);
+    j.Metric("stored_pages", tier.stored_pages());
+    j.Metric("logical_bytes", logical);
+    j.Metric("tier_dram_bytes", dram);
+    j.Metric("compression_ratio", comp);
+    j.Metric("bypassed", rt.stats().tier_bypass_incompressible);
+    j.Metric("capacity_gain", gain);
   }
   std::printf("\n");
 }
@@ -231,6 +251,15 @@ void RunTraffic() {
                 static_cast<double>(rt.stats().bytes_written) / 1e6,
                 static_cast<unsigned long long>(rt.stats().writebacks),
                 static_cast<double>(rt.MaxTimeNs()) / 1e6);
+    BenchJson& j = BenchJson::Instance();
+    j.BeginRecord("ext_tier.traffic");
+    j.Config("tier", std::string(tier_on ? "on" : "off"));
+    j.Config("ops", ops);
+    j.Metric("tier_hits", rt.stats().tier_hits);
+    j.Metric("bytes_fetched", rt.stats().bytes_fetched);
+    j.Metric("bytes_written", rt.stats().bytes_written);
+    j.Metric("writebacks", rt.stats().writebacks);
+    j.Metric("runtime_ms", static_cast<double>(rt.MaxTimeNs()) / 1e6);
   }
   std::printf("\n");
 }
@@ -245,11 +274,7 @@ void RunAll() {
 }  // namespace dilos
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--short") {
-      dilos::g_short = true;
-    }
-  }
+  dilos::BenchParseArgs(argc, argv, &dilos::g_short);
   dilos::RunAll();
-  return 0;
+  return dilos::BenchJson::Instance().Flush() ? 0 : 1;
 }

@@ -49,6 +49,14 @@ void Run() {
                 static_cast<double>(get_p99) / 1000.0, static_cast<double>(get_p999) / 1000.0,
                 static_cast<double>(lr_p99) / 1000.0, static_cast<double>(lr_p999) / 1000.0);
     std::fflush(stdout);
+    BenchJson& j = BenchJson::Instance();
+    j.BeginRecord("table4.tail_latency");
+    j.Config("system", RedisSystemName(sys));
+    j.Config("local_fraction", 0.125);
+    j.Metric("get_p99_ns", get_p99);
+    j.Metric("get_p999_ns", get_p999);
+    j.Metric("lrange_p99_ns", lr_p99);
+    j.Metric("lrange_p999_ns", lr_p999);
   }
   std::printf("\n");
 }
@@ -56,7 +64,8 @@ void Run() {
 }  // namespace
 }  // namespace dilos
 
-int main() {
+int main(int argc, char** argv) {
+  dilos::BenchParseArgs(argc, argv);
   dilos::Run();
-  return 0;
+  return dilos::BenchJson::Instance().Flush() ? 0 : 1;
 }

@@ -8,9 +8,12 @@
 #ifndef DILOS_BENCH_COMMON_H_
 #define DILOS_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/dilos/readahead.h"
 #include "src/dilos/runtime.h"
@@ -18,6 +21,117 @@
 #include "src/fastswap/fastswap.h"
 
 namespace dilos {
+
+// Machine-readable bench output (--json <path>): the printed tables stay the
+// human interface, but each row is also captured as a
+// {bench, config, metrics} record and written as a JSON array at exit, so CI
+// can archive the run (the BENCH_*.json trajectory) and trend it across
+// commits.
+class BenchJson {
+ public:
+  static BenchJson& Instance() {
+    static BenchJson j;
+    return j;
+  }
+
+  void Open(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  // Starts one record, e.g. BeginRecord("ext_tier.miss_latency").
+  void BeginRecord(const std::string& bench) {
+    if (!enabled()) {
+      return;
+    }
+    records_.push_back(Record{bench, {}, {}});
+  }
+
+  void Config(const std::string& key, const std::string& value) {
+    Append(&ConfigOf(), key, "\"" + value + "\"");
+  }
+  void Config(const std::string& key, double value) { Append(&ConfigOf(), key, Num(value)); }
+  void Config(const std::string& key, uint64_t value) {
+    Append(&ConfigOf(), key, std::to_string(value));
+  }
+  void Metric(const std::string& key, double value) { Append(&MetricsOf(), key, Num(value)); }
+  void Metric(const std::string& key, uint64_t value) {
+    Append(&MetricsOf(), key, std::to_string(value));
+  }
+
+  // Writes the accumulated records; returns false (with a note on stderr)
+  // when the file cannot be opened. Called once from main after all rows.
+  bool Flush() {
+    if (!enabled()) {
+      return true;
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "  {\"bench\": \"%s\", \"config\": {%s}, \"metrics\": {%s}}%s\n",
+                   r.bench.c_str(), Join(r.config).c_str(), Join(r.metrics).c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string bench;
+    std::vector<std::string> config;   // Pre-rendered "\"key\": value" pairs.
+    std::vector<std::string> metrics;
+  };
+
+  std::vector<std::string>& ConfigOf() { return records_.back().config; }
+  std::vector<std::string>& MetricsOf() { return records_.back().metrics; }
+
+  void Append(std::vector<std::string>* list, const std::string& key,
+              const std::string& rendered) {
+    if (!enabled() || records_.empty()) {
+      return;
+    }
+    list->push_back("\"" + key + "\": " + rendered);
+  }
+
+  static std::string Num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  static std::string Join(const std::vector<std::string>& parts) {
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      out += parts[i];
+      if (i + 1 < parts.size()) {
+        out += ", ";
+      }
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Record> records_;
+};
+
+// Common bench flags: --json <path> (machine-readable output, see BenchJson)
+// and --short (reduced iteration counts for CI smoke runs; ignored when
+// `short_flag` is null). Unknown arguments are left alone.
+inline void BenchParseArgs(int argc, char** argv, bool* short_flag = nullptr) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      BenchJson::Instance().Open(argv[i + 1]);
+      ++i;
+    } else if (short_flag != nullptr && std::strcmp(argv[i], "--short") == 0) {
+      *short_flag = true;
+    }
+  }
+}
 
 enum class DilosVariant { kNoPrefetch, kReadahead, kTrend };
 

@@ -22,6 +22,25 @@ enum class CommChannel : uint8_t {
   kCount,
 };
 
+// Telemetry label for a channel's QPs (src/telemetry/metrics.h). kManager
+// maps to "cleaner" — write-back/parity/scrub traffic, named for its
+// dominant producer.
+inline QpClass QpClassForChannel(CommChannel ch) {
+  switch (ch) {
+    case CommChannel::kFault:
+      return QpClass::kFault;
+    case CommChannel::kPrefetch:
+      return QpClass::kPrefetch;
+    case CommChannel::kManager:
+      return QpClass::kCleaner;
+    case CommChannel::kGuide:
+      return QpClass::kGuide;
+    case CommChannel::kCount:
+      break;
+  }
+  return QpClass::kOther;
+}
+
 class CommModule {
  public:
   // `shared_queue` collapses all modules onto one QP per core — the
@@ -30,9 +49,11 @@ class CommModule {
       : shared_(shared_queue) {
     qps_.resize(static_cast<size_t>(num_cores));
     for (auto& per_core : qps_) {
-      per_core[0] = fabric.CreateQp();
+      per_core[0] = fabric.CreateQp(0, QpClass::kFault);
       for (size_t ch = 1; ch < per_core.size(); ++ch) {
-        per_core[ch] = shared_ ? per_core[0] : fabric.CreateQp();
+        per_core[ch] = shared_ ? per_core[0]
+                               : fabric.CreateQp(0, QpClassForChannel(
+                                                        static_cast<CommChannel>(ch)));
       }
     }
   }

@@ -1,5 +1,7 @@
 #include "src/dilos/runtime.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/recovery/ec_read.h"
@@ -130,6 +132,46 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
     detector_->set_readmit_observer(
         [this](int node, uint64_t now_ns) { repair_->OnNodeReadmitted(node, now_ns); });
   }
+  if (cfg_.telemetry.enabled()) {
+    telemetry_ = std::make_unique<Telemetry>(cfg_.telemetry, fabric.num_nodes());
+    metrics_registry_ = telemetry_->metrics();
+    flight_ = telemetry_->flight();
+    if (metrics_registry_ != nullptr) {
+      // QPs (created above, via the router/detector/repair ctors) hold a
+      // pointer to the fabric's registry slot, so installing now covers them.
+      fabric_.set_metrics(metrics_registry_);
+    }
+    if (flight_ != nullptr) {
+      tracer_.set_sink(flight_);
+    }
+    if (telemetry_->distributions() != nullptr) {
+      stats_.fault_breakdown.set_distributions(telemetry_->distributions());
+    }
+    if (cfg_.telemetry.span_capacity != 0) {
+      tracer_.EnableSpans(cfg_.telemetry.span_capacity);
+    }
+  }
+}
+
+DilosRuntime::~DilosRuntime() {
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  if (metrics_registry_ != nullptr && fabric_.metrics() == metrics_registry_) {
+    fabric_.set_metrics(nullptr);  // The fabric may outlive this runtime.
+  }
+  tracer_.set_sink(nullptr);
+  stats_.fault_breakdown.set_distributions(nullptr);
+  if (telemetry_->config().check_invariants) {
+    std::vector<std::string> violations =
+        CheckStatsInvariants(stats_, /*tier_enabled=*/tier_ != nullptr);
+    if (!violations.empty()) {
+      for (const std::string& v : violations) {
+        std::fprintf(stderr, "RuntimeStats invariant violated: %s\n", v.c_str());
+      }
+      std::abort();
+    }
+  }
 }
 
 void DilosRuntime::RecoveryTick(uint64_t now) {
@@ -144,6 +186,11 @@ void DilosRuntime::RecoveryTick(uint64_t now) {
 void DilosRuntime::Background(uint64_t now, uint64_t pinned_va) {
   pm_.BackgroundTick(now, pinned_va);
   RecoveryTick(now);
+  if (flight_ != nullptr) {
+    // Anomaly check on the background hook: the recorder dumps at (nearly)
+    // the moment a loss counter first moves, not at shutdown.
+    flight_->MaybeTrigger(now, stats_, metrics_registry_);
+  }
 }
 
 void DilosRuntime::DriveRecovery(uint64_t duration_ns) {
@@ -206,6 +253,8 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
       }
       break;  // No readable replica left at all.
     }
+    uint32_t attempt_span = tracer_.BeginSpan(SpanKind::kFetchAttempt, *cursor_ns, page_va,
+                                              static_cast<uint32_t>(t.node));
     if (segs == nullptr) {
       c = t.qp->PostRead(++wr_id_, frame_addr, page_va, kPageSize, *cursor_ns);
     } else {
@@ -220,6 +269,7 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
       c = t.qp->PostSend(wr, *cursor_ns);
     }
     *cursor_ns = c.completion_time_ns;
+    tracer_.EndSpan(attempt_span, *cursor_ns);
     if (c.status == WcStatus::kSuccess) {
       if (segs == nullptr &&
           !VerifyPageBytes(fabric_.node(t.node).store(), page_va,
@@ -291,8 +341,16 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
     }
     ++timeout_attempts;
     stats_.fetch_retries++;
+    if (metrics_registry_ != nullptr) {
+      // The choke point saw the individual timed-out post; the *decision* to
+      // retry is runtime-level and attributed here.
+      metrics_registry_->OnRetry(t.node, QpClassForChannel(ch));
+    }
     router_.ReportOpFailure(t.node, *cursor_ns);
+    uint32_t backoff_span =
+        tracer_.BeginSpan(SpanKind::kRetryBackoff, *cursor_ns, page_va, timeout_attempts);
     *cursor_ns += backoff << (timeout_attempts - 1);  // Exponential backoff.
+    tracer_.EndSpan(backoff_span, *cursor_ns);
   }
   stats_.failed_fetches++;
   if (poisoned && segs == nullptr) {
@@ -315,9 +373,12 @@ void DilosRuntime::HealCorruptReplica(uint64_t page_va, int node, const uint8_t*
   PageStore& store = fabric_.node(node).store();
   // The healed copy carries the current expected generation: the bytes we
   // write are the ones the successful (fresh) fetch verified.
+  uint32_t heal_span = tracer_.BeginSpan(SpanKind::kHeal, issue_ns, page_va,
+                                         static_cast<uint32_t>(node));
   Completion c = WritePageChecked(router_.NodeQp(/*core=*/0, CommChannel::kManager, node),
                                   store, page_va, good, issue_ns, &wr_id_, stats_, &tracer_,
                                   router_.PageGeneration(page_va));
+  tracer_.EndSpan(heal_span, c.completion_time_ns);
   if (c.status != WcStatus::kSuccess) {
     router_.ReportOpFailure(node, c.completion_time_ns);
     return;
@@ -347,10 +408,14 @@ bool DilosRuntime::EcDemandReconstruct(uint64_t page_va, uint64_t frame_addr,
   int member = router_.EcMemberOf(granule);
   uint32_t page_idx = static_cast<uint32_t>((page_va & (kShardGranuleBytes - 1)) >> kPageShift);
   uint8_t page[kPageSize];
+  uint32_t decode_span = tracer_.BeginSpan(SpanKind::kEcDecode, *cursor_ns, page_va,
+                                           static_cast<uint32_t>(member));
   if (!EcReconstructPage(router_, cost_, core, ch, stripe, member, page_idx, page, cursor_ns,
                          &wr_id_, stats_, &tracer_)) {
+    tracer_.EndSpan(decode_span, *cursor_ns);
     return false;
   }
+  tracer_.EndSpan(decode_span, *cursor_ns);
   uint8_t* dst = reinterpret_cast<uint8_t*>(frame_addr);
   if (segs == nullptr) {
     std::memcpy(dst, page, kPageSize);
@@ -606,6 +671,7 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       // eviction time, zero the rest (it was dead to the allocator).
       stats_.major_faults++;
       tracer_.Record(clk.now(), TraceEvent::kActionFetch, page_va);
+      uint32_t fault_span = tracer_.BeginSpan(SpanKind::kFault, clk.now(), page_va);
       bd.CountEvent();
       bd.Add(LatComp::kHwException, cost_.hw_exception_ns);
       bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
@@ -629,6 +695,7 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       bd.Add(LatComp::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       DrainArrivals(clk.now());
       Background(clk.now(), page_va);
+      tracer_.EndSpan(fault_span, clk.now());
       break;
     }
 
@@ -638,6 +705,7 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       // RDMA round trip; that gap is the tier's entire point.
       stats_.minor_faults++;
       stats_.tier_hits++;
+      uint32_t fault_span = tracer_.BeginSpan(SpanKind::kFault, clk.now(), page_va);
       bd.CountEvent();
       bd.Add(LatComp::kHwException, cost_.hw_exception_ns);
       bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
@@ -660,10 +728,14 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
         stats_.tier_hits--;
         stats_.minor_faults--;
         *pt_.Entry(page_va, true) = MakeRemotePte(page_va >> kPageShift);
+        tracer_.EndSpan(fault_span, clk.now());
         return Pin(vaddr, len, write, core);
       }
+      uint32_t decompress_span =
+          tracer_.BeginSpan(SpanKind::kTierDecompress, clk.now(), page_va);
       clk.Advance(cost_.tier_decompress_page_ns);
       bd.Add(LatComp::kDecompress, cost_.tier_decompress_page_ns);
+      tracer_.EndSpan(decompress_span, clk.now());
       // A page admitted dirty whose deferred write-back has not drained yet
       // comes back dirty: its content still exists nowhere but here.
       *pt_.Entry(page_va, true) = MakeLocalPte(frame, true) | kPteAccessed |
@@ -674,6 +746,7 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       tracer_.Record(clk.now(), TraceEvent::kTierHit, page_va, was_dirty ? 1 : 0);
       DrainArrivals(clk.now());
       Background(clk.now(), page_va);
+      tracer_.EndSpan(fault_span, clk.now());
       break;
     }
 
@@ -685,6 +758,7 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
         stats_.tier_misses++;  // Cold miss the tier no longer holds (or never did).
       }
       tracer_.Record(clk.now(), TraceEvent::kMajorFault, page_va);
+      uint32_t fault_span = tracer_.BeginSpan(SpanKind::kFault, clk.now(), page_va);
       bd.CountEvent();
       bd.Add(LatComp::kHwException, cost_.hw_exception_ns);
       bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
@@ -722,6 +796,7 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       bd.Add(LatComp::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       DrainArrivals(clk.now());
+      tracer_.EndSpan(fault_span, clk.now());
       break;
     }
   }

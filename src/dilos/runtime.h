@@ -26,6 +26,7 @@
 #include "src/recovery/repair_manager.h"
 #include "src/sim/far_runtime.h"
 #include "src/sim/trace.h"
+#include "src/telemetry/telemetry.h"
 
 namespace dilos {
 
@@ -57,6 +58,11 @@ struct DilosConfig {
   size_t hit_tracker_window = 256;
   // Paging-event trace ring capacity (0 = tracing off).
   size_t trace_capacity = 0;
+  // Telemetry subsystem (src/telemetry): per-node fabric metrics, per-LatComp
+  // latency distributions, causal fault spans, flight recorder, invariant
+  // checks. The default (all off) changes nothing — same contract as
+  // trace_capacity == 0.
+  TelemetryConfig telemetry;
   // Chaos seed: nonzero reseeds the fabric's fault injector at construction,
   // so every probabilistic fault drawn during the run derives from this one
   // knob. Tests print it on failure; rerunning with the same seed replays
@@ -68,6 +74,11 @@ struct DilosConfig {
 class DilosRuntime : public FarRuntime {
  public:
   DilosRuntime(Fabric& fabric, DilosConfig cfg, std::unique_ptr<Prefetcher> prefetcher);
+  // Uninstalls telemetry hooks from the fabric and, when
+  // TelemetryConfig::check_invariants is set, audits the final counters
+  // (aborting on violation — telemetry-enabled tests double as accounting
+  // audits).
+  ~DilosRuntime() override;
 
   // -- FarRuntime ------------------------------------------------------------
   uint64_t AllocRegion(uint64_t bytes) override;
@@ -97,6 +108,10 @@ class DilosRuntime : public FarRuntime {
   RepairManager* repair() { return repair_.get(); }
   // Compressed tier (null unless cfg.tier.enabled).
   CompressedTier* tier() { return tier_.get(); }
+  // Telemetry (null unless cfg.telemetry.enabled()).
+  Telemetry* telemetry() { return telemetry_.get(); }
+  // Per-(node, QP class) fabric metrics (null unless cfg.telemetry.metrics).
+  MetricsRegistry* metrics() { return metrics_registry_; }
 
   // Runs detector probes and repair work at simulated time `now`. Called
   // from the same background hook as the cleaner/reclaimer; public so
@@ -175,6 +190,11 @@ class DilosRuntime : public FarRuntime {
   std::unique_ptr<FailureDetector> detector_;
   std::unique_ptr<RepairManager> repair_;
   std::unique_ptr<CompressedTier> tier_;
+  std::unique_ptr<Telemetry> telemetry_;
+  // Cached raw views into telemetry_ (null when off) so hot paths pay one
+  // pointer test, not a unique_ptr chain.
+  MetricsRegistry* metrics_registry_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   std::vector<int> replica_scratch_;  // ReplicaHasChecksumElsewhere scratch.
 
   std::unordered_map<uint64_t, Inflight> inflight_;  // Key: page vaddr.

@@ -99,7 +99,9 @@ class ShardRouter {
         per_core[ch].resize(static_cast<size_t>(num_nodes_));
         for (int n = 0; n < num_nodes_; ++n) {
           per_core[ch][static_cast<size_t>(n)] =
-              (shared_ && ch > 0) ? per_core[0][static_cast<size_t>(n)] : fabric.CreateQp(n);
+              (shared_ && ch > 0)
+                  ? per_core[0][static_cast<size_t>(n)]
+                  : fabric.CreateQp(n, QpClassForChannel(static_cast<CommChannel>(ch)));
         }
       }
     }

@@ -31,12 +31,22 @@ class Fabric {
     }
   }
 
-  QueuePair* CreateQp(int node = 0) {
+  // `cls` labels the module the QP will serve so the telemetry registry can
+  // key its counters by (node x class); callers that predate telemetry (and
+  // bare bench QPs) default to kOther.
+  QueuePair* CreateQp(int node = 0, QpClass cls = QpClass::kOther) {
     qps_.push_back(std::make_unique<QueuePair>(links_[static_cast<size_t>(node)].get(),
                                                &local_, &nodes_[static_cast<size_t>(node)]->mr(),
-                                               &injector_, node));
+                                               &injector_, node, cls, &metrics_));
     return qps_.back().get();
   }
+
+  // Installs (or, with nullptr, removes) the per-node metrics registry every
+  // QP reports into. QPs hold a pointer to this slot, so installation after
+  // QP creation — the normal order: runtime construction wires the router's
+  // QPs first, then enables telemetry — takes effect immediately.
+  void set_metrics(MetricsRegistry* m) { metrics_ = m; }
+  MetricsRegistry* metrics() { return metrics_; }
 
   // Crashes memory node `i`: every QP connected to it times out from now on.
   // Unlike ShardRouter::FailNode this is not an oracle declaration — the
@@ -64,6 +74,7 @@ class Fabric {
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<MemoryNode>> nodes_;
   IdentityResolver local_;
+  MetricsRegistry* metrics_ = nullptr;  // Telemetry registry; see set_metrics.
   std::vector<std::unique_ptr<QueuePair>> qps_;
 };
 

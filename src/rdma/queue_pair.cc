@@ -27,6 +27,20 @@ Completion QueuePair::Timeout(uint64_t wr_id, uint64_t now_ns) {
 }
 
 Completion QueuePair::PostSend(const WorkRequest& wr, uint64_t now_ns) {
+  Completion c = PostSendImpl(wr, now_ns);
+  // The telemetry choke point: one registry hook covers every op from every
+  // subsystem. metrics_ points at the fabric's slot, so a registry installed
+  // after this QP was created is still observed; unmetered QPs pay one test.
+  if (metrics_ != nullptr && *metrics_ != nullptr) {
+    bool ok = c.status == WcStatus::kSuccess;
+    (*metrics_)->OnOp(node_, cls_, wr.opcode == RdmaOpcode::kWrite, wr.TotalBytes(),
+                      ok ? c.completion_time_ns - now_ns : 0, ok,
+                      c.status == WcStatus::kTimeout);
+  }
+  return c;
+}
+
+Completion QueuePair::PostSendImpl(const WorkRequest& wr, uint64_t now_ns) {
   bool is_write = wr.opcode == RdmaOpcode::kWrite;
   OpFault fault;
   if (injector_ != nullptr && node_ >= 0) {

@@ -16,6 +16,7 @@
 #include "src/rdma/memory_region.h"
 #include "src/rdma/verbs.h"
 #include "src/sim/clock.h"
+#include "src/telemetry/metrics.h"
 
 namespace dilos {
 
@@ -65,15 +66,30 @@ class QueuePair {
   // `local` resolves compute-node buffer addresses; `remote_mr` is the
   // memory-node region this QP is connected to. `injector`/`node` connect
   // the QP to the fabric's fault plan (src/memnode/fault_injector.h); bare
-  // QPs built outside a Fabric run fault-free.
+  // QPs built outside a Fabric run fault-free. `cls` names the module this
+  // QP serves and `metrics` points at the fabric's registry slot — a
+  // double pointer, so a registry installed on the fabric after QP creation
+  // (Fabric::set_metrics) is still seen; both default to "unmetered".
   QueuePair(Link* link, AddressResolver* local, const MemoryRegion* remote_mr,
-            FaultInjector* injector = nullptr, int node = -1)
-      : link_(link), local_(local), remote_mr_(remote_mr), injector_(injector), node_(node) {}
+            FaultInjector* injector = nullptr, int node = -1,
+            QpClass cls = QpClass::kOther, MetricsRegistry* const* metrics = nullptr)
+      : link_(link),
+        local_(local),
+        remote_mr_(remote_mr),
+        injector_(injector),
+        node_(node),
+        cls_(cls),
+        metrics_(metrics) {}
 
   // Posts a one-sided work request at simulated time `now_ns`. Data movement
   // is performed immediately; the completion time reflects fabric latency
   // plus wire serialization. Returns the completion (also pushed to cq()).
+  // This is the one choke point every RDMA op in the repo passes through:
+  // per-(node, QP class) telemetry hangs off it (src/telemetry/metrics.h).
   Completion PostSend(const WorkRequest& wr, uint64_t now_ns);
+
+  int node() const { return node_; }
+  QpClass qp_class() const { return cls_; }
 
   CompletionQueue& cq() { return cq_; }
   Link* link() { return link_; }
@@ -90,12 +106,15 @@ class QueuePair {
   Completion Fail(uint64_t wr_id, WcStatus status, uint64_t now_ns);
   // RC retransmit-exhausted path, shared by crashes and injected drops.
   Completion Timeout(uint64_t wr_id, uint64_t now_ns);
+  Completion PostSendImpl(const WorkRequest& wr, uint64_t now_ns);
 
   Link* link_;
   AddressResolver* local_;
   const MemoryRegion* remote_mr_;
   FaultInjector* injector_;
   int node_;
+  QpClass cls_ = QpClass::kOther;
+  MetricsRegistry* const* metrics_ = nullptr;  // Fabric's registry slot.
   CompletionQueue cq_;
   // RC QPs complete strictly in post order: a READ posted after a WRITE on
   // the same QP cannot complete before it. This is the head-of-line

@@ -16,7 +16,7 @@ FailureDetector::FailureDetector(Fabric& fabric, ShardRouter& router, RuntimeSta
   rtt_samples_.assign(static_cast<size_t>(n), 0);
   gray_.assign(static_cast<size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
-    probe_qps_.push_back(fabric.CreateQp(i));
+    probe_qps_.push_back(fabric.CreateQp(i, QpClass::kProbe));
   }
 }
 

@@ -21,7 +21,7 @@ RepairManager::RepairManager(Fabric& fabric, ShardRouter& router, FailureDetecto
   dead_handled_.assign(static_cast<size_t>(n), 0);
   target_refs_.assign(static_cast<size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
-    qps_.push_back(fabric.CreateQp(i));
+    qps_.push_back(fabric.CreateQp(i, QpClass::kRepair));
   }
 }
 

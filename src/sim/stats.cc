@@ -101,7 +101,17 @@ uint64_t PercentileRecorder::MaxNs() const {
 }
 
 void RuntimeStats::Reset() {
+  // Whole-struct assignment covers every counter by construction — no list
+  // to keep in sync as sections grow. The distribution hook survives (the
+  // histograms it points at are owned by Telemetry and cleared here too).
+  LatencyBreakdown::Distributions* dist = fault_breakdown.distributions();
   *this = RuntimeStats{};
+  if (dist != nullptr) {
+    for (LogHistogram& h : *dist) {
+      h.Reset();
+    }
+    fault_breakdown.set_distributions(dist);
+  }
 }
 
 std::string RuntimeStats::ToString() const {

@@ -7,7 +7,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
+
+#include "src/telemetry/histogram.h"
 
 namespace dilos {
 
@@ -29,13 +32,26 @@ enum class LatComp : uint8_t {
 
 std::string_view LatCompName(LatComp c);
 
-// Accumulates time per LatComp over many fault events.
+// Accumulates time per LatComp over many fault events. With a distribution
+// array installed (TelemetryConfig::latency_distributions), each Add also
+// feeds a per-component LogHistogram so tails are visible, not just means.
 class LatencyBreakdown {
  public:
+  using Distributions = std::array<LogHistogram, static_cast<size_t>(LatComp::kCount)>;
+
   void Add(LatComp c, uint64_t ns) {
     total_ns_[static_cast<size_t>(c)] += ns;
+    if (dist_ != nullptr) {
+      (*dist_)[static_cast<size_t>(c)].Record(ns);
+    }
   }
   void CountEvent() { ++events_; }
+
+  // Non-owning: the Telemetry object owns the array. A raw pointer keeps
+  // RuntimeStats trivially copyable (Reset() is whole-struct assignment, and
+  // the telemetry audit test memset-poisons an instance).
+  void set_distributions(Distributions* d) { dist_ = d; }
+  Distributions* distributions() const { return dist_; }
 
   uint64_t total_ns(LatComp c) const { return total_ns_[static_cast<size_t>(c)]; }
   uint64_t events() const { return events_; }
@@ -56,6 +72,7 @@ class LatencyBreakdown {
  private:
   std::array<uint64_t, static_cast<size_t>(LatComp::kCount)> total_ns_ = {};
   uint64_t events_ = 0;
+  Distributions* dist_ = nullptr;
 };
 
 // Stores every sample; computes exact percentiles. Intended for up to a few
@@ -139,6 +156,11 @@ struct RuntimeStats {
   void Reset();
   std::string ToString() const;
 };
+
+// Reset() is whole-struct assignment and the telemetry Reset-audit test
+// compares poisoned-then-Reset instances bytewise; both need this.
+static_assert(std::is_trivially_copyable_v<RuntimeStats>,
+              "RuntimeStats must stay trivially copyable");
 
 }  // namespace dilos
 

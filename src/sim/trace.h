@@ -5,6 +5,16 @@
 // debug paging behavior ("why did this page refault?") and by tests to
 // assert event ordering without poking at internals. Disabled by default;
 // recording is a few stores.
+//
+// Two optional extensions, both off unless explicitly enabled:
+//  - A TraceSink tee (set_sink) forwards every Record() call to a second
+//    consumer — the telemetry flight recorder uses it to keep its own
+//    always-on cheap ring without the sim layer depending on telemetry.
+//  - Causal spans (EnableSpans): begin/end records with a fault-scoped id
+//    and parent link, so a demand fault's children (fetch attempt, retry
+//    backoff, failover, EC decode, tier decompress, checksum heal) nest
+//    under it. ToChromeJson() exports spans + point events as Chrome
+//    trace-event JSON that loads in Perfetto / chrome://tracing.
 #ifndef DILOS_SRC_SIM_TRACE_H_
 #define DILOS_SRC_SIM_TRACE_H_
 
@@ -23,7 +33,6 @@ enum class TraceEvent : uint8_t {
   kEvict,
   kWriteback,
   kActionFetch,
-  kNodeFailover,
   // Recovery subsystem (src/recovery): detail carries the node id.
   kOpTimeout,     // An RDMA op timed out against an unreachable node.
   kProbeMiss,     // A failure-detector heartbeat went unanswered.
@@ -71,8 +80,6 @@ inline const char* TraceEventName(TraceEvent e) {
       return "writeback";
     case TraceEvent::kActionFetch:
       return "action-fetch";
-    case TraceEvent::kNodeFailover:
-      return "failover";
     case TraceEvent::kOpTimeout:
       return "op-timeout";
     case TraceEvent::kProbeMiss:
@@ -126,6 +133,58 @@ struct TraceRecord {
   uint32_t detail = 0;  // Event-specific: latency ns, node id, ...
 };
 
+// Secondary consumer of trace records (the telemetry flight recorder). A
+// sink sees every Record() call even when the primary ring is disabled
+// (trace_capacity == 0), so the flight recorder can stay always-on while
+// the debug ring stays off.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnTrace(const TraceRecord& r) = 0;
+};
+
+// Span kinds on the fault path. A kFault span is the root; everything the
+// runtime does to resolve that fault opens a child span under it.
+enum class SpanKind : uint8_t {
+  kFault = 0,       // Demand fault, entry to map (root).
+  kFetchAttempt,    // One remote read attempt against one replica.
+  kRetryBackoff,    // Exponential-backoff wait between attempts.
+  kEcDecode,        // EC reconstruction from k surviving members.
+  kTierDecompress,  // Local compressed-tier hit expansion.
+  kHeal,            // Checksum heal rewrite of a corrupt stored copy.
+  kCount,
+};
+
+inline const char* SpanKindName(SpanKind k) {
+  switch (k) {
+    case SpanKind::kFault:
+      return "fault";
+    case SpanKind::kFetchAttempt:
+      return "fetch-attempt";
+    case SpanKind::kRetryBackoff:
+      return "retry-backoff";
+    case SpanKind::kEcDecode:
+      return "ec-decode";
+    case SpanKind::kTierDecompress:
+      return "tier-decompress";
+    case SpanKind::kHeal:
+      return "heal";
+    case SpanKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+struct SpanRecord {
+  uint64_t begin_ns = 0;
+  uint64_t end_ns = 0;
+  uint64_t page_va = 0;
+  uint32_t id = 0;      // Fault-scoped span id, 1-based; 0 is "no span".
+  uint32_t parent = 0;  // Enclosing span's id; 0 for roots.
+  uint32_t detail = 0;  // Kind-specific: node id, attempt #, ...
+  SpanKind kind = SpanKind::kFault;
+};
+
 class Tracer {
  public:
   explicit Tracer(size_t capacity = 0) : capacity_(capacity) {
@@ -134,7 +193,12 @@ class Tracer {
 
   bool enabled() const { return capacity_ != 0; }
 
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+
   void Record(uint64_t time_ns, TraceEvent event, uint64_t page_va, uint32_t detail = 0) {
+    if (sink_ != nullptr) {
+      sink_->OnTrace({time_ns, event, page_va, detail});
+    }
     if (capacity_ == 0) {
       return;
     }
@@ -187,10 +251,125 @@ class Tracer {
     return out;
   }
 
+  // --- Causal spans ----------------------------------------------------------
+
+  void EnableSpans(size_t capacity) {
+    span_capacity_ = capacity;
+    spans_.reserve(capacity);
+  }
+  bool spans_enabled() const { return span_capacity_ != 0; }
+
+  // Opens a span under the innermost still-open one (the sim is single
+  // threaded, so lexical nesting IS causal nesting). Returns the span id,
+  // or 0 when spans are disabled — EndSpan(0, ...) is a no-op, so call
+  // sites need no guards of their own.
+  uint32_t BeginSpan(SpanKind kind, uint64_t now_ns, uint64_t page_va, uint32_t detail = 0) {
+    if (span_capacity_ == 0) {
+      return 0;
+    }
+    SpanRecord r;
+    r.begin_ns = now_ns;
+    r.page_va = page_va;
+    r.id = ++span_seq_;
+    r.parent = current_parent_;
+    r.detail = detail;
+    r.kind = kind;
+    open_.push_back(r);
+    current_parent_ = r.id;
+    return r.id;
+  }
+
+  void EndSpan(uint32_t id, uint64_t now_ns) {
+    if (id == 0) {
+      return;
+    }
+    for (size_t i = open_.size(); i-- > 0;) {
+      if (open_[i].id == id) {
+        SpanRecord r = open_[i];
+        r.end_ns = now_ns;
+        open_.erase(open_.begin() + static_cast<ptrdiff_t>(i));
+        current_parent_ = r.parent;
+        PushSpan(r);
+        return;
+      }
+    }
+  }
+
+  uint32_t current_parent() const { return current_parent_; }
+  uint64_t total_spans() const { return span_next_; }
+  size_t open_spans() const { return open_.size(); }
+
+  // Closed spans in completion order (oldest surviving first).
+  std::vector<SpanRecord> SpanSnapshot() const {
+    std::vector<SpanRecord> out;
+    if (span_capacity_ == 0 || spans_.empty()) {
+      return out;
+    }
+    size_t start = span_next_ > span_capacity_ ? span_next_ % span_capacity_ : 0;
+    for (size_t i = 0; i < spans_.size(); ++i) {
+      out.push_back(spans_[(start + i) % spans_.size()]);
+    }
+    return out;
+  }
+
+  // Chrome trace-event JSON (the format Perfetto and chrome://tracing load):
+  // closed spans become complete events (ph:"X", ts/dur in microseconds) and
+  // point trace records become instants (ph:"i"). All on one pid/tid — the
+  // sim is single-threaded, and Perfetto nests same-track X events by time
+  // containment, which our LIFO span discipline guarantees.
+  std::string ToChromeJson() const {
+    std::string out = "[";
+    char buf[256];
+    bool first = true;
+    for (const SpanRecord& s : SpanSnapshot()) {
+      uint64_t dur = s.end_ns > s.begin_ns ? s.end_ns - s.begin_ns : 0;
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":0,\"tid\":0,\"args\":{\"page\":\"0x%llx\","
+                    "\"id\":%u,\"parent\":%u,\"detail\":%u}}",
+                    first ? "" : ",", SpanKindName(s.kind),
+                    static_cast<double>(s.begin_ns) / 1000.0,
+                    static_cast<double>(dur) / 1000.0,
+                    static_cast<unsigned long long>(s.page_va), s.id, s.parent, s.detail);
+      out += buf;
+      first = false;
+    }
+    for (const TraceRecord& r : Snapshot()) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":%.3f,"
+                    "\"pid\":0,\"tid\":0,\"s\":\"t\",\"args\":{\"page\":\"0x%llx\","
+                    "\"detail\":%u}}",
+                    first ? "" : ",", TraceEventName(r.event),
+                    static_cast<double>(r.time_ns) / 1000.0,
+                    static_cast<unsigned long long>(r.page_va), r.detail);
+      out += buf;
+      first = false;
+    }
+    out += "\n]\n";
+    return out;
+  }
+
  private:
+  void PushSpan(const SpanRecord& r) {
+    if (spans_.size() < span_capacity_) {
+      spans_.push_back(r);
+    } else {
+      spans_[span_next_ % span_capacity_] = r;
+    }
+    ++span_next_;
+  }
+
   size_t capacity_;
   std::vector<TraceRecord> ring_;
   uint64_t next_ = 0;
+  TraceSink* sink_ = nullptr;
+
+  size_t span_capacity_ = 0;
+  std::vector<SpanRecord> spans_;  // Closed spans, ring ordered by completion.
+  std::vector<SpanRecord> open_;   // Begun, not yet ended (small; LIFO use).
+  uint64_t span_next_ = 0;
+  uint32_t span_seq_ = 0;
+  uint32_t current_parent_ = 0;
 };
 
 }  // namespace dilos

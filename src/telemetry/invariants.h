@@ -1,0 +1,77 @@
+// Cross-counter invariants over RuntimeStats.
+//
+// The counters are incremented at ~40 independent call sites; a refactor
+// that drops one increment produces numbers that are individually plausible
+// but jointly impossible. Each invariant here encodes a containment
+// relation that holds by construction of the code paths (a scrub repair
+// implies a scrub read; an EC degraded read is a degraded read; ...).
+// `TelemetryConfig::check_invariants` makes the runtime assert them at
+// shutdown, so every telemetry-enabled test doubles as an accounting audit.
+#ifndef DILOS_SRC_TELEMETRY_INVARIANTS_H_
+#define DILOS_SRC_TELEMETRY_INVARIANTS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/stats.h"
+
+namespace dilos {
+
+// Returns one message per violated invariant; empty means consistent.
+// `tier_enabled` gates the relations that only hold when the compressed
+// tier participates in fault handling.
+inline std::vector<std::string> CheckStatsInvariants(const RuntimeStats& s,
+                                                     bool tier_enabled) {
+  std::vector<std::string> out;
+  auto check = [&out](bool ok, const char* fmt, uint64_t a, uint64_t b) {
+    if (!ok) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(a),
+                    static_cast<unsigned long long>(b));
+      out.emplace_back(buf);
+    }
+  };
+
+  // Repair: every committed granule was first scheduled.
+  check(s.repair_granules <= s.repairs_issued,
+        "repair_granules (%llu) > repairs_issued (%llu)", s.repair_granules,
+        s.repairs_issued);
+  // Scrub: a repair implies the scrubber read (and verified) that page.
+  check(s.scrub_repairs <= s.scrub_pages, "scrub_repairs (%llu) > scrub_pages (%llu)",
+        s.scrub_repairs, s.scrub_pages);
+  // EC degraded reads are a subset of all degraded reads.
+  check(s.ec_degraded_reads <= s.degraded_reads,
+        "ec_degraded_reads (%llu) > degraded_reads (%llu)", s.ec_degraded_reads,
+        s.degraded_reads);
+  // Probes: a miss implies a probe was sent.
+  check(s.probe_misses <= s.probes_sent, "probe_misses (%llu) > probes_sent (%llu)",
+        s.probe_misses, s.probes_sent);
+  // Prefetch: a page mapped early was issued by a prefetcher first.
+  check(s.prefetch_mapped_early <= s.prefetch_issued,
+        "prefetch_mapped_early (%llu) > prefetch_issued (%llu)", s.prefetch_mapped_early,
+        s.prefetch_issued);
+  // Tier: every page leaving the tier (pressure eviction or corrupt drop)
+  // was admitted; eviction and corrupt-drop are mutually exclusive exits.
+  check(s.tier_evictions + s.tier_corrupt_drops <= s.tier_stored_pages,
+        "tier exits (%llu) > tier_stored_pages (%llu)",
+        s.tier_evictions + s.tier_corrupt_drops, s.tier_stored_pages);
+  if (tier_enabled) {
+    // A tier hit resolves the fault locally — it is counted a minor fault.
+    check(s.tier_hits <= s.minor_faults, "tier_hits (%llu) > minor_faults (%llu)",
+          s.tier_hits, s.minor_faults);
+    // A tier miss goes remote — it is (at most) a major fault.
+    check(s.tier_misses <= s.major_faults, "tier_misses (%llu) > major_faults (%llu)",
+          s.tier_misses, s.major_faults);
+  }
+  // The fault breakdown counts one event per handled fault.
+  check(s.fault_breakdown.events() <= s.total_faults(),
+        "fault_breakdown events (%llu) > total_faults (%llu)", s.fault_breakdown.events(),
+        s.total_faults());
+  return out;
+}
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_TELEMETRY_INVARIANTS_H_

@@ -1,0 +1,273 @@
+// Per-(node, QP-class) fabric metrics registry.
+//
+// Every RDMA op in this repo funnels through QueuePair::PostSend, and every
+// QP is created with the node it connects to and the module it serves
+// (fault handler, prefetcher, cleaner, guide, failure-detector probe,
+// repair copy). Hooking that one choke point gives op counts, payload
+// bytes, timeout counts, and an RTT histogram per (node x class) with zero
+// per-call-site edits — the coverage the ROADMAP's load-aware-rebalancing
+// item needs ("per-node traffic counters") and the operational view the
+// disaggregation surveys call a production prerequisite.
+//
+// The registry is installed on the Fabric (Fabric::set_metrics) by a
+// runtime whose TelemetryConfig enables it; a null registry (the default)
+// costs one pointer test per op.
+#ifndef DILOS_SRC_TELEMETRY_METRICS_H_
+#define DILOS_SRC_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/histogram.h"
+
+namespace dilos {
+
+// Which module a queue pair serves. Mirrors CommChannel (src/dilos/comm.h)
+// plus the recovery subsystem's dedicated QPs; kOther covers bare QPs made
+// outside the router (baselines, micro-benches).
+enum class QpClass : uint8_t {
+  kFault = 0,  // Demand-fetch QPs (CommChannel::kFault).
+  kPrefetch,   // Prefetcher QPs.
+  kCleaner,    // Page-manager write-back / parity / scrub QPs (kManager).
+  kGuide,      // App-aware guide subpage-read QPs.
+  kProbe,      // Failure-detector heartbeat QPs.
+  kRepair,     // Repair-manager copy QPs.
+  kOther,      // Unclassified (Fastswap/AIFM baselines, raw bench QPs).
+  kCount,
+};
+
+inline const char* QpClassName(QpClass c) {
+  switch (c) {
+    case QpClass::kFault:
+      return "fault";
+    case QpClass::kPrefetch:
+      return "prefetch";
+    case QpClass::kCleaner:
+      return "cleaner";
+    case QpClass::kGuide:
+      return "guide";
+    case QpClass::kProbe:
+      return "probe";
+    case QpClass::kRepair:
+      return "repair";
+    case QpClass::kOther:
+      return "other";
+    case QpClass::kCount:
+      break;
+  }
+  return "?";
+}
+
+// Counters for one (node, class) cell. Bytes count successful ops only (a
+// timed-out op moves no payload); the RTT histogram likewise records only
+// completed ops so timeout plateaus cannot masquerade as tail latency.
+struct QpMetrics {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t timeouts = 0;  // Ops completed with kTimeout (crash, drop, partition).
+  uint64_t errors = 0;    // Local/remote-access errors (malformed WRs).
+  uint64_t retries = 0;   // Runtime-level retry decisions attributed to this cell.
+  LogHistogram rtt;       // post -> completion, successful ops, ns.
+
+  uint64_t ops() const { return reads + writes; }
+  uint64_t bytes() const { return read_bytes + write_bytes; }
+
+  void Merge(const QpMetrics& o) {
+    reads += o.reads;
+    writes += o.writes;
+    read_bytes += o.read_bytes;
+    write_bytes += o.write_bytes;
+    timeouts += o.timeouts;
+    errors += o.errors;
+    retries += o.retries;
+    rtt.Merge(o.rtt);
+  }
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(int num_nodes)
+      : num_nodes_(num_nodes),
+        cells_(static_cast<size_t>(num_nodes) * static_cast<size_t>(QpClass::kCount)) {}
+
+  // The PostSend choke-point hook. `ok` — op completed successfully;
+  // `timed_out` — RC retransmit exhaustion (the crash/partition signature).
+  void OnOp(int node, QpClass cls, bool is_write, uint64_t bytes, uint64_t rtt_ns, bool ok,
+            bool timed_out) {
+    if (node < 0 || node >= num_nodes_) {
+      return;
+    }
+    QpMetrics& m = Cell(node, cls);
+    if (!ok) {
+      if (timed_out) {
+        ++m.timeouts;
+      } else {
+        ++m.errors;
+      }
+      return;
+    }
+    if (is_write) {
+      ++m.writes;
+      m.write_bytes += bytes;
+    } else {
+      ++m.reads;
+      m.read_bytes += bytes;
+    }
+    m.rtt.Record(rtt_ns);
+  }
+
+  // Runtime-level retry attribution (the choke point sees individual posts,
+  // not the retry decision around them).
+  void OnRetry(int node, QpClass cls) {
+    if (node >= 0 && node < num_nodes_) {
+      ++Cell(node, cls).retries;
+    }
+  }
+
+  const QpMetrics& at(int node, QpClass cls) const {
+    return cells_[Index(node, cls)];
+  }
+
+  // All classes of one node, merged.
+  QpMetrics NodeTotal(int node) const {
+    QpMetrics out;
+    for (size_t c = 0; c < static_cast<size_t>(QpClass::kCount); ++c) {
+      out.Merge(at(node, static_cast<QpClass>(c)));
+    }
+    return out;
+  }
+
+  QpMetrics Total() const {
+    QpMetrics out;
+    for (int n = 0; n < num_nodes_; ++n) {
+      out.Merge(NodeTotal(n));
+    }
+    return out;
+  }
+
+  int num_nodes() const { return num_nodes_; }
+
+  void Reset() {
+    for (QpMetrics& m : cells_) {
+      m = QpMetrics{};
+    }
+  }
+
+  // Prometheus text exposition (counters + RTT quantile summaries).
+  // All-zero cells are skipped so small runs stay readable.
+  std::string ToProm() const {
+    std::string out;
+    out += "# HELP dilos_qp_ops_total RDMA ops completed per node, QP class, and opcode.\n";
+    out += "# TYPE dilos_qp_ops_total counter\n";
+    ForEachActive([&out](int n, QpClass c, const QpMetrics& m) {
+      if (m.reads != 0) {
+        AppendMetric(&out, "dilos_qp_ops_total", n, c, "op=\"read\"", m.reads);
+      }
+      if (m.writes != 0) {
+        AppendMetric(&out, "dilos_qp_ops_total", n, c, "op=\"write\"", m.writes);
+      }
+    });
+    out += "# HELP dilos_qp_bytes_total Payload bytes moved per node, QP class, and direction.\n";
+    out += "# TYPE dilos_qp_bytes_total counter\n";
+    ForEachActive([&out](int n, QpClass c, const QpMetrics& m) {
+      if (m.read_bytes != 0) {
+        AppendMetric(&out, "dilos_qp_bytes_total", n, c, "dir=\"read\"", m.read_bytes);
+      }
+      if (m.write_bytes != 0) {
+        AppendMetric(&out, "dilos_qp_bytes_total", n, c, "dir=\"write\"", m.write_bytes);
+      }
+    });
+    out += "# HELP dilos_qp_timeouts_total Ops that exhausted RC retransmission.\n";
+    out += "# TYPE dilos_qp_timeouts_total counter\n";
+    ForEachActive([&out](int n, QpClass c, const QpMetrics& m) {
+      if (m.timeouts != 0) {
+        AppendMetric(&out, "dilos_qp_timeouts_total", n, c, nullptr, m.timeouts);
+      }
+    });
+    out += "# HELP dilos_qp_retries_total Runtime retry decisions per node and QP class.\n";
+    out += "# TYPE dilos_qp_retries_total counter\n";
+    ForEachActive([&out](int n, QpClass c, const QpMetrics& m) {
+      if (m.retries != 0) {
+        AppendMetric(&out, "dilos_qp_retries_total", n, c, nullptr, m.retries);
+      }
+    });
+    out += "# HELP dilos_qp_rtt_ns RTT of successful ops, post to completion.\n";
+    out += "# TYPE dilos_qp_rtt_ns summary\n";
+    ForEachActive([&out](int n, QpClass c, const QpMetrics& m) {
+      if (m.rtt.empty()) {
+        return;
+      }
+      static constexpr double kQs[] = {0.5, 0.9, 0.99, 0.999};
+      char label[64];
+      for (double q : kQs) {
+        std::snprintf(label, sizeof(label), "quantile=\"%g\"", q);
+        AppendMetric(&out, "dilos_qp_rtt_ns", n, c, label, m.rtt.Percentile(q * 100.0));
+      }
+      AppendMetric(&out, "dilos_qp_rtt_ns_sum", n, c, nullptr, m.rtt.sum());
+      AppendMetric(&out, "dilos_qp_rtt_ns_count", n, c, nullptr, m.rtt.count());
+    });
+    return out;
+  }
+
+  // Compact human-readable dump (flight-recorder format): one line per
+  // active cell.
+  std::string ToString() const {
+    std::string out;
+    char line[192];
+    ForEachActive([&out, &line](int n, QpClass c, const QpMetrics& m) {
+      std::snprintf(line, sizeof(line),
+                    "  node %d %-8s ops=%llu (r=%llu w=%llu) bytes=%llu timeouts=%llu "
+                    "retries=%llu rtt p50=%llu p99=%llu\n",
+                    n, QpClassName(c), static_cast<unsigned long long>(m.ops()),
+                    static_cast<unsigned long long>(m.reads),
+                    static_cast<unsigned long long>(m.writes),
+                    static_cast<unsigned long long>(m.bytes()),
+                    static_cast<unsigned long long>(m.timeouts),
+                    static_cast<unsigned long long>(m.retries),
+                    static_cast<unsigned long long>(m.rtt.Percentile(50)),
+                    static_cast<unsigned long long>(m.rtt.Percentile(99)));
+      out += line;
+    });
+    return out;
+  }
+
+ private:
+  size_t Index(int node, QpClass cls) const {
+    return static_cast<size_t>(node) * static_cast<size_t>(QpClass::kCount) +
+           static_cast<size_t>(cls);
+  }
+  QpMetrics& Cell(int node, QpClass cls) { return cells_[Index(node, cls)]; }
+
+  template <typename Fn>
+  void ForEachActive(Fn&& fn) const {
+    for (int n = 0; n < num_nodes_; ++n) {
+      for (size_t c = 0; c < static_cast<size_t>(QpClass::kCount); ++c) {
+        const QpMetrics& m = at(n, static_cast<QpClass>(c));
+        if (m.ops() != 0 || m.timeouts != 0 || m.errors != 0 || m.retries != 0) {
+          fn(n, static_cast<QpClass>(c), m);
+        }
+      }
+    }
+  }
+
+  static void AppendMetric(std::string* out, const char* name, int node, QpClass cls,
+                           const char* extra_label, uint64_t value) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%s{node=\"%d\",qp=\"%s\"%s%s} %llu\n", name, node,
+                  QpClassName(cls), extra_label != nullptr ? "," : "",
+                  extra_label != nullptr ? extra_label : "",
+                  static_cast<unsigned long long>(value));
+    *out += line;
+  }
+
+  int num_nodes_;
+  std::vector<QpMetrics> cells_;  // [node][class], row-major.
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_TELEMETRY_METRICS_H_

@@ -1,0 +1,101 @@
+// Telemetry umbrella: configuration plus the owner of the optional
+// instruments.
+//
+// Everything here is opt-in and near-zero-cost when off, the same contract
+// the tracer has had since PR 1 (trace_capacity == 0 => a compare per
+// event). A default TelemetryConfig{} changes nothing: no allocation on any
+// fault path, identical RuntimeStats, identical timing. The runtime
+// constructs a Telemetry object only when cfg.enabled(), then installs its
+// pieces: the MetricsRegistry onto the Fabric's PostSend choke point, the
+// FlightRecorder as the tracer's sink, the per-LatComp histogram array onto
+// the stats breakdown, and span recording onto the tracer.
+#ifndef DILOS_SRC_TELEMETRY_TELEMETRY_H_
+#define DILOS_SRC_TELEMETRY_TELEMETRY_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/sim/stats.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/histogram.h"
+#include "src/telemetry/invariants.h"
+#include "src/telemetry/metrics.h"
+
+namespace dilos {
+
+struct TelemetryConfig {
+  // Per-(node, QP class) op/byte/timeout/RTT metrics at the fabric choke
+  // point, read back via rt.metrics() / MetricsRegistry::ToProm().
+  bool metrics = false;
+  // Per-LatComp LogHistogram distributions behind the existing mean-only
+  // fault breakdown, read back via rt.telemetry()->distribution(c).
+  bool latency_distributions = false;
+  // Causal fault-span ring (Tracer::EnableSpans); 0 = off.
+  size_t span_capacity = 0;
+  // Flight-recorder ring; 0 = off. Independent of trace_capacity — the
+  // recorder taps the tracer's sink hook, which fires even when the debug
+  // ring is disabled.
+  size_t flight_capacity = 0;
+  std::string flight_path;  // Dump target; empty = stderr.
+  // Minimum sim-time between dumps, so an anomaly storm yields one report.
+  uint64_t flight_min_interval_ns = 1'000'000'000;
+  // Check cross-counter invariants (src/telemetry/invariants.h) in the
+  // runtime destructor and abort on violation. For tests: every
+  // telemetry-enabled run doubles as an accounting audit.
+  bool check_invariants = false;
+
+  bool enabled() const {
+    return metrics || latency_distributions || span_capacity != 0 ||
+           flight_capacity != 0 || check_invariants;
+  }
+};
+
+// Owns whichever instruments the config enabled. Held by the runtime via
+// unique_ptr (null when telemetry is off), so the off path costs one
+// pointer test wherever telemetry is consulted.
+class Telemetry {
+ public:
+  Telemetry(const TelemetryConfig& cfg, int num_nodes) : cfg_(cfg) {
+    if (cfg.metrics) {
+      metrics_ = std::make_unique<MetricsRegistry>(num_nodes);
+    }
+    if (cfg.flight_capacity != 0) {
+      flight_ = std::make_unique<FlightRecorder>(cfg.flight_capacity, cfg.flight_path,
+                                                 cfg.flight_min_interval_ns);
+    }
+    if (cfg.latency_distributions) {
+      distributions_ =
+          std::make_unique<std::array<LogHistogram, static_cast<size_t>(LatComp::kCount)>>();
+    }
+  }
+
+  const TelemetryConfig& config() const { return cfg_; }
+
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const MetricsRegistry* metrics() const { return metrics_.get(); }
+  FlightRecorder* flight() { return flight_.get(); }
+  const FlightRecorder* flight() const { return flight_.get(); }
+
+  std::array<LogHistogram, static_cast<size_t>(LatComp::kCount)>* distributions() {
+    return distributions_.get();
+  }
+  // Distribution of one latency component (empty histogram if the view is
+  // off — callers can read unconditionally).
+  const LogHistogram& distribution(LatComp c) const {
+    static const LogHistogram kEmpty;
+    return distributions_ ? (*distributions_)[static_cast<size_t>(c)] : kEmpty;
+  }
+
+ private:
+  TelemetryConfig cfg_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<FlightRecorder> flight_;
+  std::unique_ptr<std::array<LogHistogram, static_cast<size_t>(LatComp::kCount)>>
+      distributions_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_TELEMETRY_TELEMETRY_H_

@@ -8,6 +8,11 @@ Run from anywhere: `python3 tools/check_docs.py`. Checks, stdlib only:
      an existing file or directory.
   2. Every top-level directory under src/ appears in README.md's
      repository-layout table, so the directory map cannot silently rot.
+  3. docs/observability.md stays in lockstep with the code: every
+     RuntimeStats counter (src/sim/stats.h) has a `counter` row, and every
+     TraceEvent enumerator (src/sim/trace.h) has a `kName` row. Documented
+     names that no longer exist in the code also fail, so removing an
+     enumerator forces removing its row.
 
 Exits nonzero with one line per violation.
 """
@@ -67,10 +72,81 @@ def check_readme_covers_src(errors):
             )
 
 
+def extract_struct_fields(header_path, struct_name, field_type):
+    """uint64_t counter names declared directly inside `struct <name> {...}`."""
+    with open(header_path, encoding="utf-8") as fh:
+        text = fh.read()
+    m = re.search(r"struct\s+%s\s*\{" % struct_name, text)
+    if m is None:
+        return []
+    depth, i = 1, m.end()
+    while i < len(text) and depth > 0:
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+        i += 1
+    body = text[m.end() : i]
+    return re.findall(r"^\s*%s\s+(\w+)\s*=" % field_type, body, re.MULTILINE)
+
+
+def extract_enumerators(header_path, enum_name):
+    """Enumerator names of `enum class <name> ... {...}` (kCount excluded)."""
+    with open(header_path, encoding="utf-8") as fh:
+        text = fh.read()
+    m = re.search(r"enum\s+class\s+%s[^{]*\{" % enum_name, text)
+    if m is None:
+        return []
+    body = text[m.end() : text.index("}", m.end())]
+    body = re.sub(r"//[^\n]*", "", body)
+    names = re.findall(r"\b(k\w+)\b", body)
+    return [n for n in names if n != "kCount"]
+
+
+def check_observability_drift(errors):
+    """The stats/trace tables in docs/observability.md must match the code."""
+    doc_path = os.path.join(REPO, "docs", "observability.md")
+    if not os.path.exists(doc_path):
+        errors.append("docs/observability.md: missing")
+        return
+    with open(doc_path, encoding="utf-8") as fh:
+        doc = fh.read()
+    documented = set(re.findall(r"`(\w+)`", doc))
+
+    counters = extract_struct_fields(
+        os.path.join(REPO, "src", "sim", "stats.h"), "RuntimeStats", "uint64_t"
+    )
+    if not counters:
+        errors.append("check_docs: could not parse RuntimeStats from src/sim/stats.h")
+    events = extract_enumerators(os.path.join(REPO, "src", "sim", "trace.h"), "TraceEvent")
+    if not events:
+        errors.append("check_docs: could not parse TraceEvent from src/sim/trace.h")
+
+    for c in counters:
+        if c not in documented:
+            errors.append(
+                f"docs/observability.md: RuntimeStats counter `{c}` has no row"
+            )
+    for e in events:
+        if e not in documented:
+            errors.append(f"docs/observability.md: TraceEvent `{e}` has no row")
+
+    # The reverse direction: a table row for `kSomething` that is no
+    # TraceEvent enumerator is a stale row. Only table rows count —
+    # backticked kNames in prose may be other enums (NodeState, WcStatus).
+    rows = re.findall(r"^\|\s*`(k\w+)`", doc, re.MULTILINE)
+    for name in sorted(set(rows)):
+        if name not in events:
+            errors.append(
+                f"docs/observability.md: `{name}` has a row but is not a TraceEvent"
+            )
+
+
 def main():
     errors = []
     check_links(errors)
     check_readme_covers_src(errors)
+    check_observability_drift(errors)
     for e in errors:
         print(e)
     if errors:
