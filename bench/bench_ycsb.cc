@@ -1,0 +1,209 @@
+// YCSB-style service benchmark over the sharded KV service (src/kv).
+//
+// The ROADMAP's "millions of users" flagship: a hash-partitioned ordered KV
+// store (far-memory B+-tree shards, local search layer) driven with the
+// standard YCSB core mixes at 25% local memory:
+//
+//   A  50% read / 50% update, Zipfian        (session store)
+//   B  95% read /  5% update, Zipfian        (photo tagging)
+//   C  100% read, Zipfian + a uniform column (user-profile cache)
+//   D  95% read /  5% insert, latest         (status updates)
+//   E  95% scan /  5% insert, Zipfian starts (threaded conversations)
+//
+// Reported per mix: throughput and p50/p99/p999 op latency (LogHistogram),
+// plus demand faults taken and guided-prefetched pages. Mix E runs twice —
+// once demand-faulting leaf by leaf, once with the KvScanGuide issuing
+// vectored prefetches over the upcoming leaf granules — and the run fails
+// (exit 1) unless guidance wins on BOTH faults taken and p99, making the
+// scan-guide regression visible to CI's bench-smoke job.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/guides/kv_guide.h"
+#include "src/kv/kv_service.h"
+
+namespace dilos {
+namespace {
+
+struct MixSpec {
+  const char* name;
+  int read_pct;
+  int update_pct;
+  int insert_pct;
+  int scan_pct;  // Remainder; scans draw a uniform length in [1, scan_max].
+  KeyDist dist;
+};
+
+constexpr MixSpec kMixes[] = {
+    {"A", 50, 50, 0, 0, KeyDist::kZipfian},
+    {"B", 95, 5, 0, 0, KeyDist::kZipfian},
+    {"C", 100, 0, 0, 0, KeyDist::kZipfian},
+    {"C", 100, 0, 0, 0, KeyDist::kUniform},
+    {"D", 95, 0, 5, 0, KeyDist::kLatest},
+    {"E", 0, 0, 5, 95, KeyDist::kZipfian},
+};
+
+struct MixResult {
+  double ops_per_sec = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+  uint64_t major_faults = 0;
+  uint64_t prefetched = 0;
+};
+
+constexpr uint32_t kValueSize = 256;
+constexpr uint32_t kScanMax = 100;
+constexpr int kShards = 4;
+
+MixResult RunMix(const MixSpec& m, bool guided, uint64_t records, uint64_t ops) {
+  Fabric fabric(CostModel::Default(), 4);
+  // Size local DRAM to ~25% of the leaf data set so the run actually pages.
+  uint32_t leaf_cap = (kPageSize - 16) / (8 + kValueSize);
+  uint64_t data_pages = records / leaf_cap + 128;
+  auto rt = MakeDilos(fabric, data_pages * kPageSize / 4, DilosVariant::kNoPrefetch);
+
+  KvConfig kcfg;
+  kcfg.shards = kShards;
+  kcfg.tree.value_size = kValueSize;
+  KvService kv(*rt, kcfg, &rt->tracer());
+  KvScanGuide guide(/*window=*/8);
+  if (guided) {
+    rt->set_guide(&guide);
+    kv.set_scan_hooks(&guide);
+  }
+
+  // Load phase: sequential keys, so each shard's leaves pack densely into
+  // sequential granules (the layout scans exploit).
+  for (uint64_t i = 0; i < records; ++i) {
+    kv.Put(i, BenchValue(kValueSize, i));
+  }
+
+  uint64_t faults0 = rt->stats().major_faults;
+  uint64_t prefetched0 = rt->stats().kv_scan_prefetch_pages;
+  uint64_t run0 = rt->clock().now();
+  KeyChooser chooser(m.dist, records, /*seed=*/1031);
+  Rng rng(977);
+  LogHistogram lat;
+  std::vector<std::pair<uint64_t, std::string>> scan_out;
+  std::string value;
+  uint64_t frontier = records;  // Next key for insert ops.
+  for (uint64_t q = 0; q < ops; ++q) {
+    int pick = static_cast<int>(rng.NextBelow(100));
+    uint64_t t0 = rt->clock().now();
+    if (pick < m.read_pct) {
+      kv.Get(chooser.Next(), &value);
+    } else if (pick < m.read_pct + m.update_pct) {
+      kv.Put(chooser.Next(), BenchValue(kValueSize, q ^ 0xBEEF));
+    } else if (pick < m.read_pct + m.update_pct + m.insert_pct) {
+      kv.Put(frontier, BenchValue(kValueSize, frontier));
+      ++frontier;
+      chooser.set_n(frontier);
+    } else {
+      scan_out.clear();
+      kv.Scan(chooser.Next(), 1 + static_cast<uint32_t>(rng.NextBelow(kScanMax)), &scan_out);
+    }
+    lat.Record(rt->clock().now() - t0);
+  }
+
+  MixResult r;
+  uint64_t elapsed = rt->clock().now() - run0;
+  r.ops_per_sec = elapsed == 0 ? 0.0
+                               : static_cast<double>(ops) * 1e9 / static_cast<double>(elapsed);
+  r.p50_ns = lat.Percentile(50);
+  r.p99_ns = lat.Percentile(99);
+  r.p999_ns = lat.Percentile(99.9);
+  r.major_faults = rt->stats().major_faults - faults0;
+  r.prefetched = rt->stats().kv_scan_prefetch_pages - prefetched0;
+  return r;
+}
+
+void PrintRow(const MixSpec& m, const char* scan_path, const MixResult& r) {
+  std::printf("%-4s %-8s %-12s %11.0f %9.1f %9.1f %9.1f %9llu %11llu\n", m.name,
+              KeyDistName(m.dist), scan_path, r.ops_per_sec,
+              static_cast<double>(r.p50_ns) / 1000.0, static_cast<double>(r.p99_ns) / 1000.0,
+              static_cast<double>(r.p999_ns) / 1000.0,
+              static_cast<unsigned long long>(r.major_faults),
+              static_cast<unsigned long long>(r.prefetched));
+}
+
+void JsonRow(const MixSpec& m, const char* scan_path, uint64_t records, uint64_t ops,
+             const MixResult& r) {
+  BenchJson& j = BenchJson::Instance();
+  j.BeginRecord("ycsb.mix");
+  j.Config("mix", std::string(m.name));
+  j.Config("dist", std::string(KeyDistName(m.dist)));
+  j.Config("scan_path", std::string(scan_path));
+  j.Config("records", records);
+  j.Config("ops", ops);
+  j.Config("value_size", static_cast<uint64_t>(kValueSize));
+  j.Config("shards", static_cast<uint64_t>(kShards));
+  j.Metric("ops_per_sec", r.ops_per_sec);
+  j.Metric("p50_us", static_cast<double>(r.p50_ns) / 1000.0);
+  j.Metric("p99_us", static_cast<double>(r.p99_ns) / 1000.0);
+  j.Metric("p999_us", static_cast<double>(r.p999_ns) / 1000.0);
+  j.Metric("major_faults", r.major_faults);
+  j.Metric("prefetched_pages", r.prefetched);
+}
+
+int Main(int argc, char** argv) {
+  bool short_run = false;
+  BenchParseArgs(argc, argv, &short_run);
+  uint64_t records = short_run ? 12'000 : 40'000;
+  uint64_t ops = short_run ? 4'000 : 20'000;
+
+  PrintHeader("YCSB core mixes over the sharded far-memory KV service (25% local)");
+  std::printf("records=%llu ops=%llu value=%uB shards=%d\n\n",
+              static_cast<unsigned long long>(records), static_cast<unsigned long long>(ops),
+              kValueSize, kShards);
+  std::printf("%-4s %-8s %-12s %11s %9s %9s %9s %9s %11s\n", "mix", "dist", "scan-path",
+              "ops/s", "p50us", "p99us", "p999us", "faults", "prefetched");
+
+  MixResult e_demand, e_guided;
+  for (const MixSpec& m : kMixes) {
+    if (m.scan_pct == 0) {
+      MixResult r = RunMix(m, /*guided=*/false, records, ops);
+      PrintRow(m, "-", r);
+      JsonRow(m, "-", records, ops, r);
+      continue;
+    }
+    // Scan-heavy mix: demand-fault baseline vs guided vectored prefetch,
+    // both columns in the output (the acceptance comparison).
+    e_demand = RunMix(m, /*guided=*/false, records, ops);
+    PrintRow(m, "demand", e_demand);
+    JsonRow(m, "demand", records, ops, e_demand);
+    e_guided = RunMix(m, /*guided=*/true, records, ops);
+    PrintRow(m, "guided", e_guided);
+    JsonRow(m, "guided", records, ops, e_guided);
+  }
+
+  std::printf("\nmix E guided vs demand: faults %llu -> %llu (%+.0f%%), p99 %.1fus -> %.1fus "
+              "(%+.0f%%)\n",
+              static_cast<unsigned long long>(e_demand.major_faults),
+              static_cast<unsigned long long>(e_guided.major_faults),
+              100.0 * (static_cast<double>(e_guided.major_faults) /
+                           static_cast<double>(e_demand.major_faults ? e_demand.major_faults : 1) -
+                       1.0),
+              static_cast<double>(e_demand.p99_ns) / 1000.0,
+              static_cast<double>(e_guided.p99_ns) / 1000.0,
+              100.0 * (static_cast<double>(e_guided.p99_ns) /
+                           static_cast<double>(e_demand.p99_ns ? e_demand.p99_ns : 1) -
+                       1.0));
+
+  if (!BenchJson::Instance().Flush()) {
+    return 1;
+  }
+  if (e_guided.major_faults >= e_demand.major_faults || e_guided.p99_ns >= e_demand.p99_ns) {
+    std::fprintf(stderr,
+                 "FAIL: guided scans must beat the demand-fault baseline on faults and p99\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dilos
+
+int main(int argc, char** argv) { return dilos::Main(argc, argv); }

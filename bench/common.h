@@ -19,6 +19,8 @@
 #include "src/dilos/runtime.h"
 #include "src/dilos/trend.h"
 #include "src/fastswap/fastswap.h"
+#include "src/redis/redis_bench.h"
+#include "src/sim/rng.h"
 
 namespace dilos {
 
@@ -174,6 +176,69 @@ inline std::unique_ptr<FastswapRuntime> MakeFastswap(Fabric& fabric, uint64_t lo
   cfg.local_mem_bytes = local_bytes;
   cfg.num_cores = cores;
   return std::make_unique<FastswapRuntime>(fabric, cfg);
+}
+
+// ---- Shared workload generators ---------------------------------------------
+//
+// One home for key-index distributions and key/value synthesis, shared by
+// the Redis drivers (bench/redis_common.h binaries) and the YCSB driver
+// (bench_ycsb.cc), so the Zipfian and latest generators exist exactly once:
+// Zipfian sampling is src/sim/rng.h's ZipfSampler (Gray et al.), "latest"
+// is its mirror over the insertion frontier, and payload bytes come from
+// RedisBench::MakeValue.
+
+enum class KeyDist { kUniform, kZipfian, kLatest };
+
+inline const char* KeyDistName(KeyDist d) {
+  switch (d) {
+    case KeyDist::kUniform:
+      return "uniform";
+    case KeyDist::kZipfian:
+      return "zipfian";
+    case KeyDist::kLatest:
+      return "latest";
+  }
+  return "?";
+}
+
+// Draws key indices in [0, n) under the YCSB request distributions.
+// `set_n` tracks a growing keyspace (insert-heavy mixes): uniform and
+// latest follow it exactly; Zipfian keeps its precomputed rank table and
+// folds into the current range.
+class KeyChooser {
+ public:
+  KeyChooser(KeyDist dist, uint64_t n, uint64_t seed, double theta = 0.99)
+      : dist_(dist), n_(n ? n : 1), rng_(seed),
+        zipf_(n ? n : 1, theta, seed ^ 0x5BD1E995ULL) {}
+
+  void set_n(uint64_t n) { n_ = n ? n : 1; }
+  uint64_t n() const { return n_; }
+
+  uint64_t Next() {
+    switch (dist_) {
+      case KeyDist::kUniform:
+        return rng_.NextBelow(n_);
+      case KeyDist::kZipfian:
+        return zipf_.Next() % n_;
+      case KeyDist::kLatest:
+        // Rank 0 = the most recently inserted key: Zipfian distance back
+        // from the insertion frontier (YCSB's "latest" distribution).
+        return n_ - 1 - (zipf_.Next() % n_);
+    }
+    return 0;
+  }
+
+ private:
+  KeyDist dist_;
+  uint64_t n_;
+  Rng rng_;
+  ZipfSampler zipf_;
+};
+
+// Canonical key / payload synthesis (implemented once, in src/redis).
+inline std::string BenchKeyName(uint64_t i) { return RedisBench::KeyName(i); }
+inline std::string BenchValue(uint32_t size, uint64_t salt) {
+  return RedisBench::MakeValue(size, salt);
 }
 
 inline void PrintHeader(const char* what) {

@@ -140,6 +140,10 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
       // QPs (created above, via the router/detector/repair ctors) hold a
       // pointer to the fabric's registry slot, so installing now covers them.
       fabric_.set_metrics(metrics_registry_);
+      if (repair_ != nullptr) {
+        // Per-node traffic becomes the rebuild-placement tiebreaker.
+        repair_->set_metrics(metrics_registry_);
+      }
     }
     if (flight_ != nullptr) {
       tracer_.set_sink(flight_);

@@ -1,0 +1,57 @@
+#include "src/guides/kv_guide.h"
+
+#include <cstddef>
+
+namespace dilos {
+
+namespace {
+constexpr uint64_t kPageMask = ~4095ULL;
+}
+
+void KvScanGuide::OnScanBegin(const std::vector<uint64_t>& leaf_addrs) {
+  plan_ = leaf_addrs;
+  pos_ = 0;
+  active_ = true;
+  ++scans_guided_;
+}
+
+void KvScanGuide::OnScanEnd() {
+  active_ = false;
+  plan_.clear();
+  pos_ = 0;
+}
+
+uint64_t KvScanGuide::TakePrefetchedPages() {
+  uint64_t p = pending_;
+  pending_ = 0;
+  return p;
+}
+
+void KvScanGuide::OnFault(GuideContext& ctx, uint64_t vaddr, bool write) {
+  (void)write;
+  if (!active_) {
+    return;
+  }
+  // Locate the faulting page in the remaining plan; faults on pages outside
+  // the plan (index pages never fault — they are local — but unrelated
+  // traffic can interleave) leave the cursor alone.
+  uint64_t page = vaddr & kPageMask;
+  size_t i = pos_;
+  while (i < plan_.size() && (plan_[i] & kPageMask) != page) {
+    ++i;
+  }
+  if (i == plan_.size()) {
+    return;
+  }
+  pos_ = i + 1;
+  // Vectored batch: post the next `window_` upcoming leaves while this
+  // fault's demand fetch is in flight.
+  for (size_t j = pos_; j < plan_.size() && j < pos_ + window_; ++j) {
+    if (!ctx.IsResident(plan_[j]) && ctx.PrefetchPage(plan_[j])) {
+      ++pending_;
+      ++pages_prefetched_;
+    }
+  }
+}
+
+}  // namespace dilos

@@ -1,0 +1,53 @@
+// KV scan guide: guided vectored prefetch over B+-tree leaf granules.
+//
+// The KV service's range scans walk address-sequential leaf pages, and the
+// whole walk is known in advance because the tree's search layer is local
+// (FarBTree::CollectLeaves). This guide receives that plan via the
+// KvScanHooks half, and on each fault during an active scan issues a window
+// of page prefetches over the *upcoming* leaves — a vectored batch posted
+// while the demand fetch is already in flight, so by the time the scan
+// reaches them they are resident or in flight (minor faults) instead of
+// fresh demand faults. Same structure as the Redis LRANGE guide (paper
+// Sec. 4.1): app-level knowledge of "what comes next" turned into prefetch
+// at fault time.
+#ifndef DILOS_SRC_GUIDES_KV_GUIDE_H_
+#define DILOS_SRC_GUIDES_KV_GUIDE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/dilos/guide.h"
+#include "src/kv/hooks.h"
+
+namespace dilos {
+
+class KvScanGuide : public Guide, public KvScanHooks {
+ public:
+  // `window` — leaves prefetched ahead of the walk position per fault.
+  explicit KvScanGuide(uint32_t window = 8) : window_(window) {}
+
+  // KvScanHooks half (installed via KvService::set_scan_hooks).
+  void OnScanBegin(const std::vector<uint64_t>& leaf_addrs) override;
+  void OnScanEnd() override;
+  uint64_t TakePrefetchedPages() override;
+
+  // Guide half (installed via DilosRuntime::set_guide).
+  void OnFault(GuideContext& ctx, uint64_t vaddr, bool write) override;
+
+  uint64_t scans_guided() const { return scans_guided_; }
+  uint64_t pages_prefetched() const { return pages_prefetched_; }
+
+ private:
+  uint32_t window_;
+  bool active_ = false;
+  std::vector<uint64_t> plan_;  // Leaf pages of the current scan, walk order.
+  size_t pos_ = 0;              // Walk progress within plan_.
+  uint64_t pending_ = 0;        // Prefetches since the last Take.
+  uint64_t scans_guided_ = 0;
+  uint64_t pages_prefetched_ = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_GUIDES_KV_GUIDE_H_

@@ -1,0 +1,555 @@
+#include "src/kv/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/dilos/shard.h"
+
+namespace dilos {
+
+namespace {
+
+// First position in keys[0..count) with keys[pos] >= key.
+uint32_t LowerBound(const std::vector<uint64_t>& keys, uint32_t count, uint64_t key) {
+  uint32_t lo = 0, hi = count;
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (keys[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+FarBTree::FarBTree(FarRuntime& rt, BTreeConfig cfg) : rt_(rt), cfg_(cfg) {
+  if (cfg_.value_size == 0) {
+    cfg_.value_size = 1;
+  }
+  leaf_cap_ = (kPageSize - kLeafHeaderBytes) / (8 + cfg_.value_size);
+  assert(leaf_cap_ >= 4 && "value_size too large for a one-page leaf");
+  min_leaf_ = std::max(1u, leaf_cap_ / 4);
+  if (cfg_.inner_order < 8) {
+    cfg_.inner_order = 8;
+  }
+  min_inner_ = std::max(2u, cfg_.inner_order / 4);
+  root_ = new Inner;
+  root_->leaf_level = true;
+  root_->keys.push_back(0);
+  root_->leaves.push_back(AllocLeaf());  // Zero-fill == empty leaf header.
+  num_leaves_ = 1;
+}
+
+FarBTree::~FarBTree() {
+  FreeIndex(root_);
+  for (const Chunk& c : chunks_) {
+    rt_.FreeRegion(c.raw_base, c.raw_bytes);
+  }
+}
+
+void FarBTree::FreeIndex(Inner* n) {
+  if (!n->leaf_level) {
+    for (Inner* k : n->kids) {
+      FreeIndex(k);
+    }
+  }
+  delete n;
+}
+
+uint64_t FarBTree::arena_bytes() const {
+  uint64_t b = 0;
+  for (const Chunk& c : chunks_) {
+    b += c.raw_bytes;
+  }
+  return b;
+}
+
+// ---- Leaf arena -------------------------------------------------------------
+
+uint64_t FarBTree::AllocLeaf() {
+  if (!free_leaves_.empty()) {
+    uint64_t a = free_leaves_.back();
+    free_leaves_.pop_back();
+    return a;
+  }
+  if (chunks_.empty() || next_slot_ == chunks_.back().slots) {
+    Chunk c;
+    c.raw_bytes =
+        static_cast<uint64_t>(cfg_.granules_per_chunk) * kShardGranuleBytes + kShardGranuleBytes;
+    c.raw_base = rt_.AllocRegion(c.raw_bytes);
+    c.base = (c.raw_base + kShardGranuleBytes - 1) & ~(kShardGranuleBytes - 1);
+    c.slots = static_cast<uint64_t>(cfg_.granules_per_chunk) * kPagesPerGranule;
+    chunks_.push_back(c);
+    next_slot_ = 0;
+  }
+  return chunks_.back().base + (next_slot_++) * kPageSize;
+}
+
+void FarBTree::FreeLeaf(uint64_t addr) { free_leaves_.push_back(addr); }
+
+// ---- Leaf I/O ---------------------------------------------------------------
+//
+// All accessors stay within the leaf's single 4 KB page, so each op below is
+// at most one demand fault; repeated accesses in one call hit the same
+// resident frame on the fast path.
+
+uint32_t FarBTree::ReadLeafCount(uint64_t addr, int core) {
+  return rt_.Read<uint32_t>(addr, core);
+}
+
+uint64_t FarBTree::ReadLeafNext(uint64_t addr, int core) {
+  return rt_.Read<uint64_t>(addr + 8, core);
+}
+
+void FarBTree::ReadLeafKeys(uint64_t addr, uint32_t count, std::vector<uint64_t>* keys,
+                            int core) {
+  keys->resize(count);
+  if (count != 0) {
+    rt_.ReadBytes(addr + kLeafHeaderBytes, keys->data(), static_cast<uint64_t>(count) * 8, core);
+  }
+}
+
+void FarBTree::ReadLeaf(uint64_t addr, LeafBlock* blk, int core) {
+  struct Header {
+    uint32_t count;
+    uint32_t pad;
+    uint64_t next;
+  } h;
+  rt_.ReadBytes(addr, &h, sizeof(h), core);
+  blk->count = h.count;
+  blk->next = h.next;
+  ReadLeafKeys(addr, h.count, &blk->keys, core);
+  blk->values.resize(static_cast<size_t>(h.count) * cfg_.value_size);
+  if (h.count != 0) {
+    rt_.ReadBytes(addr + ValueOffset(0), blk->values.data(), blk->values.size(), core);
+  }
+}
+
+void FarBTree::WriteLeaf(uint64_t addr, const LeafBlock& blk, int core) {
+  // Header and the used key prefix are contiguous: one write.
+  std::vector<uint8_t> buf(kLeafHeaderBytes + static_cast<size_t>(blk.count) * 8);
+  uint32_t count = blk.count;
+  uint32_t pad = 0;
+  std::memcpy(buf.data(), &count, 4);
+  std::memcpy(buf.data() + 4, &pad, 4);
+  std::memcpy(buf.data() + 8, &blk.next, 8);
+  if (count != 0) {
+    std::memcpy(buf.data() + kLeafHeaderBytes, blk.keys.data(), static_cast<size_t>(count) * 8);
+  }
+  rt_.WriteBytes(addr, buf.data(), buf.size(), core);
+  if (count != 0) {
+    rt_.WriteBytes(addr + ValueOffset(0), blk.values.data(), blk.values.size(), core);
+  }
+}
+
+void FarBTree::WriteLeafValue(uint64_t addr, uint32_t idx, const uint8_t* val, int core) {
+  rt_.WriteBytes(addr + ValueOffset(idx), val, cfg_.value_size, core);
+}
+
+// ---- Routing ----------------------------------------------------------------
+
+size_t FarBTree::ChildIndex(const Inner* n, uint64_t key) {
+  // Last fence <= key; keys below every fence route to child 0 (fences are
+  // lower bounds, so child 0 simply comes up empty for such lookups).
+  size_t lo = 0, hi = n->keys.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (n->keys[mid] <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+// ---- Point ops --------------------------------------------------------------
+
+bool FarBTree::Get(uint64_t key, std::string* out, int core) {
+  const Inner* n = root_;
+  while (!n->leaf_level) {
+    n = n->kids[ChildIndex(n, key)];
+  }
+  uint64_t leaf = n->leaves[ChildIndex(n, key)];
+  uint32_t count = ReadLeafCount(leaf, core);
+  ReadLeafKeys(leaf, count, &scratch_.keys, core);
+  uint32_t pos = LowerBound(scratch_.keys, count, key);
+  if (pos >= count || scratch_.keys[pos] != key) {
+    return false;
+  }
+  if (out != nullptr) {
+    out->resize(cfg_.value_size);
+    rt_.ReadBytes(leaf + ValueOffset(pos), out->data(), cfg_.value_size, core);
+  }
+  return true;
+}
+
+bool FarBTree::Put(uint64_t key, std::string_view value, int core) {
+  std::vector<uint8_t> val(cfg_.value_size, 0);
+  std::memcpy(val.data(), value.data(), std::min<size_t>(value.size(), cfg_.value_size));
+  bool inserted = false;
+  Split split;
+  InsertRec(root_, key, val.data(), &inserted, &split, core);
+  if (split.happened) {
+    Inner* nr = new Inner;
+    nr->leaf_level = false;
+    nr->keys = {root_->keys[0], split.fence};
+    nr->kids = {root_, split.node};
+    root_ = nr;
+    ++height_;
+  }
+  if (inserted) {
+    ++size_;
+  }
+  return inserted;
+}
+
+bool FarBTree::InsertRec(Inner* node, uint64_t key, const uint8_t* val, bool* inserted,
+                         Split* split, int core) {
+  size_t idx = ChildIndex(node, key);
+  if (key < node->keys[0]) {
+    node->keys[0] = key;  // Keep the fence a lower bound for the new minimum.
+  }
+  if (!node->leaf_level) {
+    Split child;
+    InsertRec(node->kids[idx], key, val, inserted, &child, core);
+    if (child.happened) {
+      node->keys.insert(node->keys.begin() + static_cast<long>(idx) + 1, child.fence);
+      node->kids.insert(node->kids.begin() + static_cast<long>(idx) + 1, child.node);
+    }
+  } else {
+    uint64_t leaf = node->leaves[idx];
+    ReadLeaf(leaf, &scratch_, core);
+    LeafBlock& b = scratch_;
+    uint32_t pos = LowerBound(b.keys, b.count, key);
+    if (pos < b.count && b.keys[pos] == key) {
+      WriteLeafValue(leaf, pos, val, core);
+      *inserted = false;
+      return true;
+    }
+    *inserted = true;
+    if (b.count < leaf_cap_) {
+      b.keys.insert(b.keys.begin() + pos, key);
+      b.values.insert(b.values.begin() + static_cast<size_t>(pos) * cfg_.value_size, val,
+                      val + cfg_.value_size);
+      ++b.count;
+      WriteLeaf(leaf, b, core);
+      return true;
+    }
+    // Leaf split. Appends (the bulk-load pattern) split at the end so the
+    // left leaf stays 100% packed and sequential loads fill granules densely;
+    // everything else splits at the middle.
+    uint32_t split_at = pos == b.count ? b.count : b.count / 2;
+    LeafBlock& r = scratch_right_;
+    r.keys.assign(b.keys.begin() + split_at, b.keys.end());
+    r.values.assign(b.values.begin() + static_cast<size_t>(split_at) * cfg_.value_size,
+                    b.values.end());
+    r.count = b.count - split_at;
+    r.next = b.next;
+    b.keys.resize(split_at);
+    b.values.resize(static_cast<size_t>(split_at) * cfg_.value_size);
+    b.count = split_at;
+    uint64_t rleaf = AllocLeaf();
+    b.next = rleaf;
+    if (pos >= split_at) {
+      uint32_t rp = pos - split_at;
+      r.keys.insert(r.keys.begin() + rp, key);
+      r.values.insert(r.values.begin() + static_cast<size_t>(rp) * cfg_.value_size, val,
+                      val + cfg_.value_size);
+      ++r.count;
+    } else {
+      b.keys.insert(b.keys.begin() + pos, key);
+      b.values.insert(b.values.begin() + static_cast<size_t>(pos) * cfg_.value_size, val,
+                      val + cfg_.value_size);
+      ++b.count;
+    }
+    WriteLeaf(leaf, b, core);
+    WriteLeaf(rleaf, r, core);
+    ++num_leaves_;
+    ++leaf_splits_;
+    node->keys.insert(node->keys.begin() + static_cast<long>(idx) + 1, r.keys[0]);
+    node->leaves.insert(node->leaves.begin() + static_cast<long>(idx) + 1, rleaf);
+  }
+  if (node->n() > cfg_.inner_order) {
+    size_t half = node->n() / 2;
+    Inner* rn = new Inner;
+    rn->leaf_level = node->leaf_level;
+    rn->keys.assign(node->keys.begin() + static_cast<long>(half), node->keys.end());
+    node->keys.resize(half);
+    if (node->leaf_level) {
+      rn->leaves.assign(node->leaves.begin() + static_cast<long>(half), node->leaves.end());
+      node->leaves.resize(half);
+    } else {
+      rn->kids.assign(node->kids.begin() + static_cast<long>(half), node->kids.end());
+      node->kids.resize(half);
+    }
+    split->happened = true;
+    split->fence = rn->keys[0];
+    split->node = rn;
+  }
+  return true;
+}
+
+// ---- Delete -----------------------------------------------------------------
+
+bool FarBTree::Delete(uint64_t key, int core) {
+  bool found = DeleteRec(root_, key, core);
+  if (found) {
+    --size_;
+  }
+  while (!root_->leaf_level && root_->n() == 1) {
+    Inner* child = root_->kids[0];
+    root_->kids.clear();
+    delete root_;
+    root_ = child;
+    --height_;
+  }
+  return found;
+}
+
+bool FarBTree::DeleteRec(Inner* node, uint64_t key, int core) {
+  size_t idx = ChildIndex(node, key);
+  if (node->leaf_level) {
+    uint64_t leaf = node->leaves[idx];
+    ReadLeaf(leaf, &scratch_, core);
+    LeafBlock& b = scratch_;
+    uint32_t pos = LowerBound(b.keys, b.count, key);
+    if (pos >= b.count || b.keys[pos] != key) {
+      return false;
+    }
+    b.keys.erase(b.keys.begin() + pos);
+    b.values.erase(b.values.begin() + static_cast<size_t>(pos) * cfg_.value_size,
+                   b.values.begin() + static_cast<size_t>(pos + 1) * cfg_.value_size);
+    --b.count;
+    WriteLeaf(leaf, b, core);
+    if (b.count < min_leaf_ && node->n() > 1) {
+      RebalanceLeaf(node, idx, core);
+    }
+    return true;
+  }
+  bool found = DeleteRec(node->kids[idx], key, core);
+  if (found && node->kids[idx]->n() < min_inner_ && node->n() > 1) {
+    RebalanceInner(node, idx);
+  }
+  return found;
+}
+
+void FarBTree::RebalanceLeaf(Inner* parent, size_t idx, int core) {
+  size_t l = idx > 0 ? idx - 1 : idx;
+  size_t r = l + 1;
+  uint64_t lleaf = parent->leaves[l];
+  uint64_t rleaf = parent->leaves[r];
+  LeafBlock& lb = scratch_;
+  LeafBlock& rb = scratch_right_;
+  ReadLeaf(lleaf, &lb, core);
+  ReadLeaf(rleaf, &rb, core);
+  uint32_t total = lb.count + rb.count;
+  if (total >= 2 * min_leaf_) {
+    // Borrow: redistribute the two leaves evenly.
+    std::vector<uint64_t> keys = lb.keys;
+    keys.insert(keys.end(), rb.keys.begin(), rb.keys.end());
+    std::vector<uint8_t> vals = lb.values;
+    vals.insert(vals.end(), rb.values.begin(), rb.values.end());
+    uint32_t half = total / 2;
+    lb.keys.assign(keys.begin(), keys.begin() + half);
+    lb.values.assign(vals.begin(), vals.begin() + static_cast<size_t>(half) * cfg_.value_size);
+    lb.count = half;
+    rb.keys.assign(keys.begin() + half, keys.end());
+    rb.values.assign(vals.begin() + static_cast<size_t>(half) * cfg_.value_size, vals.end());
+    rb.count = total - half;
+    parent->keys[r] = rb.keys[0];
+    WriteLeaf(lleaf, lb, core);
+    WriteLeaf(rleaf, rb, core);
+    ++leaf_borrows_;
+    return;
+  }
+  // Merge right into left; the combined leaf fits (total < 2*min <= cap/2).
+  lb.keys.insert(lb.keys.end(), rb.keys.begin(), rb.keys.end());
+  lb.values.insert(lb.values.end(), rb.values.begin(), rb.values.end());
+  lb.count = total;
+  lb.next = rb.next;
+  WriteLeaf(lleaf, lb, core);
+  FreeLeaf(rleaf);
+  --num_leaves_;
+  ++leaf_merges_;
+  parent->keys.erase(parent->keys.begin() + static_cast<long>(r));
+  parent->leaves.erase(parent->leaves.begin() + static_cast<long>(r));
+}
+
+void FarBTree::RebalanceInner(Inner* parent, size_t idx) {
+  size_t l = idx > 0 ? idx - 1 : idx;
+  size_t r = l + 1;
+  Inner* lc = parent->kids[l];
+  Inner* rc = parent->kids[r];
+  size_t total = lc->n() + rc->n();
+  if (total >= 2 * static_cast<size_t>(min_inner_)) {
+    std::vector<uint64_t> keys = lc->keys;
+    keys.insert(keys.end(), rc->keys.begin(), rc->keys.end());
+    size_t half = total / 2;
+    lc->keys.assign(keys.begin(), keys.begin() + static_cast<long>(half));
+    rc->keys.assign(keys.begin() + static_cast<long>(half), keys.end());
+    if (lc->leaf_level) {
+      std::vector<uint64_t> leaves = lc->leaves;
+      leaves.insert(leaves.end(), rc->leaves.begin(), rc->leaves.end());
+      lc->leaves.assign(leaves.begin(), leaves.begin() + static_cast<long>(half));
+      rc->leaves.assign(leaves.begin() + static_cast<long>(half), leaves.end());
+    } else {
+      std::vector<Inner*> kids = lc->kids;
+      kids.insert(kids.end(), rc->kids.begin(), rc->kids.end());
+      lc->kids.assign(kids.begin(), kids.begin() + static_cast<long>(half));
+      rc->kids.assign(kids.begin() + static_cast<long>(half), kids.end());
+    }
+    parent->keys[r] = rc->keys[0];
+    return;
+  }
+  lc->keys.insert(lc->keys.end(), rc->keys.begin(), rc->keys.end());
+  if (lc->leaf_level) {
+    lc->leaves.insert(lc->leaves.end(), rc->leaves.begin(), rc->leaves.end());
+  } else {
+    lc->kids.insert(lc->kids.end(), rc->kids.begin(), rc->kids.end());
+  }
+  rc->kids.clear();
+  delete rc;
+  parent->keys.erase(parent->keys.begin() + static_cast<long>(r));
+  parent->kids.erase(parent->kids.begin() + static_cast<long>(r));
+}
+
+// ---- Scans ------------------------------------------------------------------
+
+uint32_t FarBTree::Scan(uint64_t start, uint32_t count,
+                        std::vector<std::pair<uint64_t, std::string>>* out, int core) {
+  if (count == 0) {
+    return 0;
+  }
+  const Inner* n = root_;
+  while (!n->leaf_level) {
+    n = n->kids[ChildIndex(n, start)];
+  }
+  uint64_t leaf = n->leaves[ChildIndex(n, start)];
+  uint32_t got = 0;
+  bool first = true;
+  while (leaf != 0 && got < count) {
+    ReadLeaf(leaf, &scratch_, core);
+    uint32_t i = first ? LowerBound(scratch_.keys, scratch_.count, start) : 0;
+    first = false;
+    for (; i < scratch_.count && got < count; ++i) {
+      out->emplace_back(
+          scratch_.keys[i],
+          std::string(reinterpret_cast<const char*>(scratch_.values.data()) +
+                          static_cast<size_t>(i) * cfg_.value_size,
+                      cfg_.value_size));
+      ++got;
+    }
+    leaf = scratch_.next;
+  }
+  return got;
+}
+
+void FarBTree::CollectLeaves(uint64_t start, uint32_t max_leaves,
+                             std::vector<uint64_t>* out) const {
+  out->clear();
+  if (max_leaves == 0) {
+    return;
+  }
+  // Iterative DFS from the child covering `start`: every later sibling only
+  // holds larger keys, so the in-order walk from that child is exactly the
+  // leaf sequence a Scan(start, ...) touches.
+  std::vector<std::pair<const Inner*, size_t>> stack;
+  stack.emplace_back(root_, ChildIndex(root_, start));
+  while (!stack.empty() && out->size() < max_leaves) {
+    auto& [node, i] = stack.back();
+    if (i >= node->n()) {
+      stack.pop_back();
+      continue;
+    }
+    size_t cur = i++;
+    if (node->leaf_level) {
+      out->push_back(node->leaves[cur]);
+    } else {
+      const Inner* child = node->kids[cur];
+      stack.emplace_back(child, ChildIndex(child, start));
+      // Children after the entry point cover only keys > start, and their
+      // ChildIndex(start) is 0 anyway (fences exceed start), so reusing
+      // `start` for every descent is correct.
+    }
+  }
+}
+
+// ---- Validation (tests) -------------------------------------------------------
+
+bool FarBTree::Validate(std::string* err, int core) {
+  std::vector<uint64_t> chain;
+  if (!ValidateRec(root_, 0, false, 0, height_, err, &chain, core)) {
+    return false;
+  }
+  // The next-pointer chain must visit exactly the index-order leaves.
+  uint64_t leaf = chain.empty() ? 0 : chain[0];
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (leaf != chain[i]) {
+      *err = "leaf chain diverges from index order";
+      return false;
+    }
+    leaf = ReadLeafNext(leaf, core);
+  }
+  if (leaf != 0) {
+    *err = "leaf chain does not terminate";
+    return false;
+  }
+  if (chain.size() != num_leaves_) {
+    *err = "num_leaves_ out of sync";
+    return false;
+  }
+  return true;
+}
+
+bool FarBTree::ValidateRec(const Inner* n, uint64_t lo, bool has_hi, uint64_t hi,
+                           uint32_t depth, std::string* err, std::vector<uint64_t>* chain,
+                           int core) {
+  if (n->n() == 0) {
+    *err = "empty interior node";
+    return false;
+  }
+  if (n->leaf_level != (depth == 1)) {
+    *err = "leaf level at wrong depth";
+    return false;
+  }
+  for (size_t i = 0; i < n->n(); ++i) {
+    if (i > 0 && n->keys[i] <= n->keys[i - 1]) {
+      *err = "fences not strictly increasing";
+      return false;
+    }
+    uint64_t clo = std::max(lo, n->keys[i]);
+    bool chas_hi = i + 1 < n->n() ? true : has_hi;
+    uint64_t chi = i + 1 < n->n() ? n->keys[i + 1] : hi;
+    if (n->leaf_level) {
+      LeafBlock blk;
+      ReadLeaf(n->leaves[i], &blk, core);
+      if (blk.count > leaf_cap_) {
+        *err = "leaf overflow";
+        return false;
+      }
+      for (uint32_t k = 0; k < blk.count; ++k) {
+        if (k > 0 && blk.keys[k] <= blk.keys[k - 1]) {
+          *err = "leaf keys not sorted";
+          return false;
+        }
+        if (blk.keys[k] < clo || (chas_hi && blk.keys[k] >= chi)) {
+          *err = "leaf key outside fence range";
+          return false;
+        }
+      }
+      chain->push_back(n->leaves[i]);
+    } else {
+      if (!ValidateRec(n->kids[i], clo, chas_hi, chi, depth - 1, err, chain, core)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dilos

@@ -1,0 +1,182 @@
+// Far-memory-aware B+-tree (DiStore-style two-layer design).
+//
+// The interior of the tree — the "search layer" — lives entirely in
+// compute-node DRAM as plain heap objects: it is small (one fence key +
+// 8-byte handle per leaf) and hot, so it never pages. Only the leaves — the
+// "data layer" — live in far memory, one 4 KB page per leaf, carved from a
+// granule-aligned arena so that consecutively allocated leaves are
+// address-consecutive inside a 256 KB shard granule (kShardGranuleBytes).
+// The payoff is the paper's service-shaped access pattern:
+//
+//  - a point lookup descends the local index for free and touches exactly
+//    one far page (≤ 1 cold granule);
+//  - a range scan walks address-sequential leaves, and because the index is
+//    local the full list of upcoming leaf pages is known *before* the walk
+//    starts — which is what lets the scan guide (src/guides/kv_guide.h)
+//    issue vectored prefetches over them instead of demand-faulting page by
+//    page (CollectLeaves below).
+//
+// The tree is keyed by uint64 with fixed-size values (BTreeConfig::
+// value_size); leaves are kept sorted, linked by a far `next` pointer, and
+// rebalanced on underflow (borrow from a sibling, else merge), so delete-
+// heavy workloads do not leak far memory. Routing uses lower-bound fence
+// keys: every interior slot stores a key ≤ the minimum of its subtree and
+// > the maximum of its left neighbor, which stays valid when a subtree's
+// true minimum is deleted.
+#ifndef DILOS_SRC_KV_BTREE_H_
+#define DILOS_SRC_KV_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/sim/far_runtime.h"
+
+namespace dilos {
+
+struct BTreeConfig {
+  // Fixed record payload size. Leaf fanout is derived from it:
+  // (4096 - header) / (8 + value_size) records per leaf page.
+  uint32_t value_size = 100;
+  // Max children per interior node (local DRAM, so fanout is a CPU/locality
+  // knob, not a paging one). Underflow threshold is order/4.
+  uint32_t inner_order = 64;
+  // Far-arena growth unit, in 256 KB granules. Each chunk is one contiguous
+  // granule-aligned region; leaves allocated within a chunk are
+  // address-sequential, so a freshly loaded key range scans sequentially.
+  uint32_t granules_per_chunk = 64;
+};
+
+class FarBTree {
+ public:
+  FarBTree(FarRuntime& rt, BTreeConfig cfg = {});
+  ~FarBTree();
+
+  FarBTree(const FarBTree&) = delete;
+  FarBTree& operator=(const FarBTree&) = delete;
+
+  // Inserts or overwrites; returns true when `key` was new. `value` is
+  // truncated / zero-padded to value_size.
+  bool Put(uint64_t key, std::string_view value, int core = 0);
+
+  // Point lookup: one local index descent + one far leaf page.
+  bool Get(uint64_t key, std::string* out, int core = 0);
+
+  bool Delete(uint64_t key, int core = 0);
+
+  // Collects up to `count` records with key >= start in key order by
+  // walking the leaf chain. Returns the number appended to `out`.
+  uint32_t Scan(uint64_t start, uint32_t count,
+                std::vector<std::pair<uint64_t, std::string>>* out, int core = 0);
+
+  // The scan-guide hook: the far addresses of the first `max_leaves` leaf
+  // pages a Scan(start, ...) would walk, computed from the local search
+  // layer alone (no far-memory touch).
+  void CollectLeaves(uint64_t start, uint32_t max_leaves,
+                     std::vector<uint64_t>* out) const;
+
+  // Structural invariant check for tests; returns false and fills `err`
+  // on the first violation found.
+  bool Validate(std::string* err, int core = 0);
+
+  uint64_t size() const { return size_; }
+  uint32_t height() const { return height_; }
+  uint64_t num_leaves() const { return num_leaves_; }
+  uint32_t leaf_capacity() const { return leaf_cap_; }
+  uint64_t leaf_splits() const { return leaf_splits_; }
+  uint64_t leaf_merges() const { return leaf_merges_; }
+  uint64_t leaf_borrows() const { return leaf_borrows_; }
+  uint64_t arena_bytes() const;
+
+ private:
+  // Interior node, local DRAM. keys[i] is the lower-bound fence of child i;
+  // children are either sub-interior nodes or far leaf addresses.
+  struct Inner {
+    bool leaf_level = false;
+    std::vector<uint64_t> keys;
+    std::vector<Inner*> kids;     // When !leaf_level.
+    std::vector<uint64_t> leaves; // When leaf_level.
+    size_t n() const { return keys.size(); }
+  };
+
+  // One leaf page materialized in host memory for mutation.
+  struct LeafBlock {
+    uint32_t count = 0;
+    uint64_t next = 0;
+    std::vector<uint64_t> keys;
+    std::vector<uint8_t> values;  // count * value_size bytes.
+  };
+
+  // Child-split result propagated up the insert recursion.
+  struct Split {
+    bool happened = false;
+    uint64_t fence = 0;   // Lower-bound fence of the new right sibling.
+    Inner* node = nullptr;
+    uint64_t leaf = 0;
+  };
+
+  static constexpr uint32_t kLeafHeaderBytes = 16;  // count(4) pad(4) next(8).
+
+  uint64_t AllocLeaf();
+  void FreeLeaf(uint64_t addr);
+
+  uint32_t ReadLeafCount(uint64_t addr, int core);
+  uint64_t ReadLeafNext(uint64_t addr, int core);
+  void ReadLeafKeys(uint64_t addr, uint32_t count, std::vector<uint64_t>* keys, int core);
+  void ReadLeaf(uint64_t addr, LeafBlock* blk, int core);
+  void WriteLeaf(uint64_t addr, const LeafBlock& blk, int core);
+  void WriteLeafValue(uint64_t addr, uint32_t idx, const uint8_t* val, int core);
+  uint64_t ValueOffset(uint32_t idx) const {
+    return kLeafHeaderBytes + static_cast<uint64_t>(leaf_cap_) * 8 +
+           static_cast<uint64_t>(idx) * cfg_.value_size;
+  }
+
+  // Index of the child whose range covers `key`.
+  static size_t ChildIndex(const Inner* n, uint64_t key);
+
+  bool InsertRec(Inner* node, uint64_t key, const uint8_t* val, bool* inserted,
+                 Split* split, int core);
+  bool DeleteRec(Inner* node, uint64_t key, int core);
+  void RebalanceLeaf(Inner* parent, size_t idx, int core);
+  void RebalanceInner(Inner* parent, size_t idx);
+  void FreeIndex(Inner* n);
+
+  bool ValidateRec(const Inner* n, uint64_t lo, bool has_hi, uint64_t hi,
+                   uint32_t depth, std::string* err, std::vector<uint64_t>* chain,
+                   int core);
+
+  FarRuntime& rt_;
+  BTreeConfig cfg_;
+  uint32_t leaf_cap_;
+  uint32_t min_leaf_;   // Underflow threshold.
+  uint32_t min_inner_;
+
+  Inner* root_;
+  uint32_t height_ = 1;  // Interior levels including the leaf-level node.
+  uint64_t size_ = 0;
+  uint64_t num_leaves_ = 0;
+  uint64_t leaf_splits_ = 0;
+  uint64_t leaf_merges_ = 0;
+  uint64_t leaf_borrows_ = 0;
+
+  // Granule-aligned leaf arena: contiguous chunks carved into 4 KB slots.
+  struct Chunk {
+    uint64_t raw_base = 0;   // As returned by AllocRegion (freed with this).
+    uint64_t raw_bytes = 0;
+    uint64_t base = 0;       // Granule-aligned carve base.
+    uint64_t slots = 0;
+  };
+  std::vector<Chunk> chunks_;
+  uint64_t next_slot_ = 0;          // Next unused slot in the last chunk.
+  std::vector<uint64_t> free_leaves_;
+
+  // Scratch blocks reused across ops to avoid per-op allocation churn.
+  LeafBlock scratch_;
+  LeafBlock scratch_right_;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_KV_BTREE_H_

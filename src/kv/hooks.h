@@ -1,0 +1,36 @@
+// Scan-path hook interface between the KV service and an app-aware guide.
+//
+// The service side (src/kv) may not depend on src/guides, so the contract
+// lives here: before walking a range scan, KvService hands the guide the
+// far addresses of the leaf pages the walk will touch (known in advance
+// because the B+-tree's search layer is local DRAM — see
+// FarBTree::CollectLeaves). The guide implementation
+// (src/guides/kv_guide.h) uses the plan at fault time to issue vectored
+// prefetches over the upcoming leaves instead of letting the scan
+// demand-fault page by page.
+#ifndef DILOS_SRC_KV_HOOKS_H_
+#define DILOS_SRC_KV_HOOKS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dilos {
+
+class KvScanHooks {
+ public:
+  virtual ~KvScanHooks() = default;
+
+  // A scan is starting; `leaf_addrs` are the far addresses of the leaf
+  // pages it will walk, in walk order.
+  virtual void OnScanBegin(const std::vector<uint64_t>& leaf_addrs) = 0;
+
+  virtual void OnScanEnd() = 0;
+
+  // Pages the guide prefetched on behalf of the scan since the last call;
+  // drained by KvService into RuntimeStats::kv_scan_prefetch_pages.
+  virtual uint64_t TakePrefetchedPages() { return 0; }
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_KV_HOOKS_H_

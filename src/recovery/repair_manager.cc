@@ -68,14 +68,34 @@ int RepairManager::PickTarget(const std::vector<int>& replicas) {
       continue;
     }
     bool spare = router_.is_spare(n);
-    if (best < 0 || (spare && !best_spare) ||
-        (spare == best_spare &&
-         target_refs_[static_cast<size_t>(n)] < target_refs_[static_cast<size_t>(best)])) {
+    // Ordering: spares first, then fewest in-flight rebuilds, then (with a
+    // metrics registry installed) the least-loaded node by observed fabric
+    // traffic — so back-to-back failures don't pile every rebuild onto the
+    // same already-hot node.
+    bool better = best < 0 || (spare && !best_spare);
+    if (!better && spare == best_spare) {
+      uint32_t rn = target_refs_[static_cast<size_t>(n)];
+      uint32_t rb = target_refs_[static_cast<size_t>(best)];
+      better = rn != rb ? rn < rb : LessLoaded(n, best);
+    }
+    if (better) {
       best = n;
       best_spare = spare;
     }
   }
   return best;
+}
+
+bool RepairManager::LessLoaded(int a, int b) const {
+  if (metrics_ == nullptr) {
+    return false;  // No signal: keep the incumbent (lowest node id wins).
+  }
+  QpMetrics ma = metrics_->NodeTotal(a);
+  QpMetrics mb = metrics_->NodeTotal(b);
+  if (ma.bytes() != mb.bytes()) {
+    return ma.bytes() < mb.bytes();
+  }
+  return ma.rtt.Percentile(99) < mb.rtt.Percentile(99);
 }
 
 void RepairManager::ScanForFailures(uint64_t now_ns) {

@@ -27,6 +27,7 @@
 #include "src/recovery/failure_detector.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
+#include "src/telemetry/metrics.h"
 
 namespace dilos {
 
@@ -74,6 +75,12 @@ class RepairManager {
   // serves no reads until each granule's refill commits.
   void OnNodeReadmitted(int node, uint64_t now_ns);
 
+  // Optional per-node load signal (installed by the runtime when telemetry
+  // metrics are on): PickTarget breaks in-flight-rebuild-count ties toward
+  // the node with the least observed traffic (bytes, then RTT tail), per the
+  // ROADMAP load-aware-rebalancing item. Null keeps the old behavior.
+  void set_metrics(const MetricsRegistry* metrics) { metrics_ = metrics; }
+
   bool idle() const { return jobs_.empty(); }
   size_t pending_granules() const { return jobs_.size(); }
   // Completion frontier of the serialized repair copy stream: issue-time of
@@ -112,6 +119,8 @@ class RepairManager {
   }
   // Replacement node for a degraded replica set, or -1 if none exists.
   int PickTarget(const std::vector<int>& replicas);
+  // True when node `a` carries strictly less observed fabric load than `b`.
+  bool LessLoaded(int a, int b) const;
   // Copies the next pages of the front job; returns bytes moved.
   uint64_t DrainFront(uint64_t now_ns, uint64_t budget);
 
@@ -121,6 +130,7 @@ class RepairManager {
   RuntimeStats& stats_;
   Tracer* tracer_;
   RepairConfig cfg_;
+  const MetricsRegistry* metrics_ = nullptr;
 
   std::vector<QueuePair*> qps_;  // One dedicated repair QP per node.
   std::deque<Job> jobs_;

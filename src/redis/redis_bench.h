@@ -45,6 +45,11 @@ class RedisBench {
 
   static std::string KeyName(uint64_t i);
 
+  // Deterministic value payload ('A'..'Z' fill keyed by salt). Public and
+  // static: it is also the single value generator behind the bench drivers
+  // (BenchValue in bench/common.h), so payload synthesis exists once.
+  static std::string MakeValue(uint32_t size, uint64_t salt);
+
   // SET-populates `nkeys` string keys; key i gets sizes[i % sizes.size()].
   void PopulateStrings(uint64_t nkeys, const std::vector<uint32_t>& sizes);
 
@@ -68,8 +73,6 @@ class RedisBench {
   uint64_t live_keys() const { return live_.size(); }
 
  private:
-  std::string MakeValue(uint32_t size, uint64_t salt);
-
   RedisLite& redis_;
   Rng rng_;
   std::vector<uint64_t> live_;   // Key indices still present.

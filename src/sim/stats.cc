@@ -195,6 +195,12 @@ std::string RuntimeStats::ToString() const {
                   static_cast<unsigned long long>(tier_corrupt_drops));
     out += buf;
   }
+  if (kv_guided_scans != 0 || kv_scan_prefetch_pages != 0) {
+    std::snprintf(buf, sizeof(buf), "kv: guided-scans=%llu scan-prefetched=%llu\n",
+                  static_cast<unsigned long long>(kv_guided_scans),
+                  static_cast<unsigned long long>(kv_scan_prefetch_pages));
+    out += buf;
+  }
   return out + fault_breakdown.ToString();
 }
 

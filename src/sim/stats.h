@@ -150,6 +150,10 @@ struct RuntimeStats {
   uint64_t tier_compressed_bytes = 0;       // Compressed payload bytes admitted.
   uint64_t tier_corrupt_drops = 0;          // Blobs that failed decompression, dropped.
 
+  // --- KV service (src/kv) ----------------------------------------------------
+  uint64_t kv_guided_scans = 0;        // Range scans that ran with a scan guide installed.
+  uint64_t kv_scan_prefetch_pages = 0; // Leaf pages prefetched by scan guidance.
+
   LatencyBreakdown fault_breakdown;
 
   uint64_t total_faults() const { return major_faults + minor_faults + zero_fill_faults; }

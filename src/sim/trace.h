@@ -62,6 +62,9 @@ enum class TraceEvent : uint8_t {
   // stale copy (missed write-backs behind a partition) was detected and
   // bypassed. detail carries the node id.
   kStaleCopy,
+  // KV service (src/kv): page_va is the first planned leaf page.
+  kKvScan,          // A guided range scan began (detail: planned leaf count).
+  kKvScanPrefetch,  // Leaves prefetched for a scan (detail: page count).
 };
 
 inline const char* TraceEventName(TraceEvent e) {
@@ -122,6 +125,10 @@ inline const char* TraceEventName(TraceEvent e) {
       return "tier-corrupt";
     case TraceEvent::kStaleCopy:
       return "stale-copy";
+    case TraceEvent::kKvScan:
+      return "kv-scan";
+    case TraceEvent::kKvScanPrefetch:
+      return "kv-scan-prefetch";
   }
   return "?";
 }

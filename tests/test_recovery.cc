@@ -3,7 +3,9 @@
 // granules, spare-node adoption, and degraded-mode routing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "src/dilos/readahead.h"
 #include "src/dilos/runtime.h"
@@ -193,6 +195,55 @@ TEST(RepairManager, DoubleFailureAfterRepairLosesNothing) {
   EXPECT_EQ(VerifySweep(rt, region, pages), 0u);
   EXPECT_EQ(rt.stats().failed_fetches, 0u);
   EXPECT_EQ(rt.stats().nodes_failed, 2u);
+}
+
+TEST(RepairManager, PickTargetBreaksTiesTowardLessLoadedNode) {
+  // Four nodes, replication=2, telemetry metrics on: a single degraded
+  // granule has two equally-eligible rebuild targets (neither a spare,
+  // neither with rebuilds in flight), so PickTarget falls through to the
+  // fabric load signal (bytes moved, then p99 RTT) from MetricsRegistry.
+  Fabric fabric(CostModel::Default(), 4);
+  DilosConfig cfg = RecoveryConfig(2);
+  cfg.local_mem_bytes = 16 * kPageSize;  // Force write-back of the granule.
+  cfg.telemetry.metrics = true;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  // Exactly one granule of far data: one repair, one PickTarget decision.
+  uint64_t region = rt.AllocRegion(kPagesPerGranule * kPageSize);
+  for (uint64_t p = 0; p < kPagesPerGranule; ++p) {
+    rt.Write<uint64_t>(region + p * kPageSize, p);
+  }
+  ASSERT_EQ(rt.router().written_granules().size(), 1u);
+
+  std::vector<int> replicas;
+  rt.router().ReplicaNodes(region, &replicas);
+  ASSERT_EQ(replicas.size(), 2u);
+  std::vector<int> candidates;
+  for (int n = 0; n < 4; ++n) {
+    if (n != replicas[0] && n != replicas[1]) {
+      candidates.push_back(n);
+    }
+  }
+  ASSERT_EQ(candidates.size(), 2u);
+  // Make the first candidate look like the hot node: far more bytes moved
+  // than any organic traffic (probes, the repair copy) will generate.
+  ASSERT_NE(rt.metrics(), nullptr);
+  for (int i = 0; i < 64; ++i) {
+    rt.metrics()->OnOp(candidates[0], QpClass::kOther, /*is_write=*/false, 1 << 20, 200'000,
+                       /*ok=*/true, /*timed_out=*/false);
+  }
+
+  fabric.CrashNode(replicas[0]);
+  rt.DriveRecovery(2'000'000);
+  ASSERT_EQ(rt.router().state(replicas[0]), NodeState::kDead);
+  DriveUntilIdle(rt);
+  ASSERT_TRUE(rt.RecoveryIdle());
+
+  std::vector<int> after;
+  rt.router().ReplicaNodes(region, &after);
+  EXPECT_NE(std::find(after.begin(), after.end(), candidates[1]), after.end())
+      << "rebuild must land on the less-loaded candidate";
+  EXPECT_EQ(std::find(after.begin(), after.end(), candidates[0]), after.end())
+      << "the hot node must lose the tiebreak";
 }
 
 TEST(DegradedMode, WriteQpsSkipDeadAndIncludeRebuildTarget) {

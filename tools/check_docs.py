@@ -134,7 +134,9 @@ def check_observability_drift(errors):
     # The reverse direction: a table row for `kSomething` that is no
     # TraceEvent enumerator is a stale row. Only table rows count —
     # backticked kNames in prose may be other enums (NodeState, WcStatus).
-    rows = re.findall(r"^\|\s*`(k\w+)`", doc, re.MULTILINE)
+    # Enumerators are kPascalCase; requiring the capital keeps snake_case
+    # counters that happen to start with "k" (kv_*) out of this check.
+    rows = re.findall(r"^\|\s*`(k[A-Z]\w+)`", doc, re.MULTILINE)
     for name in sorted(set(rows)):
         if name not in events:
             errors.append(
