@@ -38,14 +38,19 @@ struct Row {
   uint64_t failed = 0;
 };
 
-Row Run(uint64_t bytes_per_tick, size_t pipeline_depth = 8) {
-  Fabric fabric(CostModel::Default(), 3);
+DilosConfig MakeCfg(uint64_t bytes_per_tick, size_t pipeline_depth) {
   DilosConfig cfg;
   cfg.local_mem_bytes = kWs / 8;
   cfg.replication = 2;
   cfg.recovery.enabled = true;
   cfg.recovery.repair.bytes_per_tick = bytes_per_tick;
   cfg.recovery.repair.pipeline_depth = pipeline_depth;
+  return cfg;
+}
+
+Row Run(uint64_t bytes_per_tick, size_t pipeline_depth = 8) {
+  Fabric fabric(CostModel::Default(), 3);
+  DilosConfig cfg = MakeCfg(bytes_per_tick, pipeline_depth);
   DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
 
   uint64_t region = rt.AllocRegion(kWs);
@@ -117,6 +122,7 @@ void RunAll() {
     BenchJson& j = BenchJson::Instance();
     j.BeginRecord("ext_recovery.throttle");
     j.Config("repair_bytes_per_tick", throttles[i]);
+    JsonRuntimeConfig(MakeCfg(throttles[i], 8));
     j.Metric("healthy_p50_ns", r.healthy_p50);
     j.Metric("healthy_p99_ns", r.healthy_p99);
     j.Metric("repair_p50_ns", r.repair_p50);
@@ -150,6 +156,7 @@ void RunAll() {
     j.BeginRecord("ext_recovery.pipelining");
     j.Config("pipeline_depth", static_cast<uint64_t>(depths[i]));
     j.Config("repair_bytes_per_tick", static_cast<uint64_t>(2ULL << 20));
+    JsonRuntimeConfig(MakeCfg(2ULL << 20, depths[i]));
     j.Metric("repair_mb_s", r.repair_mb_s);
     j.Metric("repair_ms", r.repair_ms);
     j.Metric("repair_p99_ns", r.repair_p99);

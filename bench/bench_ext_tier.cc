@@ -201,6 +201,7 @@ void RunCapacity() {
     j.BeginRecord("ext_tier.capacity");
     j.Config("random_frac", frac);
     j.Config("working_set_bytes", ws);
+    JsonRuntimeConfig(cfg);
     j.Metric("stored_pages", tier.stored_pages());
     j.Metric("logical_bytes", logical);
     j.Metric("tier_dram_bytes", dram);
@@ -253,8 +254,8 @@ void RunTraffic() {
                 static_cast<double>(rt.MaxTimeNs()) / 1e6);
     BenchJson& j = BenchJson::Instance();
     j.BeginRecord("ext_tier.traffic");
-    j.Config("tier", std::string(tier_on ? "on" : "off"));
     j.Config("ops", ops);
+    JsonRuntimeConfig(cfg);
     j.Metric("tier_hits", rt.stats().tier_hits);
     j.Metric("bytes_fetched", rt.stats().bytes_fetched);
     j.Metric("bytes_written", rt.stats().bytes_written);

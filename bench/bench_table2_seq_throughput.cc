@@ -1,7 +1,16 @@
 // Table 2: throughput of sequential read and write (GB/s) with 12.5% local
 // memory. Paper: Fastswap 0.98/0.49; DiLOS no-prefetch 1.24/1.14;
 // readahead 3.74/3.49; trend-based 3.73/3.49.
+//
+// Extended with the async fault pipeline (DESIGN.md §12): the no-prefetch
+// rows rerun with fault_pipeline.depth ∈ {1, 8}. This binary doubles as the
+// pipeline's CI gate (exit 1 on violation):
+//   1. depth 8 improves per-core demand-fault throughput ≥ 2× over blocking
+//      on the pure-fault row (no-prefetch sequential read);
+//   2. depth 1 reproduces blocking-mode major/minor fault counts exactly,
+//      for every prefetcher variant.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/common.h"
 #include "src/apps/seqrw.h"
@@ -12,37 +21,128 @@ namespace {
 constexpr uint64_t kWorkingSet = 64ULL << 20;
 constexpr uint64_t kLocal = kWorkingSet / 8;
 
-void Row(const char* name, FarRuntime& rt) {
+struct RowResult {
+  SeqResult rd;
+  SeqResult wr;
+};
+
+RowResult Row(const char* name, FarRuntime& rt, const DilosConfig* cfg = nullptr) {
   SeqWorkload wl(rt, kWorkingSet);
-  SeqResult rd = wl.Read();
-  SeqResult wr = wl.Write();
-  std::printf("%-22s %8.2f %8.2f\n", name, rd.GBps(), wr.GBps());
+  RowResult r{wl.Read(), wl.Write()};
+  std::printf("%-26s %8.2f %8.2f   %7llu %7llu\n", name, r.rd.GBps(), r.wr.GBps(),
+              static_cast<unsigned long long>(r.rd.major_faults),
+              static_cast<unsigned long long>(r.rd.minor_faults));
+  BenchJson& j = BenchJson::Instance();
+  j.BeginRecord("table2.seq_throughput");
+  j.Config("system", name);
+  if (cfg != nullptr) {
+    JsonRuntimeConfig(*cfg);
+  }
+  j.Metric("read_gbps", r.rd.GBps());
+  j.Metric("write_gbps", r.wr.GBps());
+  j.Metric("read_major_faults", r.rd.major_faults);
+  j.Metric("read_minor_faults", r.rd.minor_faults);
+  return r;
 }
 
-void Run() {
+DilosConfig ConfigFor(uint32_t pipeline_depth) {
+  DilosConfig cfg;
+  cfg.local_mem_bytes = kLocal;
+  if (pipeline_depth > 0) {
+    cfg.fault_pipeline.enabled = true;
+    cfg.fault_pipeline.depth = pipeline_depth;
+  }
+  return cfg;
+}
+
+int Run() {
   PrintHeader(
       "Table 2: sequential read/write throughput (GB/s), 12.5% local\n"
       "(paper: Fastswap 0.98/0.49 | DiLOS 1.24/1.14 | +readahead 3.74/3.49 "
       "| +trend 3.73/3.49)");
-  std::printf("%-22s %8s %8s\n", "system", "read", "write");
+  std::printf("%-26s %8s %8s   %7s %7s\n", "system", "read", "write", "major", "minor");
   {
     Fabric fabric;
     auto rt = MakeFastswap(fabric, kLocal);
     Row("Fastswap", *rt);
   }
+
+  RowResult blocking[3];
+  RowResult depth1[3];
+  int i = 0;
   for (DilosVariant v :
        {DilosVariant::kNoPrefetch, DilosVariant::kReadahead, DilosVariant::kTrend}) {
     Fabric fabric;
-    auto rt = MakeDilos(fabric, kLocal, v);
-    Row(VariantName(v), *rt);
+    DilosConfig cfg = ConfigFor(0);
+    auto rt = std::make_unique<DilosRuntime>(fabric, cfg, MakePrefetcher(v));
+    blocking[i++] = Row(VariantName(v), *rt, &cfg);
+  }
+  i = 0;
+  for (DilosVariant v :
+       {DilosVariant::kNoPrefetch, DilosVariant::kReadahead, DilosVariant::kTrend}) {
+    Fabric fabric;
+    DilosConfig cfg = ConfigFor(1);
+    auto rt = std::make_unique<DilosRuntime>(fabric, cfg, MakePrefetcher(v));
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s [pipe d=1]", VariantName(v));
+    depth1[i++] = Row(name, *rt, &cfg);
+  }
+  RowResult piped;
+  {
+    Fabric fabric;
+    DilosConfig cfg = ConfigFor(8);
+    auto rt = std::make_unique<DilosRuntime>(fabric, cfg,
+                                             MakePrefetcher(DilosVariant::kNoPrefetch));
+    piped = Row("DiLOS no-prefetch [d=8]", *rt, &cfg);
   }
   std::printf("\n");
+
+  // Gate 1: pipelining must beat blocking ≥ 2× on the demand-fault-bound
+  // row. No-prefetch sequential read is all major faults, so read GB/s is a
+  // direct proxy for per-core demand-fault throughput (faults/s × 4 KB).
+  double gain = piped.rd.GBps() / blocking[0].rd.GBps();
+  std::printf("pipeline gain (no-prefetch read, d=8 vs blocking): %.2fx\n", gain);
+  int violations = 0;
+  if (gain < 2.0) {
+    std::fprintf(stderr, "GATE FAILED: pipeline d=8 gain %.2fx < 2x over blocking\n", gain);
+    ++violations;
+  }
+  // Gate 2: depth 1 is the blocking path expressed through the pipeline
+  // machinery — its fault counts must match blocking exactly, per variant.
+  const char* names[] = {"no-prefetch", "readahead", "trend"};
+  for (int v = 0; v < 3; ++v) {
+    if (depth1[v].rd.major_faults != blocking[v].rd.major_faults ||
+        depth1[v].rd.minor_faults != blocking[v].rd.minor_faults ||
+        depth1[v].wr.major_faults != blocking[v].wr.major_faults ||
+        depth1[v].wr.minor_faults != blocking[v].wr.minor_faults) {
+      std::fprintf(stderr,
+                   "GATE FAILED: depth-1 fault counts diverge from blocking (%s): "
+                   "rd %llu/%llu vs %llu/%llu, wr %llu/%llu vs %llu/%llu\n",
+                   names[v],
+                   static_cast<unsigned long long>(depth1[v].rd.major_faults),
+                   static_cast<unsigned long long>(depth1[v].rd.minor_faults),
+                   static_cast<unsigned long long>(blocking[v].rd.major_faults),
+                   static_cast<unsigned long long>(blocking[v].rd.minor_faults),
+                   static_cast<unsigned long long>(depth1[v].wr.major_faults),
+                   static_cast<unsigned long long>(depth1[v].wr.minor_faults),
+                   static_cast<unsigned long long>(blocking[v].wr.major_faults),
+                   static_cast<unsigned long long>(blocking[v].wr.minor_faults));
+      ++violations;
+    }
+  }
+  if (violations == 0) {
+    std::printf("gates: OK (>=2x pipelined, depth-1 == blocking fault counts)\n");
+  }
+  if (!BenchJson::Instance().Flush()) {
+    ++violations;
+  }
+  return violations == 0 ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace dilos
 
-int main() {
-  dilos::Run();
-  return 0;
+int main(int argc, char** argv) {
+  dilos::BenchParseArgs(argc, argv);
+  return dilos::Run();
 }

@@ -58,12 +58,21 @@ constexpr uint32_t kValueSize = 256;
 constexpr uint32_t kScanMax = 100;
 constexpr int kShards = 4;
 
-MixResult RunMix(const MixSpec& m, bool guided, uint64_t records, uint64_t ops) {
-  Fabric fabric(CostModel::Default(), 4);
-  // Size local DRAM to ~25% of the leaf data set so the run actually pages.
+// Size local DRAM to ~25% of the leaf data set so the run actually pages.
+// Single home for the runtime shape: RunMix builds from this and JsonRow
+// echoes it into each record's config block.
+DilosConfig MixRuntimeCfg(uint64_t records) {
   uint32_t leaf_cap = (kPageSize - 16) / (8 + kValueSize);
   uint64_t data_pages = records / leaf_cap + 128;
-  auto rt = MakeDilos(fabric, data_pages * kPageSize / 4, DilosVariant::kNoPrefetch);
+  DilosConfig cfg;
+  cfg.local_mem_bytes = data_pages * kPageSize / 4;
+  return cfg;
+}
+
+MixResult RunMix(const MixSpec& m, bool guided, uint64_t records, uint64_t ops) {
+  Fabric fabric(CostModel::Default(), 4);
+  auto rt = MakeDilos(fabric, MixRuntimeCfg(records).local_mem_bytes,
+                      DilosVariant::kNoPrefetch);
 
   KvConfig kcfg;
   kcfg.shards = kShards;
@@ -140,6 +149,7 @@ void JsonRow(const MixSpec& m, const char* scan_path, uint64_t records, uint64_t
   j.Config("ops", ops);
   j.Config("value_size", static_cast<uint64_t>(kValueSize));
   j.Config("shards", static_cast<uint64_t>(kShards));
+  JsonRuntimeConfig(MixRuntimeCfg(records));
   j.Metric("ops_per_sec", r.ops_per_sec);
   j.Metric("p50_us", static_cast<double>(r.p50_ns) / 1000.0);
   j.Metric("p99_us", static_cast<double>(r.p99_ns) / 1000.0);

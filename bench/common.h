@@ -135,6 +135,24 @@ inline void BenchParseArgs(int argc, char** argv, bool* short_flag = nullptr) {
   }
 }
 
+// Emits the runtime knobs that change what a number means — cores, fault
+// pipeline, redundancy scheme, tier — into the current record's `config`
+// block, so archived bench JSON is self-describing across PRs.
+inline void JsonRuntimeConfig(const DilosConfig& cfg) {
+  BenchJson& j = BenchJson::Instance();
+  if (!j.enabled()) {
+    return;
+  }
+  j.Config("cores", static_cast<uint64_t>(cfg.num_cores));
+  j.Config("fault_pipeline_depth",
+           static_cast<uint64_t>(cfg.fault_pipeline.enabled ? cfg.fault_pipeline.depth : 0));
+  j.Config("replication", static_cast<uint64_t>(cfg.replication));
+  j.Config("ec", cfg.ec.enabled
+                     ? "(" + std::to_string(cfg.ec.k) + "," + std::to_string(cfg.ec.m) + ")"
+                     : std::string("off"));
+  j.Config("tier", cfg.tier.enabled ? "on" : "off");
+}
+
 enum class DilosVariant { kNoPrefetch, kReadahead, kTrend };
 
 inline const char* VariantName(DilosVariant v) {
@@ -161,12 +179,19 @@ inline std::unique_ptr<Prefetcher> MakePrefetcher(DilosVariant v) {
   return nullptr;
 }
 
+// pipeline_depth 0 = blocking fault path; >= 1 enables the async fault
+// pipeline with that many outstanding demand faults per core.
 inline std::unique_ptr<DilosRuntime> MakeDilos(Fabric& fabric, uint64_t local_bytes,
-                                               DilosVariant v, bool tcp = false, int cores = 1) {
+                                               DilosVariant v, bool tcp = false, int cores = 1,
+                                               uint32_t pipeline_depth = 0) {
   DilosConfig cfg;
   cfg.local_mem_bytes = local_bytes;
   cfg.tcp_emulation = tcp;
   cfg.num_cores = cores;
+  if (pipeline_depth > 0) {
+    cfg.fault_pipeline.enabled = true;
+    cfg.fault_pipeline.depth = pipeline_depth;
+  }
   return std::make_unique<DilosRuntime>(fabric, cfg, MakePrefetcher(v));
 }
 

@@ -10,6 +10,7 @@ SeqWorkload::SeqWorkload(FarRuntime& rt, uint64_t bytes) : rt_(rt), bytes_(bytes
   for (uint64_t off = 0; off < bytes_; off += kPageSize) {
     rt_.Write<uint64_t>(region_ + off, off);
   }
+  rt_.Quiesce();  // Measured sweeps must not inherit parked populate faults.
 }
 
 SeqResult SeqWorkload::Sweep(bool write) {
@@ -25,6 +26,10 @@ SeqResult SeqWorkload::Sweep(bool write) {
       (void)v;
     }
   }
+  // Retire in-flight faults before reading the clock: with the pipeline
+  // enabled the last few pages may still be awaiting their batched install,
+  // and their wire time belongs to this sweep.
+  rt_.Quiesce();
   SeqResult r;
   r.elapsed_ns = rt_.clock().now() - t0;
   r.bytes = bytes_;

@@ -119,6 +119,13 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
     tier_ = std::make_unique<CompressedTier>(cfg_.tier);
     pm_.set_tier(tier_.get());
   }
+  if (cfg_.fault_pipeline.enabled) {
+    pipelines_.reserve(static_cast<size_t>(cfg_.num_cores));
+    for (int c = 0; c < cfg_.num_cores; ++c) {
+      pipelines_.emplace_back(cfg_.fault_pipeline.depth);
+    }
+    harvest_scratch_.reserve(cfg_.fault_pipeline.depth);
+  }
   if (cfg_.recovery.enabled) {
     detector_ = std::make_unique<FailureDetector>(fabric_, router_, stats_, &tracer_,
                                                   cfg_.recovery.detector);
@@ -463,6 +470,9 @@ void DilosRuntime::FreeRegion(uint64_t addr, uint64_t bytes) {
         auto it = inflight_.find(page_va);
         if (it != inflight_.end()) {
           pool_.Free(it->second.frame);
+          if (it->second.demand && RetireParked(page_va)) {
+            stats_.fault_inflight--;  // Torn down, not resumed.
+          }
           inflight_.erase(it);
         }
         break;
@@ -487,6 +497,66 @@ uint64_t DilosRuntime::MaxTimeNs() const {
     t = c.now() > t ? c.now() : t;
   }
   return t;
+}
+
+bool DilosRuntime::RetireParked(uint64_t page_va) {
+  for (FaultPipeline& p : pipelines_) {
+    if (p.Retire(page_va)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DilosRuntime::HarvestFaultPipeline(int core, uint64_t now) {
+  FaultPipeline& pipe = pipelines_[static_cast<size_t>(core)];
+  harvest_scratch_.clear();
+  if (pipe.HarvestUpTo(now, &harvest_scratch_) == 0) {
+    return;
+  }
+  Clock& clk = clocks_[static_cast<size_t>(core)];
+  LatencyBreakdown& bd = stats_.fault_breakdown;
+  uint32_t resume_span =
+      tracer_.BeginSpan(SpanKind::kFaultResume, clk.now(), harvest_scratch_.front().page_va,
+                        static_cast<uint32_t>(harvest_scratch_.size()));
+  if (pipe.depth() > 1) {
+    clk.Advance(cost_.cq_poll_ns);  // One coalesced poll covers the batch.
+  }
+  size_t installed = 0;
+  for (const FaultFiber& f : harvest_scratch_) {
+    auto it = inflight_.find(f.page_va);
+    if (it == inflight_.end()) {
+      continue;  // Resolved externally (freed region) between park and poll.
+    }
+    Inflight inf = it->second;
+    inflight_.erase(it);
+    MapInflight(f.page_va, inf, inf.write);
+    clk.Advance(cost_.dilos_map_ns);
+    bd.Add(LatComp::kMap, cost_.dilos_map_ns);
+    stats_.fault_resumes++;
+    stats_.fault_inflight--;
+    ++installed;
+  }
+  if (installed > 0) {
+    // The batch commits with a single TLB/PTE flush — the install cost the
+    // pipeline amortizes over the whole harvest.
+    clk.Advance(cost_.map_tlb_flush_ns);
+    bd.Add(LatComp::kMap, cost_.map_tlb_flush_ns);
+    if (pipe.depth() > 1) {
+      clk.Advance(cost_.fiber_resume_ns);
+    }
+    stats_.fault_batched_installs++;
+  }
+  tracer_.EndSpan(resume_span, clk.now());
+}
+
+void DilosRuntime::Quiesce() {
+  for (size_t c = 0; c < pipelines_.size(); ++c) {
+    while (!pipelines_[c].empty()) {
+      clocks_[c].AdvanceTo(pipelines_[c].OldestDoneNs());
+      HarvestFaultPipeline(static_cast<int>(c), clocks_[c].now());
+    }
+  }
 }
 
 uint8_t* DilosRuntime::Pin(uint64_t vaddr, uint32_t len, bool write, int core) {
@@ -642,11 +712,33 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
     }
 
     case PteTag::kFetching: {
+      auto it = inflight_.find(page_va);
+      if (it != inflight_.end() && it->second.demand && RetireParked(page_va)) {
+        // Touch of a page whose own demand fault is still parked in a
+        // pipeline: resume that fiber directly instead of counting a new
+        // minor fault — in blocking mode this second touch would have been
+        // a plain local hit, because the first fault resolved in-handler.
+        stats_.fault_resumes++;
+        stats_.fault_inflight--;
+        uint32_t resume_span =
+            tracer_.BeginSpan(SpanKind::kFaultResume, clk.now(), page_va, /*detail=*/1);
+        Inflight inf = it->second;
+        inflight_.erase(it);
+        clk.AdvanceTo(inf.done_ns);
+        MapInflight(page_va, inf, write);
+        clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
+        if (pipelines_[static_cast<size_t>(core)].depth() > 1) {
+          clk.Advance(cost_.fiber_resume_ns);
+        }
+        tracer_.EndSpan(resume_span, clk.now());
+        DrainArrivals(clk.now());
+        Background(clk.now(), page_va);
+        break;
+      }
       // Minor fault: the page is in flight (prefetch or another core's
       // demand). Let window prefetchers stream ahead while we wait.
       stats_.minor_faults++;
       tracer_.Record(clk.now(), TraceEvent::kMinorFault, page_va);
-      auto it = inflight_.find(page_va);
       if (it == inflight_.end()) {
         // Another core mapped it between our check and now (model artifact);
         // retry the walk.
@@ -771,6 +863,77 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       Completion c =
           DemandFetch(page_va, pool_.Addr(frame), nullptr, core, CommChannel::kFault, &cursor);
       stats_.bytes_fetched += kPageSize;
+
+      if (!pipelines_.empty()) {
+        // Pipelined mode: the read is posted and its whole resolution
+        // timeline (retries, backoff, EC decode, failover — DemandFetch
+        // advanced `cursor` past all of it) is known; instead of blocking
+        // the core until then, park a fiber carrying the completion time
+        // and give the core back to the workload. The data already sits in
+        // the frame (the sim moves bytes synchronously; only time is
+        // simulated), so the faulting access can complete — the page just
+        // stays kFetching until a harvest commits its PTE.
+        uint64_t done = cursor + (cfg_.tcp_emulation ? cost_.tcp_delay_ns : 0);
+        if (c.status != WcStatus::kSuccess) {
+          std::memset(pool_.Data(frame), 0, kPageSize);  // Unrecoverable: zero page.
+        }
+        *pt_.Entry(page_va, true) = MakeFetchingPte(frame);
+        inflight_[page_va] = Inflight{frame, done, write, true};
+        FaultPipeline& pipe = pipelines_[static_cast<size_t>(core)];
+        if (pipe.Full()) {
+          // Defensive: the end-of-handler stall below keeps the pipeline
+          // under depth between faults, so admission normally never waits.
+          stats_.fault_pipeline_stalls++;
+          bd.Add(LatComp::kFetch, clk.AdvanceTo(pipe.OldestDoneNs()));
+          HarvestFaultPipeline(core, clk.now());
+        }
+        pipe.Admit(page_va, frame, clk.now(), done, write);
+        stats_.fault_parks++;
+        stats_.fault_inflight++;
+        if (stats_.fault_inflight > stats_.fault_inflight_peak) {
+          stats_.fault_inflight_peak = stats_.fault_inflight;
+        }
+        uint32_t park_span = tracer_.BeginSpan(SpanKind::kFaultPark, clk.now(), page_va,
+                                               static_cast<uint32_t>(pipe.size()));
+        if (pipe.depth() > 1) {
+          // Fiber switch costs exist only when there is another fiber to
+          // switch to; at depth 1 the path must cost exactly what blocking
+          // does, or timing shifts would perturb prefetch-arrival races
+          // and break the depth-1 fault-count equivalence.
+          clk.Advance(cost_.fiber_park_ns);
+        }
+        tracer_.EndSpan(park_span, clk.now());
+
+        // The same work the blocking path hides in the fetch window.
+        if (guide_ != nullptr) {
+          RuntimeGuideContext ctx(*this, core, clk.now());
+          guide_->OnFault(ctx, vaddr, write);
+        }
+        tracker_.Scan(pt_);
+        clk.Advance(cost_.dilos_hit_tracker_ns);
+        bd.Add(LatComp::kPrefetch, cost_.dilos_hit_tracker_ns);
+        FaultInfo info{vaddr, write, /*major=*/true, tracker_.hit_ratio()};
+        RunPrefetcher(info, core);
+        Background(clk.now(), page_va);
+
+        if (pipe.Full()) {
+          // Depth limit: stall the core until the oldest completion so the
+          // next fault finds an admission slot. At depth 1 this resolves
+          // the fault in-handler — exactly the blocking timeline.
+          stats_.fault_pipeline_stalls++;
+          bd.Add(LatComp::kFetch, clk.AdvanceTo(pipe.OldestDoneNs()));
+        }
+        HarvestFaultPipeline(core, clk.now());
+        DrainArrivals(clk.now());
+        tracer_.EndSpan(fault_span, clk.now());
+        if (PteTagOf(*pt_.Entry(page_va, true)) == PteTag::kLocal) {
+          break;  // Harvested in-handler; the common exit sets the A/D bits.
+        }
+        // Still parked: hand the frame to the faulting access directly. The
+        // PTE stays kFetching until a later harvest installs it.
+        return pool_.Data(frame) + (vaddr & (kPageSize - 1));
+      }
+
       *pt_.Entry(page_va, true) = MakeFetchingPte(frame);
       inflight_[page_va] = Inflight{frame, cursor, write, true};
 

@@ -25,6 +25,7 @@
 #include "src/pt/page_table.h"
 #include "src/recovery/repair_manager.h"
 #include "src/sim/far_runtime.h"
+#include "src/sim/fiber.h"
 #include "src/sim/trace.h"
 #include "src/telemetry/telemetry.h"
 
@@ -51,6 +52,12 @@ struct DilosConfig {
   // an in-DRAM pool instead of written remotely; a refault decompresses
   // locally instead of paying the RDMA round trip.
   TierConfig tier;
+  // Async fault pipeline (src/sim/fiber.h, DESIGN.md §12): a demand fault
+  // posts its read, parks a fiber, and returns the core to the workload;
+  // completions are harvested by coalesced CQ polls and committed as batched
+  // PTE installs. depth bounds outstanding demand faults per core; depth 1
+  // reproduces blocking-mode fault counts exactly (the CI gate).
+  FaultPipelineConfig fault_pipeline;
   PageManagerConfig pm;
   // Do not start new prefetches when free frames would drop below this
   // (prevents prefetch-driven thrash of the resident set).
@@ -84,6 +91,10 @@ class DilosRuntime : public FarRuntime {
   uint64_t AllocRegion(uint64_t bytes) override;
   void FreeRegion(uint64_t addr, uint64_t bytes) override;
   uint8_t* Pin(uint64_t vaddr, uint32_t len, bool write, int core) override;
+  // Retires every parked demand fault: advances each core's clock to its
+  // oldest outstanding completion and harvests until the pipelines drain.
+  // No-op in blocking mode.
+  void Quiesce() override;
   using FarRuntime::clock;
   Clock& clock(int core) override { return clocks_[static_cast<size_t>(core)]; }
   RuntimeStats& stats() override { return stats_; }
@@ -108,6 +119,10 @@ class DilosRuntime : public FarRuntime {
   RepairManager* repair() { return repair_.get(); }
   // Compressed tier (null unless cfg.tier.enabled).
   CompressedTier* tier() { return tier_.get(); }
+  // Per-core fault pipeline (null unless cfg.fault_pipeline.enabled).
+  FaultPipeline* pipeline(int core) {
+    return pipelines_.empty() ? nullptr : &pipelines_[static_cast<size_t>(core)];
+  }
   // Telemetry (null unless cfg.telemetry.enabled()).
   Telemetry* telemetry() { return telemetry_.get(); }
   // Per-(node, QP class) fabric metrics (null unless cfg.telemetry.metrics).
@@ -170,6 +185,13 @@ class DilosRuntime : public FarRuntime {
   void RunPrefetcher(const FaultInfo& info, int core);
   void DrainArrivals(uint64_t now);
   void MapInflight(uint64_t page_va, const Inflight& inf, bool as_write);
+  // Coalesced CQ poll for `core`: harvests every parked fiber whose
+  // completion has passed and commits them as one batched PTE install
+  // (per-page map cost, one TLB flush per batch).
+  void HarvestFaultPipeline(int core, uint64_t now);
+  // Drops the parked fiber for `page_va` from whichever core's pipeline
+  // holds it (direct-touch resume, region teardown). False if none does.
+  bool RetireParked(uint64_t page_va);
 
   Fabric& fabric_;
   DilosConfig cfg_;
@@ -198,6 +220,9 @@ class DilosRuntime : public FarRuntime {
   std::vector<int> replica_scratch_;  // ReplicaHasChecksumElsewhere scratch.
 
   std::unordered_map<uint64_t, Inflight> inflight_;  // Key: page vaddr.
+  // One pipeline per core when cfg.fault_pipeline.enabled; empty otherwise.
+  std::vector<FaultPipeline> pipelines_;
+  std::vector<FaultFiber> harvest_scratch_;  // HarvestFaultPipeline batch buffer.
   uint64_t next_region_ = kFarBase;
   uint64_t wr_id_ = 0;
 };

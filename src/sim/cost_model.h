@@ -67,6 +67,17 @@ struct CostModel {
   // --- Common post-arrival work ---------------------------------------------
   uint64_t map_tlb_flush_ns = 90;  // Kernel-side mapping cost shared by systems.
 
+  // --- Async fault pipeline (src/sim/fiber.h, DESIGN.md §12) -----------------
+  // Atlas-style user-space swapping reports sub-µs context switches for its
+  // green threads (vs multi-µs kernel thread switches): a faulting fiber
+  // saves registers and yields in a few hundred ns, and resuming it costs
+  // about the same. Coalesced CQ polling amortizes one poll over a whole
+  // batch of completions. Charged only with fault_pipeline.depth > 1 —
+  // depth == 1 degenerates to the blocking path and must cost identically.
+  uint64_t fiber_park_ns = 150;    // Save continuation + switch to next fiber.
+  uint64_t fiber_resume_ns = 100;  // Reschedule a ready fiber after harvest.
+  uint64_t cq_poll_ns = 120;       // One coalesced completion-queue poll.
+
   // --- Erasure coding (src/recovery/ec.h) -----------------------------------
   // GF(2^8) decode of one 4 KB page from k survivors: table-driven XOR/mul
   // runs at several GB/s per core on this class of CPU, so a page costs well

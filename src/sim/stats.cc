@@ -201,6 +201,18 @@ std::string RuntimeStats::ToString() const {
                   static_cast<unsigned long long>(kv_scan_prefetch_pages));
     out += buf;
   }
+  if (fault_parks != 0 || fault_pipeline_stalls != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "pipeline: parks=%llu resumes=%llu batches=%llu stalls=%llu "
+                  "inflight=%llu (peak %llu)\n",
+                  static_cast<unsigned long long>(fault_parks),
+                  static_cast<unsigned long long>(fault_resumes),
+                  static_cast<unsigned long long>(fault_batched_installs),
+                  static_cast<unsigned long long>(fault_pipeline_stalls),
+                  static_cast<unsigned long long>(fault_inflight),
+                  static_cast<unsigned long long>(fault_inflight_peak));
+    out += buf;
+  }
   return out + fault_breakdown.ToString();
 }
 

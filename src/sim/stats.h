@@ -154,6 +154,14 @@ struct RuntimeStats {
   uint64_t kv_guided_scans = 0;        // Range scans that ran with a scan guide installed.
   uint64_t kv_scan_prefetch_pages = 0; // Leaf pages prefetched by scan guidance.
 
+  // --- Async fault pipeline (src/sim/fiber.h, DESIGN.md §12) ------------------
+  uint64_t fault_parks = 0;             // Demand faults that parked a fiber.
+  uint64_t fault_resumes = 0;           // Parked fibers resumed by a harvest.
+  uint64_t fault_batched_installs = 0;  // Harvest batches committed (1 TLB flush each).
+  uint64_t fault_pipeline_stalls = 0;   // Handler waits forced by the depth limit.
+  uint64_t fault_inflight = 0;          // Gauge: currently parked demand faults.
+  uint64_t fault_inflight_peak = 0;     // High-water mark of fault_inflight.
+
   LatencyBreakdown fault_breakdown;
 
   uint64_t total_faults() const { return major_faults + minor_faults + zero_fill_faults; }

@@ -159,6 +159,8 @@ enum class SpanKind : uint8_t {
   kEcDecode,        // EC reconstruction from k surviving members.
   kTierDecompress,  // Local compressed-tier hit expansion.
   kHeal,            // Checksum heal rewrite of a corrupt stored copy.
+  kFaultPark,       // Fiber parked: read posted, core released (pipeline).
+  kFaultResume,     // Harvest batch: coalesced poll + batched PTE install.
   kCount,
 };
 
@@ -176,6 +178,10 @@ inline const char* SpanKindName(SpanKind k) {
       return "tier-decompress";
     case SpanKind::kHeal:
       return "heal";
+    case SpanKind::kFaultPark:
+      return "fault-park";
+    case SpanKind::kFaultResume:
+      return "fault-resume";
     case SpanKind::kCount:
       break;
   }

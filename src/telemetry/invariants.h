@@ -65,6 +65,21 @@ inline std::vector<std::string> CheckStatsInvariants(const RuntimeStats& s,
     check(s.tier_misses <= s.major_faults, "tier_misses (%llu) > major_faults (%llu)",
           s.tier_misses, s.major_faults);
   }
+  // Fault pipeline: every resumed or still-parked fiber was first parked,
+  // and a park only happens on the major-fault path.
+  check(s.fault_resumes + s.fault_inflight <= s.fault_parks,
+        "fault_resumes + fault_inflight (%llu) > fault_parks (%llu)",
+        s.fault_resumes + s.fault_inflight, s.fault_parks);
+  check(s.fault_parks <= s.major_faults, "fault_parks (%llu) > major_faults (%llu)",
+        s.fault_parks, s.major_faults);
+  // A harvest batch installs at least one fiber, so batches never outnumber
+  // resumes.
+  check(s.fault_batched_installs <= s.fault_resumes,
+        "fault_batched_installs (%llu) > fault_resumes (%llu)", s.fault_batched_installs,
+        s.fault_resumes);
+  check(s.fault_inflight <= s.fault_inflight_peak,
+        "fault_inflight (%llu) > fault_inflight_peak (%llu)", s.fault_inflight,
+        s.fault_inflight_peak);
   // The fault breakdown counts one event per handled fault.
   check(s.fault_breakdown.events() <= s.total_faults(),
         "fault_breakdown events (%llu) > total_faults (%llu)", s.fault_breakdown.events(),

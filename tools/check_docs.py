@@ -13,6 +13,10 @@ Run from anywhere: `python3 tools/check_docs.py`. Checks, stdlib only:
      TraceEvent enumerator (src/sim/trace.h) has a `kName` row. Documented
      names that no longer exist in the code also fail, so removing an
      enumerator forces removing its row.
+  4. Every benchmark binary (bench/bench_*.cc) is mentioned in
+     EXPERIMENTS.md, so each bench stays reproducible from the docs.
+  5. Every file under docs/ is a markdown-link target in README.md's doc
+     index — a doc nobody can navigate to is a doc that rots.
 
 Exits nonzero with one line per violation.
 """
@@ -144,11 +148,49 @@ def check_observability_drift(errors):
             )
 
 
+def check_experiments_cover_benches(errors):
+    """Every bench/bench_*.cc target must be mentioned in EXPERIMENTS.md."""
+    exp_path = os.path.join(REPO, "EXPERIMENTS.md")
+    if not os.path.exists(exp_path):
+        errors.append("EXPERIMENTS.md: missing")
+        return
+    with open(exp_path, encoding="utf-8") as fh:
+        exp = fh.read()
+    bench_dir = os.path.join(REPO, "bench")
+    for f in sorted(os.listdir(bench_dir)):
+        if f.startswith("bench_") and f.endswith(".cc"):
+            target = f[: -len(".cc")]
+            if target not in exp:
+                errors.append(
+                    f"EXPERIMENTS.md: bench target `{target}` (bench/{f}) "
+                    "has no mention — add a section with its reproduce command"
+                )
+
+
+def check_readme_links_docs(errors):
+    """Every docs/*.md must be a markdown-link target in README.md."""
+    readme_path = os.path.join(REPO, "README.md")
+    if not os.path.exists(readme_path):
+        return  # check_readme_covers_src already reported it.
+    with open(readme_path, encoding="utf-8") as fh:
+        targets = {os.path.normpath(t) for t in MD_LINK.findall(fh.read())}
+    docs_dir = os.path.join(REPO, "docs")
+    if not os.path.isdir(docs_dir):
+        return
+    for f in sorted(os.listdir(docs_dir)):
+        if f.endswith(".md") and os.path.normpath(f"docs/{f}") not in targets:
+            errors.append(
+                f"README.md: docs/{f} is not linked from the documentation index"
+            )
+
+
 def main():
     errors = []
     check_links(errors)
     check_readme_covers_src(errors)
     check_observability_drift(errors)
+    check_experiments_cover_benches(errors)
+    check_readme_links_docs(errors)
     for e in errors:
         print(e)
     if errors:
