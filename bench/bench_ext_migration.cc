@@ -1,0 +1,235 @@
+// Extension bench (src/recovery/migration): what draining a live memory node
+// costs the tenants still reading through it.
+//
+// Two tenants run independent Zipfian read storms over disjoint regions while
+// one of the four memory nodes is decommissioned with DrainNode(). The drain
+// migrates every granule off the victim (copy -> catch-up -> commit ->
+// forwarding window) under the live load, so the interesting number is each
+// tenant's p99 before / during / after the drain: forwarded reads cost one
+// extra routing decision, and migration copies compete for fabric time.
+//
+// The bench doubles as a CI gate: it exits non-zero if the drain fails to
+// retire the node, any fetch fails, a post-drain verify sweep sees a wrong
+// value, or the during-drain p99 inflates beyond a generous bound over the
+// healthy baseline.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/recovery/migration.h"
+
+namespace dilos {
+namespace {
+
+constexpr int kNodes = 4;
+constexpr int kVictim = 1;
+// During-drain p99 must stay within this factor of the healthy p99. Demand
+// reads legitimately queue behind migration bulk copies (observed ~25-40x on
+// the default cost model); the gate exists to catch unbounded stalls —
+// multi-millisecond head-of-line blocking — not ordinary queueing.
+constexpr double kP99Bound = 64.0;
+
+uint64_t Pct(std::vector<uint64_t>& lat, double p) {
+  if (lat.empty()) {
+    return 0;
+  }
+  std::sort(lat.begin(), lat.end());
+  size_t i = static_cast<size_t>(p * static_cast<double>(lat.size() - 1));
+  return lat[i];
+}
+
+struct TenantPhase {
+  uint64_t p50 = 0, p99 = 0;
+};
+
+struct Result {
+  TenantPhase before[2], during[2], after[2];
+  double drain_ms = 0;
+  uint64_t migrated_granules = 0, migration_pages = 0, forwards = 0, reships = 0;
+  uint64_t failed = 0, mismatches = 0;
+  bool drained = false;
+};
+
+DilosConfig MakeCfg(uint64_t ws) {
+  DilosConfig cfg;
+  cfg.local_mem_bytes = ws / 4;
+  cfg.replication = 2;
+  cfg.recovery.enabled = true;
+  return cfg;
+}
+
+Result Run(uint64_t pages_per_tenant, int samples) {
+  const uint64_t ws = pages_per_tenant * kPageSize;
+  Fabric fabric(CostModel::Default(), kNodes);
+  DilosConfig cfg = MakeCfg(ws);
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+
+  uint64_t region[2];
+  for (int t = 0; t < 2; ++t) {
+    region[t] = rt.AllocRegion(ws);
+    for (uint64_t p = 0; p < pages_per_tenant; ++p) {
+      rt.Write<uint64_t>(region[t] + p * kPageSize, (region[t] + p) ^ 0xD15C0);
+    }
+  }
+
+  KeyChooser chooser[2] = {KeyChooser(KeyDist::kZipfian, pages_per_tenant, 1031),
+                           KeyChooser(KeyDist::kZipfian, pages_per_tenant, 4057)};
+  auto sample = [&](int t, std::vector<uint64_t>* lat) {
+    uint64_t p = chooser[t].Next();
+    uint64_t t0 = rt.clock(0).now();
+    volatile uint64_t v = rt.Read<uint64_t>(region[t] + p * kPageSize);
+    (void)v;
+    lat->push_back(rt.clock(0).now() - t0);
+  };
+
+  Result res;
+  std::vector<uint64_t> lat[2];
+  for (int t = 0; t < 2; ++t) {
+    lat[t].reserve(static_cast<size_t>(samples));
+  }
+
+  // Healthy baseline.
+  for (int i = 0; i < samples; ++i) {
+    sample(0, &lat[0]);
+    sample(1, &lat[1]);
+  }
+  for (int t = 0; t < 2; ++t) {
+    res.before[t] = {Pct(lat[t], 0.50), Pct(lat[t], 0.99)};
+    lat[t].clear();
+  }
+
+  // Decommission the victim under live load: keep both tenants storming while
+  // interleaved recovery ticks advance the migration state machine.
+  uint64_t drain_start_ns = rt.clock(0).now();
+  rt.DrainNode(kVictim, drain_start_ns);
+  int rounds = 0;
+  while (rt.router().state(kVictim) != NodeState::kRetired && rounds < 200'000) {
+    for (int i = 0; i < 16; ++i) {
+      sample(0, &lat[0]);
+      sample(1, &lat[1]);
+    }
+    rt.DriveRecovery(100'000);
+    ++rounds;
+  }
+  res.drain_ms = static_cast<double>(rt.clock(0).now() - drain_start_ns) / 1e6;
+  res.drained = rt.router().state(kVictim) == NodeState::kRetired &&
+                rt.stats().nodes_drained == 1 &&
+                fabric.node(kVictim).store().page_count() == 0;
+  for (int t = 0; t < 2; ++t) {
+    res.during[t] = {Pct(lat[t], 0.50), Pct(lat[t], 0.99)};
+    lat[t].clear();
+  }
+
+  // Let forwarding windows expire, then measure the steady state on the
+  // remaining three nodes.
+  for (int i = 0; i < 30; ++i) {
+    rt.DriveRecovery(1'000'000);
+  }
+  for (int i = 0; i < samples; ++i) {
+    sample(0, &lat[0]);
+    sample(1, &lat[1]);
+  }
+  for (int t = 0; t < 2; ++t) {
+    res.after[t] = {Pct(lat[t], 0.50), Pct(lat[t], 0.99)};
+  }
+
+  // Full verify sweep over both tenants: the drain must be lossless.
+  for (int t = 0; t < 2; ++t) {
+    for (uint64_t p = 0; p < pages_per_tenant; ++p) {
+      if (rt.Read<uint64_t>(region[t] + p * kPageSize) != ((region[t] + p) ^ 0xD15C0)) {
+        ++res.mismatches;
+      }
+    }
+  }
+
+  res.migrated_granules = rt.stats().migrations_committed;
+  res.migration_pages = rt.stats().migration_pages;
+  res.forwards = rt.stats().migration_forwards;
+  res.reships = rt.stats().migration_reships;
+  res.failed = rt.stats().failed_fetches;
+  return res;
+}
+
+bool RunAll(bool short_run) {
+  const uint64_t pages = short_run ? 1024 : 4096;
+  const int samples = short_run ? 2000 : 6000;
+
+  PrintHeader("Extension: live node drain — per-tenant tail latency through a drain\n"
+              "4 nodes, replication=2, two Zipfian tenants, node 1 decommissioned");
+  Result r = Run(pages, samples);
+
+  std::printf("%-10s %12s %12s %12s %12s %12s %12s\n", "tenant", "before p50",
+              "before p99", "during p50", "during p99", "after p50", "after p99");
+  for (int t = 0; t < 2; ++t) {
+    std::printf("%-10d %9llu ns %9llu ns %9llu ns %9llu ns %9llu ns %9llu ns\n", t,
+                static_cast<unsigned long long>(r.before[t].p50),
+                static_cast<unsigned long long>(r.before[t].p99),
+                static_cast<unsigned long long>(r.during[t].p50),
+                static_cast<unsigned long long>(r.during[t].p99),
+                static_cast<unsigned long long>(r.after[t].p50),
+                static_cast<unsigned long long>(r.after[t].p99));
+  }
+  std::printf("drain %.2f ms: %llu granules, %llu pages (%llu reships), "
+              "%llu forwarded reads, %llu failed fetches, %llu mismatches\n\n",
+              r.drain_ms, static_cast<unsigned long long>(r.migrated_granules),
+              static_cast<unsigned long long>(r.migration_pages),
+              static_cast<unsigned long long>(r.reships),
+              static_cast<unsigned long long>(r.forwards),
+              static_cast<unsigned long long>(r.failed),
+              static_cast<unsigned long long>(r.mismatches));
+
+  bool ok = true;
+  auto gate = [&ok](bool pass, const char* what) {
+    if (!pass) {
+      std::printf("GATE FAILED: %s\n", what);
+      ok = false;
+    }
+  };
+  gate(r.drained, "drain retired the node and emptied its store");
+  gate(r.failed == 0, "no failed fetches");
+  gate(r.mismatches == 0, "post-drain verify sweep is clean");
+  for (int t = 0; t < 2; ++t) {
+    gate(static_cast<double>(r.during[t].p99) <=
+             kP99Bound * static_cast<double>(std::max<uint64_t>(r.before[t].p99, 1)),
+         "during-drain p99 within bound of healthy p99");
+  }
+
+  BenchJson& j = BenchJson::Instance();
+  j.BeginRecord("ext_migration.drain");
+  j.Config("pages_per_tenant", pages);
+  j.Config("samples", static_cast<uint64_t>(samples));
+  j.Config("p99_bound", kP99Bound);
+  JsonRuntimeConfig(MakeCfg(pages * kPageSize));
+  for (int t = 0; t < 2; ++t) {
+    char key[64];
+    std::snprintf(key, sizeof(key), "tenant%d_before_p99_ns", t);
+    j.Metric(key, r.before[t].p99);
+    std::snprintf(key, sizeof(key), "tenant%d_during_p99_ns", t);
+    j.Metric(key, r.during[t].p99);
+    std::snprintf(key, sizeof(key), "tenant%d_after_p99_ns", t);
+    j.Metric(key, r.after[t].p99);
+  }
+  j.Metric("drain_ms", r.drain_ms);
+  j.Metric("migrated_granules", r.migrated_granules);
+  j.Metric("migration_pages", r.migration_pages);
+  j.Metric("migration_reships", r.reships);
+  j.Metric("migration_forwards", r.forwards);
+  j.Metric("failed_fetches", r.failed);
+  j.Metric("verify_mismatches", r.mismatches);
+  j.Metric("gates_passed", static_cast<uint64_t>(ok ? 1 : 0));
+  return ok;
+}
+
+}  // namespace
+}  // namespace dilos
+
+int main(int argc, char** argv) {
+  bool short_run = false;
+  dilos::BenchParseArgs(argc, argv, &short_run);
+  bool ok = dilos::RunAll(short_run);
+  if (!dilos::BenchJson::Instance().Flush()) {
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

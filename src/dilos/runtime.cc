@@ -1,5 +1,6 @@
 #include "src/dilos/runtime.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -131,6 +132,10 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
                                                   cfg_.recovery.detector);
     repair_ = std::make_unique<RepairManager>(fabric_, router_, *detector_, stats_, &tracer_,
                                               cfg_.recovery.repair);
+    migration_ = std::make_unique<MigrationManager>(fabric_, router_, *detector_, stats_,
+                                                    &tracer_, cfg_.recovery.migration);
+    retry_budget_.assign(static_cast<size_t>(cfg_.num_cores),
+                         RetryBudget{cfg_.recovery.retry_burst, 0});
     // Timed-out ops anywhere in the paging paths become detector evidence.
     router_.set_op_failure_observer(
         [this](int node, uint64_t now_ns) { detector_->OnOpTimeout(node, now_ns); });
@@ -150,6 +155,9 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
       if (repair_ != nullptr) {
         // Per-node traffic becomes the rebuild-placement tiebreaker.
         repair_->set_metrics(metrics_registry_);
+      }
+      if (migration_ != nullptr) {
+        migration_->set_metrics(metrics_registry_);
       }
     }
     if (flight_ != nullptr) {
@@ -191,6 +199,9 @@ void DilosRuntime::RecoveryTick(uint64_t now) {
   }
   if (repair_ != nullptr) {
     repair_->Tick(now);
+  }
+  if (migration_ != nullptr) {
+    migration_->Tick(now);
   }
 }
 
@@ -344,6 +355,13 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
         tracer_.Record(*cursor_ns, TraceEvent::kDegradedRead, page_va,
                        static_cast<uint32_t>(t.node));
       }
+      if (t.forwarded) {
+        // This read raced a migration cutover and was redirected by the
+        // forwarding window instead of failing against the old mapping.
+        stats_.migration_forwards++;
+        tracer_.Record(*cursor_ns, TraceEvent::kMigrateForward, page_va,
+                       static_cast<uint32_t>(t.node));
+      }
       if (exclude >= 0 && segs == nullptr) {
         HealCorruptReplica(page_va, exclude, reinterpret_cast<const uint8_t*>(frame_addr),
                            *cursor_ns);
@@ -351,6 +369,27 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
       return c;
     }
     ++timeout_attempts;
+    if (!retry_budget_.empty()) {
+      // Per-core retry token bucket: a long partition degrades to failover
+      // instead of a retry storm. The timeouts already burned fed the
+      // detector its strikes — by the time a (generous) bucket drains, the
+      // node is declared dead and PickRead steers away without retrying —
+      // so suppressing the remaining retries loses no evidence.
+      RetryBudget& rb = retry_budget_[static_cast<size_t>(core)];
+      if (cfg_.recovery.retry_refill_ns > 0 && *cursor_ns > rb.last_refill_ns) {
+        uint64_t earned = (*cursor_ns - rb.last_refill_ns) / cfg_.recovery.retry_refill_ns;
+        if (earned > 0) {
+          rb.tokens = std::min<uint64_t>(rb.tokens + earned, cfg_.recovery.retry_burst);
+          rb.last_refill_ns += earned * cfg_.recovery.retry_refill_ns;
+        }
+      }
+      if (rb.tokens == 0) {
+        stats_.fault_retries_suppressed++;
+        router_.ReportOpFailure(t.node, *cursor_ns);
+        break;
+      }
+      --rb.tokens;
+    }
     stats_.fetch_retries++;
     if (metrics_registry_ != nullptr) {
       // The choke point saw the individual timed-out post; the *decision* to

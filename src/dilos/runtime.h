@@ -117,6 +117,13 @@ class DilosRuntime : public FarRuntime {
   // Recovery subsystem (null unless cfg.recovery.enabled).
   FailureDetector* detector() { return detector_.get(); }
   RepairManager* repair() { return repair_.get(); }
+  MigrationManager* migration() { return migration_.get(); }
+  // Graceful decommission (null-safe): see MigrationManager::DrainNode.
+  // Drives nothing itself — RecoveryTick / background progress empties the
+  // node; returns false when recovery is off or the node cannot drain.
+  bool DrainNode(int node, uint64_t now_ns) {
+    return migration_ != nullptr && migration_->DrainNode(node, now_ns);
+  }
   // Compressed tier (null unless cfg.tier.enabled).
   CompressedTier* tier() { return tier_.get(); }
   // Per-core fault pipeline (null unless cfg.fault_pipeline.enabled).
@@ -135,7 +142,10 @@ class DilosRuntime : public FarRuntime {
   // Advances core 0's clock in probe-interval steps, ticking recovery —
   // lets detection and repair converge without any application traffic.
   void DriveRecovery(uint64_t duration_ns);
-  bool RecoveryIdle() const { return repair_ == nullptr || repair_->idle(); }
+  bool RecoveryIdle() const {
+    return (repair_ == nullptr || repair_->idle()) &&
+           (migration_ == nullptr || migration_->idle());
+  }
 
   // Highest clock across cores — the workload completion time.
   uint64_t MaxTimeNs() const;
@@ -211,6 +221,14 @@ class DilosRuntime : public FarRuntime {
   HitTracker tracker_;
   std::unique_ptr<FailureDetector> detector_;
   std::unique_ptr<RepairManager> repair_;
+  std::unique_ptr<MigrationManager> migration_;
+  // Demand-retry token buckets, one per core (RecoveryOptions::retry_burst /
+  // retry_refill_ns). Refilled lazily from the core's cursor.
+  struct RetryBudget {
+    uint64_t tokens = 0;
+    uint64_t last_refill_ns = 0;
+  };
+  std::vector<RetryBudget> retry_budget_;
   std::unique_ptr<CompressedTier> tier_;
   std::unique_ptr<Telemetry> telemetry_;
   // Cached raw views into telemetry_ (null when off) so hot paths pay one

@@ -62,6 +62,11 @@ enum class NodeState : uint8_t {
   kDead,        // Declared failed; never routed.
   kRebuilding,  // Admitted for writes (repair fills + fresh write-backs) but
                 // readable only for granules whose rebuild has committed.
+  kDraining,    // Being emptied by the migration manager: still serving reads
+                // and writes for the granules it holds, but never picked as a
+                // repair or migration target and never adopted by new data.
+  kRetired,     // Drained and administratively removed: never routed, never
+                // probed, never readmitted. Terminal.
 };
 
 class ShardRouter {
@@ -72,6 +77,19 @@ class ShardRouter {
     int node = -1;
     bool degraded = false;     // Served by a non-primary replica.
     bool reconstruct = false;  // EC: no copy readable; decode from survivors.
+    bool forwarded = false;    // Redirected by a migration forwarding window.
+  };
+
+  // A post-cutover forwarding window: reads that still select `from` (they
+  // raced the remap) are redirected to `to` until the migration manager
+  // closes the window at `expire_ns`. `from` stays in the replica set —
+  // and keeps receiving writes — for the whole window, so a straggler the
+  // redirect cannot reach (e.g. `to` dies right after commit) still reads
+  // current bytes from the old holder.
+  struct ForwardEntry {
+    int from = -1;
+    int to = -1;
+    uint64_t expire_ns = 0;
   };
 
   // The trailing `spare_nodes` of the fabric are excluded from hash
@@ -154,11 +172,24 @@ class ShardRouter {
                                    : replication_;
     int home = it != remap_.end() ? -1 : NodeOf(vaddr);
     int rebuilding = it != remap_.end() ? it->second.rebuilding : -1;
+    auto fw = forward_.find(granule);
     int suspect = -1;
     int suspect_rank = 0;
     for (int r = 0; r < count; ++r) {
       int n = it != remap_.end() ? it->second.replicas[static_cast<size_t>(r)]
                                  : (home + r) % active_;
+      if (fw != forward_.end() && n == fw->second.from) {
+        // This read raced a migration cutover: it selected the pre-remap
+        // holder. Redirect to the new holder while the forwarding window is
+        // open; if the new holder cannot serve (died right after commit),
+        // fall through and serve from the old copy, which the window kept
+        // receiving writes.
+        int to = fw->second.to;
+        if (to != exclude && Readable(to, granule) &&
+            state_[static_cast<size_t>(to)] != NodeState::kSuspect) {
+          return ReadTarget{Qp(core, ch, to), to, false, false, true};
+        }
+      }
       if (n == exclude || n == rebuilding || !Readable(n, granule)) {
         continue;  // Repair copy not landed yet, or node unusable.
       }
@@ -204,16 +235,35 @@ class ShardRouter {
       // mid-readmission (kRebuilding, re-admitted with a stale store): that
       // replica's copy of this granule is current — the write below is its
       // only content. Record a committed remap so Readable() serves it,
-      // instead of waiting for the node-wide refill to finish.
+      // instead of waiting for the node-wide refill to finish. A retired
+      // slot (the node was drained and decommissioned before this granule
+      // ever held data) is substituted with a live node instead, so new
+      // data never starts life under-replicated.
       int home = NodeOf(vaddr);
+      bool rebuilding_member = false;
+      bool retired_member = false;
       for (int r = 0; r < replication_; ++r) {
-        if (state_[static_cast<size_t>((home + r) % active_)] == NodeState::kRebuilding) {
-          std::vector<int> replicas;
-          for (int k = 0; k < replication_; ++k) {
-            replicas.push_back((home + k) % active_);
+        NodeState s = state_[static_cast<size_t>((home + r) % active_)];
+        rebuilding_member |= s == NodeState::kRebuilding;
+        retired_member |= s == NodeState::kRetired;
+      }
+      if (rebuilding_member || retired_member) {
+        std::vector<int> replicas;
+        for (int k = 0; k < replication_; ++k) {
+          int n = (home + k) % active_;
+          if (state_[static_cast<size_t>(n)] != NodeState::kRetired) {
+            replicas.push_back(n);
           }
+        }
+        while (retired_member && static_cast<int>(replicas.size()) < replication_) {
+          int sub = SubstituteReplica(vaddr, replicas);
+          if (sub < 0) {
+            break;  // Not enough live nodes left; honest under-replication.
+          }
+          replicas.push_back(sub);
+        }
+        if (!replicas.empty()) {
           it = remap_.emplace(granule, GranuleRemap{std::move(replicas), -1}).first;
-          break;
         }
       }
     }
@@ -223,7 +273,8 @@ class ShardRouter {
     for (int r = 0; r < count; ++r) {
       int n = it != remap_.end() ? it->second.replicas[static_cast<size_t>(r)]
                                  : (home + r) % active_;
-      if (state_[static_cast<size_t>(n)] == NodeState::kDead) {
+      NodeState s = state_[static_cast<size_t>(n)];
+      if (s == NodeState::kDead || s == NodeState::kRetired) {
         continue;
       }
       out->push_back(Qp(core, ch, n));
@@ -243,6 +294,8 @@ class ShardRouter {
   void MarkDead(int node) { state_[static_cast<size_t>(node)] = NodeState::kDead; }
   void MarkRebuilding(int node) { state_[static_cast<size_t>(node)] = NodeState::kRebuilding; }
   void MarkLive(int node) { state_[static_cast<size_t>(node)] = NodeState::kLive; }
+  void MarkDraining(int node) { state_[static_cast<size_t>(node)] = NodeState::kDraining; }
+  void MarkRetired(int node) { state_[static_cast<size_t>(node)] = NodeState::kRetired; }
 
   // Oracle shims: externally declared crash/recovery (tests, ablations).
   // RecoverNode assumes the node kept its store intact (instant re-sync);
@@ -251,7 +304,7 @@ class ShardRouter {
   void RecoverNode(int node) { MarkLive(node); }
   bool IsLive(int node) const {
     NodeState s = state_[static_cast<size_t>(node)];
-    return s == NodeState::kLive || s == NodeState::kSuspect;
+    return s == NodeState::kLive || s == NodeState::kSuspect || s == NodeState::kDraining;
   }
 
   // -- Rebuild / remap plumbing (driven by the repair manager) ---------------
@@ -271,6 +324,138 @@ class ShardRouter {
   int RebuildTarget(uint64_t granule) const {
     auto it = remap_.find(granule);
     return it == remap_.end() ? -1 : it->second.rebuilding;
+  }
+
+  // -- Live-migration plumbing (driven by the migration manager) --------------
+  // Copy phase: `target` joins the granule's replica set as an uncommitted
+  // rebuild target — it receives every racing write-back but serves no reads
+  // — while the current holders (including the migration source) keep
+  // serving. Appended *after* the existing replicas so the source stays the
+  // EC primary (EcNode reads replicas[0]) until cutover.
+  void BeginMigration(uint64_t granule, int source, int target) {
+    std::vector<int> replicas;
+    ReplicaNodes(granule << kShardGranuleShift, &replicas);
+    replicas.push_back(target);
+    remap_[granule] = GranuleRemap{std::move(replicas), target, source};
+  }
+
+  // Cutover: publishes the (caught-up) target for reads and opens the
+  // forwarding window from the recorded source. The source stays in the
+  // replica set — still written, redirect-shadowed for reads — until
+  // FinishForward. Returns false when no migration is pending here.
+  bool CommitMigration(uint64_t granule, uint64_t expire_ns) {
+    auto it = remap_.find(granule);
+    if (it == remap_.end() || it->second.rebuilding < 0 ||
+        it->second.migrate_source < 0) {
+      return false;
+    }
+    int target = it->second.rebuilding;
+    int source = it->second.migrate_source;
+    it->second.rebuilding = -1;
+    it->second.migrate_source = -1;
+    // A source that already left the set (it died mid-copy and the re-plan
+    // dropped it) has no racing readers to redirect: commit without a window.
+    for (int n : it->second.replicas) {
+      if (n == source) {
+        forward_[granule] = ForwardEntry{source, target, expire_ns};
+        break;
+      }
+    }
+    return true;
+  }
+
+  // Pre-commit abort: the uncommitted target leaves the replica set; the
+  // original holders were serving all along, so nothing else changes.
+  void RollbackMigration(uint64_t granule, int target) {
+    auto it = remap_.find(granule);
+    if (it == remap_.end() || it->second.rebuilding != target) {
+      return;
+    }
+    it->second.rebuilding = -1;
+    it->second.migrate_source = -1;
+    EraseReplica(&it->second.replicas, target);
+  }
+
+  // Pending migration introspection: the replica being moved off / the one
+  // being filled, or -1 when no migration is uncommitted on the granule.
+  // (RebuildTarget alone cannot tell a migration from a repair fill.)
+  int MigratingSource(uint64_t granule) const {
+    auto it = remap_.find(granule);
+    return it == remap_.end() ? -1 : it->second.migrate_source;
+  }
+  int MigratingTarget(uint64_t granule) const {
+    auto it = remap_.find(granule);
+    return it == remap_.end() || it->second.migrate_source < 0 ? -1
+                                                               : it->second.rebuilding;
+  }
+
+  // Drops `node` from the granule's remapped replica set in place (re-plan
+  // after its death), leaving any pending rebuild/migration state untouched —
+  // used when an in-flight fill should keep running minus the dead source.
+  void RemoveReplica(uint64_t granule, int node) {
+    auto it = remap_.find(granule);
+    if (it != remap_.end()) {
+      EraseReplica(&it->second.replicas, node);
+      // migrate_source is deliberately left alone even when it names `node`:
+      // the migration's fill keeps running and CommitMigration notices the
+      // missing source and commits without a forwarding window.
+    }
+  }
+
+  // Window expiry: the redirect closes and the source finally leaves the
+  // replica set. The caller owns dropping the source's stored pages.
+  void FinishForward(uint64_t granule) {
+    auto f = forward_.find(granule);
+    if (f == forward_.end()) {
+      return;
+    }
+    int from = f->second.from;
+    forward_.erase(f);
+    auto it = remap_.find(granule);
+    if (it != remap_.end()) {
+      EraseReplica(&it->second.replicas, from);
+    }
+  }
+
+  // Post-commit failback: the cutover target died inside the forwarding
+  // window, before the source copy was released. Undo the cutover — the
+  // source (kept fresh by in-window writes) resumes as the replica.
+  void FailbackMigration(uint64_t granule) {
+    auto f = forward_.find(granule);
+    if (f == forward_.end()) {
+      return;
+    }
+    int to = f->second.to;
+    forward_.erase(f);
+    auto it = remap_.find(granule);
+    if (it != remap_.end()) {
+      EraseReplica(&it->second.replicas, to);
+    }
+  }
+
+  // The forwarding window covering `granule`, or nullptr.
+  const ForwardEntry* Forwarding(uint64_t granule) const {
+    auto f = forward_.find(granule);
+    return f == forward_.end() ? nullptr : &f->second;
+  }
+  const std::unordered_map<uint64_t, ForwardEntry>& forwards() const { return forward_; }
+
+  // Readmission copy-merge: re-adds `node` to the granule's committed
+  // replica set after its orphaned copy verified fresh-by-generation — the
+  // copy is current, so redundancy comes back without a single page moving.
+  void MergeReplica(uint64_t granule, int node) {
+    auto it = remap_.find(granule);
+    if (it == remap_.end()) {
+      std::vector<int> replicas;
+      ReplicaNodes(granule << kShardGranuleShift, &replicas);
+      it = remap_.emplace(granule, GranuleRemap{std::move(replicas), -1}).first;
+    }
+    for (int n : it->second.replicas) {
+      if (n == node) {
+        return;
+      }
+    }
+    it->second.replicas.push_back(node);
   }
 
   // Replicas of `vaddr` currently able to serve a read (excludes dead nodes
@@ -296,7 +481,7 @@ class ShardRouter {
   // Whether `node` can serve reads for the granule containing this address.
   bool Readable(int node, uint64_t granule) const {
     NodeState s = state_[static_cast<size_t>(node)];
-    if (s == NodeState::kLive || s == NodeState::kSuspect) {
+    if (s == NodeState::kLive || s == NodeState::kSuspect || s == NodeState::kDraining) {
       return true;
     }
     if (s == NodeState::kRebuilding) {
@@ -405,6 +590,20 @@ class ShardRouter {
     }
   }
 
+  // Members of `stripe` whose current (remap-aware) holder is `node` — the
+  // co-location accounting that small-fabric repair placement budgets
+  // against: a node holding c members turns its failure into c erasures, so
+  // placement keeps c within what the parity arm can absorb (c <= m).
+  int EcMembersOnNode(uint64_t stripe, int node) const {
+    int c = 0;
+    for (int j = 0; j < ec_.k + ec_.m; ++j) {
+      if (EcNode(stripe, j) == node) {
+        ++c;
+      }
+    }
+    return c;
+  }
+
   // -- Op-failure reporting ---------------------------------------------------
   // The RDMA paths (fault handler, cleaner, prefetcher) report timed-out ops
   // here; the failure detector subscribes to turn them into health evidence.
@@ -436,6 +635,11 @@ class ShardRouter {
   struct GranuleRemap {
     std::vector<int> replicas;  // Effective replica set, primary first.
     int rebuilding = -1;        // Target still being filled, or -1 (committed).
+    // Replica being migrated *off* while `rebuilding` fills, or -1. This is
+    // the durable migration intent: a migration coordinator that crashes and
+    // restarts re-derives every half-done migration from (migrate_source,
+    // rebuilding) pairs — the copy is idempotent, so it simply re-runs.
+    int migrate_source = -1;
   };
 
   static int ClampActive(int num_nodes, int spare_nodes) {
@@ -473,6 +677,59 @@ class ShardRouter {
     return g;
   }
 
+  static void EraseReplica(std::vector<int>* replicas, int node) {
+    for (size_t i = 0; i < replicas->size(); ++i) {
+      if ((*replicas)[i] == node) {
+        replicas->erase(replicas->begin() + static_cast<long>(i));
+        return;
+      }
+    }
+  }
+
+  // Replacement for a retired default-placement slot: a routable non-spare
+  // node outside `taken`. EC picks the node holding the fewest members of
+  // the granule's stripe (same co-location accounting as repair placement);
+  // replication probes forward from the home so placement stays
+  // deterministic.
+  int SubstituteReplica(uint64_t vaddr, const std::vector<int>& taken) const {
+    auto usable = [&](int n) {
+      NodeState s = state_[static_cast<size_t>(n)];
+      if (s == NodeState::kRetired || s == NodeState::kDead || s == NodeState::kDraining) {
+        return false;
+      }
+      for (int t : taken) {
+        if (t == n) {
+          return false;
+        }
+      }
+      return true;
+    };
+    if (ec_.enabled) {
+      uint64_t stripe = EcStripeOf(GranuleOf(vaddr));
+      int best = -1;
+      int best_members = 0;
+      for (int n = 0; n < active_; ++n) {
+        if (!usable(n)) {
+          continue;
+        }
+        int c = EcMembersOnNode(stripe, n);
+        if (best < 0 || c < best_members) {
+          best = n;
+          best_members = c;
+        }
+      }
+      return best;
+    }
+    int home = NodeOf(vaddr);
+    for (int off = 0; off < active_; ++off) {
+      int n = (home + off) % active_;
+      if (usable(n)) {
+        return n;
+      }
+    }
+    return -1;
+  }
+
   int EcHomeNode(uint64_t stripe, int member) const {
     return static_cast<int>((Mix(stripe) + static_cast<uint64_t>(member)) %
                             static_cast<uint64_t>(active_));
@@ -498,6 +755,7 @@ class ShardRouter {
   bool shared_;
   std::vector<NodeState> state_;
   std::unordered_map<uint64_t, GranuleRemap> remap_;
+  std::unordered_map<uint64_t, ForwardEntry> forward_;  // Open cutover windows.
   std::unordered_set<uint64_t> written_granules_;
   std::unordered_map<uint64_t, uint32_t> page_gen_;  // page number -> expected gen.
   OpFailureObserver on_op_failure_;

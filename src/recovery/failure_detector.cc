@@ -29,7 +29,7 @@ void FailureDetector::Tick(uint64_t now_ns) {
   // Lease check: a node whose lease lapsed without renewal is dead even if
   // no probe round happens to be due right now.
   for (int n = 0; n < fabric_.num_nodes(); ++n) {
-    if (router_.state(n) == NodeState::kDead) {
+    if (router_.state(n) == NodeState::kDead || router_.state(n) == NodeState::kRetired) {
       continue;
     }
     uint64_t expiry = lease_expiry_[static_cast<size_t>(n)];
@@ -41,6 +41,9 @@ void FailureDetector::Tick(uint64_t now_ns) {
 
 void FailureDetector::ProbeAll(uint64_t now_ns) {
   for (int n = 0; n < fabric_.num_nodes(); ++n) {
+    if (router_.state(n) == NodeState::kRetired) {
+      continue;  // Administratively decommissioned: never probed or readmitted.
+    }
     if (router_.state(n) == NodeState::kDead) {
       if (!cfg_.readmit) {
         continue;
@@ -129,7 +132,7 @@ void FailureDetector::ObserveRtt(int node, uint64_t rtt_ns, uint64_t now_ns) {
 }
 
 void FailureDetector::Strike(int node, uint64_t now_ns) {
-  if (router_.state(node) == NodeState::kDead) {
+  if (router_.state(node) == NodeState::kDead || router_.state(node) == NodeState::kRetired) {
     return;
   }
   uint32_t s = ++strikes_[static_cast<size_t>(node)];

@@ -39,6 +39,7 @@ void RepairManager::Tick(uint64_t now_ns) {
   }
   last_tick_ns_ = now_ns;
   ScanForFailures(now_ns);
+  ProcessDeferred(now_ns);
   uint64_t budget = cfg_.bytes_per_tick;
   while (budget > 0 && !jobs_.empty()) {
     uint64_t moved = DrainFront(now_ns, budget);
@@ -117,6 +118,20 @@ void RepairManager::ScanForFailures(uint64_t now_ns) {
       if (!degraded) {
         continue;
       }
+      int pending = router_.RebuildTarget(granule);
+      if (pending != -1 && pending != dead &&
+          router_.state(pending) != NodeState::kDead) {
+        // A fill (repair or migration) is already running toward a live
+        // target. Re-planning with a fresh target here would retire that
+        // job via its superseded check and leave the hollow old target in
+        // the replica set as a *readable* replica — data loss despite a
+        // fresh survivor. Drop the dead node from the set instead and let
+        // the in-flight fill finish; the granule is re-checked for lost
+        // redundancy once it settles (ProcessDeferred).
+        router_.RemoveReplica(granule, dead);
+        deferred_.push_back(granule);
+        continue;
+      }
       int target;
       if (router_.ec_enabled()) {
         // An EC rebuild target must stay off every node of the stripe —
@@ -129,6 +144,39 @@ void RepairManager::ScanForFailures(uint64_t now_ns) {
           ec_scratch_.push_back(router_.EcNode(stripe, j));
         }
         target = PickTarget(ec_scratch_);
+        if (target < 0) {
+          // Small-fabric fallback: every healthy node already holds a member
+          // of this stripe (e.g. a (4,2) stripe over 6 nodes — strict spread
+          // is pigeonhole-impossible after one death). Allow bounded
+          // co-location: place on the node holding the fewest members, as
+          // long as losing that node afterwards (colocated + 1 erasures)
+          // stays within the parity arm's budget of m. Without this the
+          // stripe stays degraded forever.
+          int best = -1;
+          int best_c = 0;
+          for (int n = 0; n < fabric_.num_nodes(); ++n) {
+            NodeState s = router_.state(n);
+            if (s != NodeState::kLive && s != NodeState::kRebuilding) {
+              continue;
+            }
+            int c = router_.EcMembersOnNode(stripe, n);
+            if (c + 1 > router_.ec().m) {
+              continue;
+            }
+            if (best < 0 || c < best_c ||
+                (c == best_c && target_refs_[static_cast<size_t>(n)] <
+                                    target_refs_[static_cast<size_t>(best)])) {
+              best = n;
+              best_c = c;
+            }
+          }
+          if (best >= 0) {
+            target = best;
+            stats_.ec_colocated_placements++;
+            tracer_->Record(now_ns, TraceEvent::kEcCoLocated, va,
+                            static_cast<uint32_t>(target));
+          }
+        }
       } else {
         target = PickTarget(replica_scratch_);
       }
@@ -159,6 +207,41 @@ void RepairManager::ScanForFailures(uint64_t now_ns) {
   }
 }
 
+void RepairManager::ProcessDeferred(uint64_t now_ns) {
+  for (size_t i = 0; i < deferred_.size();) {
+    uint64_t granule = deferred_[i];
+    if (router_.RebuildTarget(granule) != -1 || router_.Forwarding(granule) != nullptr) {
+      ++i;  // The fill (or its forwarding window) is still in flight.
+      continue;
+    }
+    uint64_t va = granule << kShardGranuleShift;
+    router_.ReplicaNodes(va, &replica_scratch_);
+    // EC granules carry a single copy, so the settled fill already restored
+    // them; only replication-mode granules can come out short a replica.
+    if (!router_.ec_enabled() &&
+        static_cast<int>(replica_scratch_.size()) < router_.replication()) {
+      int target = PickTarget(replica_scratch_);
+      if (target < 0) {
+        stats_.repair_no_target++;
+        tracer_->Record(now_ns, TraceEvent::kRepairNoTarget, va, /*detail=*/0);
+      } else {
+        std::vector<int> replicas = replica_scratch_;
+        replicas.push_back(target);
+        router_.BeginRebuild(granule, std::move(replicas), target);
+        if (router_.is_spare(target) && router_.state(target) == NodeState::kLive) {
+          router_.MarkRebuilding(target);
+        }
+        ++target_refs_[static_cast<size_t>(target)];
+        jobs_.push_back(Job{granule, target, 0});
+        stats_.repairs_issued++;
+        tracer_->Record(now_ns, TraceEvent::kRepairStart, va,
+                        static_cast<uint32_t>(target));
+      }
+    }
+    deferred_.erase(deferred_.begin() + static_cast<ptrdiff_t>(i));
+  }
+}
+
 void RepairManager::OnNodeReadmitted(int node, uint64_t now_ns) {
   // Re-arm the death scan: the node may crash again after this readmission.
   dead_handled_[static_cast<size_t>(node)] = 0;
@@ -174,10 +257,58 @@ void RepairManager::OnNodeReadmitted(int node, uint64_t now_ns) {
       }
     }
     if (!holds) {
-      continue;  // The death scan remapped this granule off the node.
+      // The death scan remapped this granule off the node, but its store may
+      // still hold the orphaned copy. Reconcile it against the live replica
+      // set: a copy where every cleaned page is present, checksum-verified,
+      // and generation-fresh is merged back as a replica — redundancy
+      // returns without a single page moving — while anything less is
+      // dropped so a stale orphan can never serve reads later. (EC granules
+      // have exactly one placement slot, EcNode = replicas[0]; a merged
+      // extra copy would never be read, so EC orphans are always dropped.)
+      PageStore& store = fabric_.node(node).store();
+      bool any = false;
+      bool fresh = true;
+      for (uint32_t p = 0; p < kPagesPerGranule; ++p) {
+        uint64_t page_va = va + static_cast<uint64_t>(p) * kPageSize;
+        uint64_t page = page_va >> kPageShift;
+        if (store.Materialized(page)) {
+          any = true;
+          if (!store.HasChecksum(page) ||
+              !VerifyPageBytes(store, page_va, store.PageData(page)) ||
+              PageIsStale(store, page_va, router_.PageGeneration(page_va))) {
+            fresh = false;
+          }
+        } else if (router_.PageGeneration(page_va) != 0) {
+          fresh = false;  // A cleaned page the orphan never received.
+        }
+      }
+      if (!any) {
+        continue;
+      }
+      if (fresh && !router_.ec_enabled() &&
+          router_.LiveReplicaCount(va) < router_.replication()) {
+        router_.MergeReplica(granule, node);
+        stats_.readmit_copies_merged++;
+        tracer_->Record(now_ns, TraceEvent::kReadmitMerge, va,
+                        static_cast<uint32_t>(node));
+      } else {
+        for (uint32_t p = 0; p < kPagesPerGranule; ++p) {
+          store.Drop((va + static_cast<uint64_t>(p) * kPageSize) >> kPageShift);
+        }
+        stats_.readmit_orphans_dropped++;
+        tracer_->Record(now_ns, TraceEvent::kReadmitOrphanDrop, va,
+                        static_cast<uint32_t>(node));
+      }
+      continue;
     }
     int pending = router_.RebuildTarget(granule);
     if (pending != -1) {
+      if (router_.MigratingSource(granule) != -1) {
+        // A migration fill owns this granule: its coordinator re-adopts it
+        // (MigrationManager::Restart / its live job) — repair re-queueing
+        // the same target would double-drive the copy and double-commit.
+        continue;
+      }
       // A rebuild of this granule is already tracked in the router. If a
       // queued job still drives it, leave it alone. Otherwise the job was
       // retired while its target was (briefly) dead — the death and the

@@ -25,6 +25,7 @@
 #include "src/dilos/shard.h"
 #include "src/memnode/fabric.h"
 #include "src/recovery/failure_detector.h"
+#include "src/recovery/migration.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
 #include "src/telemetry/metrics.h"
@@ -57,6 +58,14 @@ struct RecoveryOptions {
   int spare_nodes = 0;
   FailureDetectorConfig detector;
   RepairConfig repair;
+  MigrationConfig migration;
+  // Demand-fetch retry budget: a per-core token bucket caps how many
+  // timeout retries the fault path may burn, so a long partition degrades
+  // to failover (the detector has already collected its strikes) instead of
+  // a retry storm. Generous by default — healthy runs never hit it; a
+  // suppressed retry counts `fault_retries_suppressed`.
+  uint32_t retry_burst = 64;          // Bucket depth per core.
+  uint64_t retry_refill_ns = 5'000;   // One token back per this much sim time.
 };
 
 class RepairManager {
@@ -81,7 +90,7 @@ class RepairManager {
   // ROADMAP load-aware-rebalancing item. Null keeps the old behavior.
   void set_metrics(const MetricsRegistry* metrics) { metrics_ = metrics; }
 
-  bool idle() const { return jobs_.empty(); }
+  bool idle() const { return jobs_.empty() && deferred_.empty(); }
   size_t pending_granules() const { return jobs_.size(); }
   // Completion frontier of the serialized repair copy stream: issue-time of
   // the next copy, i.e. when the work drained so far is done in simulated
@@ -108,6 +117,10 @@ class RepairManager {
   };
 
   void ScanForFailures(uint64_t now_ns);
+  // Granules whose dead replica was dropped while another fill (repair or
+  // migration) was mid-flight toward a live target: re-checked once the fill
+  // settles, and re-replicated if they came out under-replicated.
+  void ProcessDeferred(uint64_t now_ns);
   // Whether a queued job still drives this granule's rebuild.
   bool HasJob(uint64_t granule) const {
     for (const Job& j : jobs_) {
@@ -138,6 +151,7 @@ class RepairManager {
   std::vector<uint32_t> target_refs_;  // Granule rebuilds in flight per target.
   std::vector<int> replica_scratch_;
   std::vector<int> ec_scratch_;  // Stripe member nodes (EC target exclusion).
+  std::vector<uint64_t> deferred_;  // Granules awaiting a post-fill re-plan.
   std::vector<Flight> flights_;  // In-flight window scratch (DrainFront).
   uint64_t wr_id_ = 0;           // For reconstruction reads posted directly.
   uint64_t last_tick_ns_ = 0;

@@ -150,6 +150,22 @@ struct RuntimeStats {
   uint64_t tier_compressed_bytes = 0;       // Compressed payload bytes admitted.
   uint64_t tier_corrupt_drops = 0;          // Blobs that failed decompression, dropped.
 
+  // --- Live migration / drain (src/recovery/migration.h) ---------------------
+  uint64_t migrations_started = 0;      // Granule migrations that entered the copy phase.
+  uint64_t migrations_committed = 0;    // Migrations whose cutover committed.
+  uint64_t migrations_rolled_back = 0;  // Migrations aborted and rolled back pre-commit.
+  uint64_t migrations_inflight = 0;     // Gauge: migrations neither committed nor rolled back.
+  uint64_t migration_pages = 0;         // Pages copied by the migration manager.
+  uint64_t migration_bytes = 0;         // Migration traffic (read + write payload).
+  uint64_t migration_reships = 0;       // Dirty pages re-shipped by the catch-up pass.
+  uint64_t migration_forwards = 0;      // Reads redirected by a forwarding window.
+  uint64_t migration_failbacks = 0;     // Committed cutovers undone (target died in-window).
+  uint64_t nodes_drained = 0;           // Nodes fully emptied and retired by DrainNode.
+  uint64_t ec_colocated_placements = 0; // EC rebuilds placed with bounded stripe co-location.
+  uint64_t readmit_copies_merged = 0;   // Orphaned fresh-by-generation copies merged back.
+  uint64_t readmit_orphans_dropped = 0; // Orphaned stale copies dropped on readmission.
+  uint64_t fault_retries_suppressed = 0; // Demand retries skipped by the retry budget.
+
   // --- KV service (src/kv) ----------------------------------------------------
   uint64_t kv_guided_scans = 0;        // Range scans that ran with a scan guide installed.
   uint64_t kv_scan_prefetch_pages = 0; // Leaf pages prefetched by scan guidance.

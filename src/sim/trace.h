@@ -65,6 +65,18 @@ enum class TraceEvent : uint8_t {
   // KV service (src/kv): page_va is the first planned leaf page.
   kKvScan,          // A guided range scan began (detail: planned leaf count).
   kKvScanPrefetch,  // Leaves prefetched for a scan (detail: page count).
+  // Live migration / drain (src/recovery/migration.h): page_va is the
+  // granule base; detail carries the node id unless noted.
+  kMigrateStart,    // A granule migration entered the copy phase (detail: target).
+  kMigrateCommit,   // Cutover committed; the forwarding window opened (detail: target).
+  kMigrateAbort,    // Migration rolled back pre-commit (detail: target).
+  kMigrateForward,  // A read that raced the remap was redirected (detail: new node).
+  kMigrateFailback, // Target died inside the window; source restored (detail: target).
+  kNodeDraining,    // DrainNode marked a node draining (page_va unused).
+  kNodeDrained,     // A drained node was emptied and retired (page_va unused).
+  kReadmitMerge,    // A fresh orphaned copy rejoined the replica set on readmission.
+  kReadmitOrphanDrop,  // A stale orphaned copy was dropped on readmission.
+  kEcCoLocated,     // An EC rebuild target shares a node with another stripe member.
 };
 
 inline const char* TraceEventName(TraceEvent e) {
@@ -129,6 +141,26 @@ inline const char* TraceEventName(TraceEvent e) {
       return "kv-scan";
     case TraceEvent::kKvScanPrefetch:
       return "kv-scan-prefetch";
+    case TraceEvent::kMigrateStart:
+      return "migrate-start";
+    case TraceEvent::kMigrateCommit:
+      return "migrate-commit";
+    case TraceEvent::kMigrateAbort:
+      return "migrate-abort";
+    case TraceEvent::kMigrateForward:
+      return "migrate-forward";
+    case TraceEvent::kMigrateFailback:
+      return "migrate-failback";
+    case TraceEvent::kNodeDraining:
+      return "node-draining";
+    case TraceEvent::kNodeDrained:
+      return "node-drained";
+    case TraceEvent::kReadmitMerge:
+      return "readmit-merge";
+    case TraceEvent::kReadmitOrphanDrop:
+      return "readmit-orphan-drop";
+    case TraceEvent::kEcCoLocated:
+      return "ec-colocated";
   }
   return "?";
 }
@@ -161,6 +193,7 @@ enum class SpanKind : uint8_t {
   kHeal,            // Checksum heal rewrite of a corrupt stored copy.
   kFaultPark,       // Fiber parked: read posted, core released (pipeline).
   kFaultResume,     // Harvest batch: coalesced poll + batched PTE install.
+  kMigrateGranule,  // One granule's copy -> freeze -> remap -> forward lifetime.
   kCount,
 };
 
@@ -182,6 +215,8 @@ inline const char* SpanKindName(SpanKind k) {
       return "fault-park";
     case SpanKind::kFaultResume:
       return "fault-resume";
+    case SpanKind::kMigrateGranule:
+      return "migrate-granule";
     case SpanKind::kCount:
       break;
   }

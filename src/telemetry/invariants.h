@@ -65,6 +65,27 @@ inline std::vector<std::string> CheckStatsInvariants(const RuntimeStats& s,
     check(s.tier_misses <= s.major_faults, "tier_misses (%llu) > major_faults (%llu)",
           s.tier_misses, s.major_faults);
   }
+  // Migration: every started migration ends exactly one way — committed,
+  // rolled back, or still in flight at shutdown (the equality is the
+  // "granules migrated == committed + rolled back" shutdown audit).
+  check(s.migrations_committed + s.migrations_rolled_back + s.migrations_inflight ==
+            s.migrations_started,
+        "migrations committed+rolled_back+inflight (%llu) != migrations_started (%llu)",
+        s.migrations_committed + s.migrations_rolled_back + s.migrations_inflight,
+        s.migrations_started);
+  // A catch-up re-ship is one of the migration page copies.
+  check(s.migration_reships <= s.migration_pages,
+        "migration_reships (%llu) > migration_pages (%llu)", s.migration_reships,
+        s.migration_pages);
+  // Only a committed cutover can fail back.
+  check(s.migration_failbacks <= s.migrations_committed,
+        "migration_failbacks (%llu) > migrations_committed (%llu)", s.migration_failbacks,
+        s.migrations_committed);
+  // A suppressed retry abandons its fetch, so every suppression is one of
+  // the failed fetches.
+  check(s.fault_retries_suppressed <= s.failed_fetches,
+        "fault_retries_suppressed (%llu) > failed_fetches (%llu)",
+        s.fault_retries_suppressed, s.failed_fetches);
   // Fault pipeline: every resumed or still-parked fiber was first parked,
   // and a park only happens on the major-fault path.
   check(s.fault_resumes + s.fault_inflight <= s.fault_parks,

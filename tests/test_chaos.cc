@@ -639,6 +639,56 @@ TEST(ChaosRepair, PipelinedCopiesRebuildAtLeastTwiceAsFastAsSerial) {
       << "serial span " << serial << " ns vs pipelined " << pipelined << " ns";
 }
 
+// -- Retry budget -------------------------------------------------------------
+
+TEST(ChaosRetryBudget, UnreachableNodeBurnsBoundedRetriesThenSuppresses) {
+  // An exhausted per-core token bucket turns a would-be retry storm into
+  // fail-fast: the timeout still feeds the detector its strike (the node is
+  // steered around a moment later), but no retry traffic is spent. With a
+  // zero-depth bucket every timed-out demand fetch must suppress instead of
+  // retrying — fetch_retries stays exactly 0 for the whole run.
+  Fabric fabric(CostModel::Default(), 2);
+  DilosConfig cfg = ChaosConfig(2);
+  cfg.telemetry.check_invariants = true;
+  cfg.recovery.retry_burst = 0;
+  cfg.recovery.retry_refill_ns = 50 * kMs;  // Nothing refills mid-test.
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 256;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);
+  ASSERT_EQ(VerifySweep(rt, region, pages), 0u);
+
+  // Partition node 1 away and read a page whose primary copy it holds before
+  // any probe notices. That fetch times out; with an empty bucket it is
+  // suppressed (and surfaces as a failed fetch — the documented budget
+  // semantics). Its strike marks the node suspect, so the following storm
+  // steers to the healthy replica without burning a single retry.
+  fabric.CrashNode(1);
+  std::vector<int> reps;
+  uint64_t victim = pages;
+  for (uint64_t p = 0; p + 64 < pages; ++p) {  // Tail pages are still cached.
+    rt.router().ReplicaNodes(region + p * kPageSize, &reps);
+    if (reps[0] == 1) {
+      victim = p;
+      break;
+    }
+  }
+  ASSERT_LT(victim, pages) << "no granule homed on the partitioned node";
+  rt.Read<uint64_t>(region + victim * kPageSize);
+  VerifySweep(rt, region, pages);
+  EXPECT_GT(rt.stats().fault_retries_suppressed, 0u);
+  EXPECT_EQ(rt.stats().fetch_retries, 0u) << "every retry must be suppressed";
+  EXPECT_GE(rt.stats().failed_fetches, rt.stats().fault_retries_suppressed);
+
+  // Heal: the node is readmitted and the poisoned (zeroed, clean) pages age
+  // out of the cache — after that every read verifies again.
+  fabric.RestoreNode(1);
+  DriveMs(rt, 20);
+  DriveUntilIdle(rt, 100);
+  VerifySweep(rt, region, pages);  // Cycle any cached zero page out.
+  EXPECT_EQ(VerifySweep(rt, region, pages), 0u);
+}
+
 // -- Multi-seed soak ----------------------------------------------------------
 
 uint64_t SeedBase() {

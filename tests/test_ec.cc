@@ -327,5 +327,46 @@ TEST(EcRuntime, RepairRebuildsLostMemberFromParity) {
   EXPECT_EQ(rt.stats().failed_fetches, 0u);
 }
 
+TEST(EcRuntime, SmallFabricRepairFallsBackToBoundedCoLocation) {
+  // (4, 2) over exactly 6 nodes: every healthy node holds a member of every
+  // stripe, so after one death a strictly-spread rebuild target is pigeonhole
+  // impossible. The placement must fall back to bounded co-location (the
+  // resulting member count on the chosen node stays within the parity budget
+  // m) instead of leaving stripes degraded forever.
+  Fabric fabric(CostModel::Default(), 6);
+  DilosConfig cfg = EcConfig(4, 2);
+  cfg.telemetry.check_invariants = true;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 256;  // One full (4, 2) stripe of data granules.
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);
+
+  fabric.CrashNode(1);
+  rt.DriveRecovery(2'000'000);
+  ASSERT_EQ(rt.router().state(1), NodeState::kDead);
+  DriveUntilIdle(rt, 300);
+  ASSERT_TRUE(rt.RecoveryIdle());
+  EXPECT_GT(rt.stats().ec_colocated_placements, 0u);
+  EXPECT_EQ(rt.stats().repair_no_target, 0u) << "no stripe may stay degraded";
+  EXPECT_EQ(VerifySweep(rt, region, pages), 0u);
+
+  // The fallback's bound is the point: some survivor now holds two members,
+  // and losing that very node is still only m = 2 erasures — every stripe
+  // keeps k readable members and stays decodable.
+  uint64_t stripe = rt.router().EcStripeOf(ShardRouter::GranuleOf(region));
+  int colocated = -1;
+  for (int n = 0; n < fabric.num_nodes(); ++n) {
+    if (n != 1 && rt.router().EcMembersOnNode(stripe, n) >= 2) {
+      colocated = n;
+    }
+  }
+  ASSERT_GE(colocated, 0) << "the fallback should have doubled up somewhere";
+  EXPECT_LE(rt.router().EcMembersOnNode(stripe, colocated), rt.router().ec().m);
+  fabric.CrashNode(colocated);
+  EXPECT_EQ(VerifySweep(rt, region, pages), 0u)
+      << "losing the co-located node must stay within the parity budget";
+  EXPECT_EQ(rt.stats().failed_fetches, 0u);
+}
+
 }  // namespace
 }  // namespace dilos

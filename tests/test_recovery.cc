@@ -325,6 +325,81 @@ TEST(Readmission, RestoredNodeIsRefilledBeforeServingReads) {
   EXPECT_EQ(rt.stats().failed_fetches, 0u);
 }
 
+TEST(Readmission, OrphanCopiesMergeWhenFreshAndDropWhenStale) {
+  // Readmission copy-merge: a node comes back after its granules were
+  // remapped *off* it. Its orphaned copies are either current (no write-back
+  // since it died) — merged back into the replica set without moving a page —
+  // or generation-stale — dropped, never laundered into a readable replica.
+  Fabric fabric(CostModel::Default(), 3);
+  DilosConfig cfg = RecoveryConfig(2);
+  cfg.telemetry.check_invariants = true;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  const uint64_t pages = 512;
+  uint64_t region = rt.AllocRegion(pages * kPageSize);
+  Populate(rt, region, pages);
+  // Cycle the cache so every dirty page has been written back: node 1's
+  // copies are complete when it dies.
+  ASSERT_EQ(VerifySweep(rt, region, pages), 0u);
+
+  // Record a granule node 1 holds whose pages we will dirty while it is down
+  // (its orphan must come back stale) — the others stay untouched (fresh).
+  std::vector<int> replicas;
+  uint64_t stale_granule = UINT64_MAX;
+  int on_node1 = 0;
+  for (uint64_t granule : rt.router().written_granules()) {
+    rt.router().ReplicaNodes(granule << kShardGranuleShift, &replicas);
+    if (std::find(replicas.begin(), replicas.end(), 1) != replicas.end()) {
+      ++on_node1;
+      if (stale_granule == UINT64_MAX) {
+        stale_granule = granule;
+      }
+    }
+  }
+  ASSERT_GE(on_node1, 2) << "need a granule to dirty and one to leave fresh";
+
+  fabric.CrashNode(1);
+  rt.DriveRecovery(2'000'000);
+  ASSERT_EQ(rt.router().state(1), NodeState::kDead);
+  DriveUntilIdle(rt, 200);  // Every granule remapped onto the two survivors.
+  ASSERT_TRUE(rt.RecoveryIdle());
+
+  // Dirty the chosen granule and force the write-backs out: its generations
+  // advance on the survivors, so node 1's orphan copy is now provably stale.
+  uint64_t stale_base = stale_granule << kShardGranuleShift;
+  for (uint32_t p = 0; p < kPagesPerGranule; ++p) {
+    rt.Write<uint64_t>(stale_base + p * kPageSize,
+                       ((stale_base - region) / kPageSize + p) ^ 0xD15C0);
+  }
+  ASSERT_EQ(VerifySweep(rt, region, pages), 0u);
+
+  // Kill one survivor so the readmitted node's fresh orphans actually matter:
+  // redundancy is short a replica exactly where the merge can restore it.
+  fabric.CrashNode(2);
+  rt.DriveRecovery(2'000'000);
+  ASSERT_EQ(rt.router().state(2), NodeState::kDead);
+  DriveUntilIdle(rt, 200);
+
+  fabric.RestoreNode(1);
+  rt.DriveRecovery(2'000'000);  // Probe answers; readmission reconciles.
+  EXPECT_GT(rt.stats().readmit_copies_merged, 0u)
+      << "untouched orphans are current and must merge back";
+  EXPECT_GT(rt.stats().readmit_orphans_dropped, 0u)
+      << "the dirtied granule's orphan must be dropped, not trusted";
+  DriveUntilIdle(rt, 200);
+  EXPECT_EQ(VerifySweep(rt, region, pages), 0u);
+
+  // The merged copies must be real: bring node 2 back, let refills settle,
+  // then crash node 0 and read everything through the merged/refilled nodes.
+  fabric.RestoreNode(2);
+  rt.DriveRecovery(2'000'000);
+  DriveUntilIdle(rt, 200);
+  ASSERT_TRUE(rt.RecoveryIdle());
+  fabric.CrashNode(0);
+  rt.DriveRecovery(2'000'000);
+  EXPECT_EQ(VerifySweep(rt, region, pages), 0u);
+  EXPECT_EQ(rt.stats().failed_fetches, 0u);
+}
+
 TEST(Readmission, FirstWriteDuringRefillMakesGranuleReadable) {
   // A granule written for the very first time while a replica is
   // mid-readmission: the write itself is the granule's only content, so the
