@@ -1,14 +1,33 @@
-// Ablation (Sec. 4.5): per-module queue pairs vs one shared queue.
-// With a shared queue, demand fetches serialize behind prefetcher and
-// write-back traffic in software — head-of-line blocking the communication
-// module's shared-nothing design avoids.
+// Ablation (Sec. 4.5): head-of-line blocking on the fabric, two ways.
+//
+// 1. Per-module queue pairs vs one shared queue — the paper's ablation.
+//    With a shared queue, demand fetches serialize behind prefetcher and
+//    write-back traffic in software; per-module QPs avoid it by design.
+//
+// 2. Two-tenant isolation (src/tenant extension): a victim tenant's Zipfian
+//    demand faults vs an aggressor tenant's sequential scan on the same
+//    fabric. With the default FIFO link the victim's p99 queues behind the
+//    aggressor's whole scan burst; with the fair-share wire scheduler
+//    installed the victim pays at most its weighted share of the
+//    contention. The CI gate: fair-share keeps the victim's demand-fault
+//    p99 within kIsolationBound of its solo baseline, and turning the
+//    scheduler off must be measurably worse than leaving it on.
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.h"
 #include "src/apps/seqrw.h"
 
 namespace dilos {
 namespace {
+
+// Aggressor scan pages issued per victim sample. Each burst queues this
+// many demand fetches ahead of the victim's next fault, so the unscheduled
+// victim tail scales with the burst length while fair-share holds it near
+// the solo baseline.
+constexpr int kScanBurst = 16;
+// Fair-share gate: duo victim p99 must stay within this factor of solo p99.
+constexpr double kIsolationBound = 4.0;
 
 double RunOne(bool shared) {
   Fabric fabric;
@@ -24,19 +43,123 @@ double RunOne(bool shared) {
   return rd.GBps();
 }
 
-void Run() {
+struct IsoResult {
+  uint64_t p50 = 0, p99 = 0;
+  uint64_t sched_fault_ops = 0;  // Band-0 ops arbitrated (0 = scheduler off).
+};
+
+// One isolation run: victim (tenant 0) samples Zipfian reads on core 0;
+// when `aggressor` is set, tenant 1 interleaves kScanBurst sequential scan
+// pages on core 1 before every victim sample.
+IsoResult RunIso(bool aggressor, bool fair_share, uint64_t pages, int samples) {
+  Fabric fabric;
+  DilosConfig cfg;
+  cfg.local_mem_bytes = 2ULL << 20;
+  cfg.num_cores = 2;
+  cfg.tenants.enabled = true;
+  cfg.tenants.fair_share = fair_share;
+  DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
+  int victim = rt.CreateTenant(TenantSpec{"victim", 1, 0, QuotaPolicy::kHardReject});
+  int scanner = rt.CreateTenant(TenantSpec{"aggressor", 1, 0, QuotaPolicy::kHardReject});
+  TwoTenantWorkload wl(rt, pages, victim, scanner);
+
+  std::vector<uint64_t> lat;
+  lat.reserve(static_cast<size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    if (aggressor) {
+      for (int k = 0; k < kScanBurst; ++k) {
+        wl.ScanStep(1, /*core=*/1);
+      }
+    }
+    wl.SampleRead(0, &lat, /*core=*/0);
+  }
+
+  IsoResult r;
+  r.p50 = BenchPct(lat, 0.50);
+  r.p99 = BenchPct(lat, 0.99);
+  if (rt.wire_scheduler() != nullptr) {
+    r.sched_fault_ops = rt.wire_scheduler()->ops(0);
+  }
+  return r;
+}
+
+bool RunIsolation(bool short_run) {
+  const uint64_t pages = short_run ? 512 : 2048;
+  const int samples = short_run ? 1500 : 6000;
+
+  PrintHeader("Extension: two-tenant isolation — victim Zipfian p99 vs aggressor scan\n"
+              "victim on core 0, aggressor scans 16 pages/sample on core 1");
+  IsoResult solo = RunIso(/*aggressor=*/false, /*fair_share=*/false, pages, samples);
+  IsoResult off = RunIso(/*aggressor=*/true, /*fair_share=*/false, pages, samples);
+  IsoResult on = RunIso(/*aggressor=*/true, /*fair_share=*/true, pages, samples);
+
+  auto ratio = [&](const IsoResult& r) {
+    return static_cast<double>(r.p99) / static_cast<double>(std::max<uint64_t>(solo.p99, 1));
+  };
+  std::printf("%-24s %12s %12s %9s\n", "config", "victim p50", "victim p99", "vs solo");
+  std::printf("%-24s %9llu ns %9llu ns %8.2fx\n", "solo (no aggressor)",
+              static_cast<unsigned long long>(solo.p50),
+              static_cast<unsigned long long>(solo.p99), 1.0);
+  std::printf("%-24s %9llu ns %9llu ns %8.2fx\n", "duo, fair-share off",
+              static_cast<unsigned long long>(off.p50),
+              static_cast<unsigned long long>(off.p99), ratio(off));
+  std::printf("%-24s %9llu ns %9llu ns %8.2fx\n", "duo, fair-share on",
+              static_cast<unsigned long long>(on.p50),
+              static_cast<unsigned long long>(on.p99), ratio(on));
+  std::printf("\n");
+
+  bool ok = true;
+  auto gate = [&ok](bool pass, const char* what) {
+    if (!pass) {
+      std::printf("GATE FAILED: %s\n", what);
+      ok = false;
+    }
+  };
+  gate(on.sched_fault_ops > 0, "fair-share scheduler arbitrated demand faults");
+  gate(ratio(on) <= kIsolationBound,
+       "fair-share keeps victim p99 within bound of solo baseline");
+  gate(off.p99 > on.p99, "disabling fair-share is worse than enabling it");
+
+  BenchJson& j = BenchJson::Instance();
+  j.BeginRecord("ablation_hol.isolation");
+  j.Config("pages_per_tenant", pages);
+  j.Config("samples", static_cast<uint64_t>(samples));
+  j.Config("scan_burst", static_cast<uint64_t>(kScanBurst));
+  j.Config("isolation_bound", kIsolationBound);
+  j.Metric("solo_p99_ns", solo.p99);
+  j.Metric("fair_off_p99_ns", off.p99);
+  j.Metric("fair_on_p99_ns", on.p99);
+  j.Metric("fair_off_vs_solo", ratio(off));
+  j.Metric("fair_on_vs_solo", ratio(on));
+  j.Metric("sched_fault_ops", on.sched_fault_ops);
+  j.Metric("gates_passed", static_cast<uint64_t>(ok ? 1 : 0));
+  return ok;
+}
+
+void RunSharedQueue() {
   PrintHeader("Ablation: per-module QPs vs shared queue (seq r/w GB/s, 12.5% local)");
   std::printf("%-22s %8s %8s\n", "config", "read", "write");
   double split = RunOne(false);
   double shared = RunOne(true);
   std::printf("\nper-module QPs are %.1f%% faster on reads\n\n",
               100.0 * (split / shared - 1.0));
+
+  BenchJson& j = BenchJson::Instance();
+  j.BeginRecord("ablation_hol.shared_queue");
+  j.Metric("split_read_gbps", split);
+  j.Metric("shared_read_gbps", shared);
 }
 
 }  // namespace
 }  // namespace dilos
 
-int main() {
-  dilos::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool short_run = false;
+  dilos::BenchParseArgs(argc, argv, &short_run);
+  dilos::RunSharedQueue();
+  bool ok = dilos::RunIsolation(short_run);
+  if (!dilos::BenchJson::Instance().Flush()) {
+    return 1;
+  }
+  return ok ? 0 : 1;
 }

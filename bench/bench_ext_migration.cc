@@ -12,7 +12,6 @@
 // retire the node, any fetch fails, a post-drain verify sweep sees a wrong
 // value, or the during-drain p99 inflates beyond a generous bound over the
 // healthy baseline.
-#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -29,15 +28,6 @@ constexpr int kVictim = 1;
 // the default cost model); the gate exists to catch unbounded stalls —
 // multi-millisecond head-of-line blocking — not ordinary queueing.
 constexpr double kP99Bound = 64.0;
-
-uint64_t Pct(std::vector<uint64_t>& lat, double p) {
-  if (lat.empty()) {
-    return 0;
-  }
-  std::sort(lat.begin(), lat.end());
-  size_t i = static_cast<size_t>(p * static_cast<double>(lat.size() - 1));
-  return lat[i];
-}
 
 struct TenantPhase {
   uint64_t p50 = 0, p99 = 0;
@@ -65,23 +55,8 @@ Result Run(uint64_t pages_per_tenant, int samples) {
   DilosConfig cfg = MakeCfg(ws);
   DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
 
-  uint64_t region[2];
-  for (int t = 0; t < 2; ++t) {
-    region[t] = rt.AllocRegion(ws);
-    for (uint64_t p = 0; p < pages_per_tenant; ++p) {
-      rt.Write<uint64_t>(region[t] + p * kPageSize, (region[t] + p) ^ 0xD15C0);
-    }
-  }
-
-  KeyChooser chooser[2] = {KeyChooser(KeyDist::kZipfian, pages_per_tenant, 1031),
-                           KeyChooser(KeyDist::kZipfian, pages_per_tenant, 4057)};
-  auto sample = [&](int t, std::vector<uint64_t>* lat) {
-    uint64_t p = chooser[t].Next();
-    uint64_t t0 = rt.clock(0).now();
-    volatile uint64_t v = rt.Read<uint64_t>(region[t] + p * kPageSize);
-    (void)v;
-    lat->push_back(rt.clock(0).now() - t0);
-  };
+  TwoTenantWorkload wl(rt, pages_per_tenant);
+  auto sample = [&](int t, std::vector<uint64_t>* lat) { wl.SampleRead(t, lat); };
 
   Result res;
   std::vector<uint64_t> lat[2];
@@ -95,7 +70,7 @@ Result Run(uint64_t pages_per_tenant, int samples) {
     sample(1, &lat[1]);
   }
   for (int t = 0; t < 2; ++t) {
-    res.before[t] = {Pct(lat[t], 0.50), Pct(lat[t], 0.99)};
+    res.before[t] = {BenchPct(lat[t], 0.50), BenchPct(lat[t], 0.99)};
     lat[t].clear();
   }
 
@@ -117,7 +92,7 @@ Result Run(uint64_t pages_per_tenant, int samples) {
                 rt.stats().nodes_drained == 1 &&
                 fabric.node(kVictim).store().page_count() == 0;
   for (int t = 0; t < 2; ++t) {
-    res.during[t] = {Pct(lat[t], 0.50), Pct(lat[t], 0.99)};
+    res.during[t] = {BenchPct(lat[t], 0.50), BenchPct(lat[t], 0.99)};
     lat[t].clear();
   }
 
@@ -131,17 +106,11 @@ Result Run(uint64_t pages_per_tenant, int samples) {
     sample(1, &lat[1]);
   }
   for (int t = 0; t < 2; ++t) {
-    res.after[t] = {Pct(lat[t], 0.50), Pct(lat[t], 0.99)};
+    res.after[t] = {BenchPct(lat[t], 0.50), BenchPct(lat[t], 0.99)};
   }
 
   // Full verify sweep over both tenants: the drain must be lossless.
-  for (int t = 0; t < 2; ++t) {
-    for (uint64_t p = 0; p < pages_per_tenant; ++p) {
-      if (rt.Read<uint64_t>(region[t] + p * kPageSize) != ((region[t] + p) ^ 0xD15C0)) {
-        ++res.mismatches;
-      }
-    }
-  }
+  res.mismatches = wl.VerifyMismatches();
 
   res.migrated_granules = rt.stats().migrations_committed;
   res.migration_pages = rt.stats().migration_pages;

@@ -8,6 +8,7 @@
 #ifndef DILOS_BENCH_COMMON_H_
 #define DILOS_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -258,6 +259,87 @@ class KeyChooser {
   uint64_t n_;
   Rng rng_;
   ZipfSampler zipf_;
+};
+
+// Sort-based percentile over raw latency samples (p in [0, 1]). Sorts the
+// vector in place; callers that still need arrival order should copy first.
+inline uint64_t BenchPct(std::vector<uint64_t>& lat, double p) {
+  if (lat.empty()) {
+    return 0;
+  }
+  std::sort(lat.begin(), lat.end());
+  size_t i = static_cast<size_t>(p * static_cast<double>(lat.size() - 1));
+  return lat[i];
+}
+
+// ---- Two-tenant workload harness ---------------------------------------------
+//
+// One home for the "two tenants, disjoint regions, independent Zipfian read
+// storms" setup shared by bench_ext_migration (drain under load) and
+// bench_ablation_hol (fair-share isolation). Each region is seeded with
+// (addr ^ 0xD15C0) sentinel values so a verify sweep can prove losslessness.
+// When built on a tenancy-enabled runtime, pass real tenant ids so regions
+// are bound in the registry; the default (-1, -1) allocates untenanted
+// regions — identical to the pre-tenancy ad-hoc harness.
+class TwoTenantWorkload {
+ public:
+  TwoTenantWorkload(DilosRuntime& rt, uint64_t pages_per_tenant, int tenant0 = -1,
+                    int tenant1 = -1)
+      : rt_(rt), pages_(pages_per_tenant ? pages_per_tenant : 1),
+        chooser_{KeyChooser(KeyDist::kZipfian, pages_, 1031),
+                 KeyChooser(KeyDist::kZipfian, pages_, 4057)} {
+    const uint64_t ws = pages_ * kPageSize;
+    const int ids[2] = {tenant0, tenant1};
+    for (int t = 0; t < 2; ++t) {
+      region_[t] = ids[t] >= 0 ? rt_.AllocRegion(ws, ids[t]) : rt_.AllocRegion(ws);
+      for (uint64_t p = 0; p < pages_; ++p) {
+        rt_.Write<uint64_t>(region_[t] + p * kPageSize, Sentinel(t, p));
+      }
+    }
+  }
+
+  uint64_t region(int t) const { return region_[t]; }
+  uint64_t pages() const { return pages_; }
+
+  // One timed Zipfian read for tenant t on `core`; appends the latency.
+  void SampleRead(int t, std::vector<uint64_t>* lat, int core = 0) {
+    uint64_t p = chooser_[t].Next();
+    uint64_t t0 = rt_.clock(core).now();
+    volatile uint64_t v = rt_.Read<uint64_t>(region_[t] + p * kPageSize, core);
+    (void)v;
+    lat->push_back(rt_.clock(core).now() - t0);
+  }
+
+  // One step of a sequential full-region scan for tenant t on `core` — the
+  // aggressor pattern for head-of-line benchmarks. Each call touches the
+  // next page (wrapping), maximizing demand-fetch pressure on the fabric.
+  void ScanStep(int t, int core = 0) {
+    volatile uint64_t v = rt_.Read<uint64_t>(region_[t] + scan_[t] * kPageSize, core);
+    (void)v;
+    scan_[t] = (scan_[t] + 1) % pages_;
+  }
+
+  // Full verify sweep over both tenants; returns the mismatch count.
+  uint64_t VerifyMismatches() {
+    uint64_t bad = 0;
+    for (int t = 0; t < 2; ++t) {
+      for (uint64_t p = 0; p < pages_; ++p) {
+        if (rt_.Read<uint64_t>(region_[t] + p * kPageSize) != Sentinel(t, p)) {
+          ++bad;
+        }
+      }
+    }
+    return bad;
+  }
+
+ private:
+  uint64_t Sentinel(int t, uint64_t p) const { return (region_[t] + p) ^ 0xD15C0; }
+
+  DilosRuntime& rt_;
+  uint64_t pages_;
+  uint64_t region_[2] = {0, 0};
+  uint64_t scan_[2] = {0, 0};
+  KeyChooser chooser_[2];
 };
 
 // Canonical key / payload synthesis (implemented once, in src/redis).

@@ -28,6 +28,8 @@ void PageManager::OnMapped(uint64_t page_va) {
   if (it != where_.end()) {
     lru_.erase(it->second);
     where_.erase(it);
+  } else if (tenants_ != nullptr) {
+    tenants_->OnResident(page_va, +1);  // Fresh residency, not an LRU refresh.
   }
   lru_.push_back(page_va);
   where_[page_va] = std::prev(lru_.end());
@@ -38,6 +40,9 @@ void PageManager::OnUnmapped(uint64_t page_va) {
   if (it != where_.end()) {
     lru_.erase(it->second);
     where_.erase(it);
+    if (tenants_ != nullptr) {
+      tenants_->OnResident(page_va, -1);
+    }
   }
   vector_cleaned_.erase(page_va);
 }
@@ -89,6 +94,12 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
   }
 
   if (vectored) {
+    // Vectored write-backs store remote content like full ones and pass the
+    // same quota admission; a reject keeps the dirty bit (the reclaimer
+    // requeues the page, exactly as on a total-partition write-back).
+    if (tenants_ != nullptr && !TenantAdmitWriteBack(page_va, now)) {
+      return;
+    }
     // Fan the vectored write-back out to every live replica of the page.
     router_.WriteQps(/*core=*/0, CommChannel::kManager, page_va, &write_qps_, &write_nodes_);
     int ok = 0;
@@ -150,6 +161,12 @@ void PageManager::Clean(uint64_t page_va, Pte* e, uint64_t now) {
 }
 
 bool PageManager::WriteBackFull(uint64_t page_va, const uint8_t* data, uint64_t now) {
+  // Quota admission runs before any byte moves or the generation bumps: a
+  // rejected write-back leaves no trace remotely and the caller keeps the
+  // dirty bit, so the local copy stays the only (authoritative) one.
+  if (tenants_ != nullptr && !TenantAdmitWriteBack(page_va, now)) {
+    return false;
+  }
   // EC: parity is maintained by read-modify-write against the page's current
   // remote content, so the old bytes must be in hand *before* the data write
   // lands. The old copy comes from the home member, or — when that copy is
@@ -196,6 +213,55 @@ bool PageManager::WriteBackFull(uint64_t page_va, const uint8_t* data, uint64_t 
     EcUpdateParity(page_va, old_page, data, now);
   }
   return ok > 0;
+}
+
+bool PageManager::TenantAdmitWriteBack(uint64_t page_va, uint64_t now) {
+  if (tenants_->TryCharge(page_va)) {
+    return true;  // Already charged, untenanted, or within quota.
+  }
+  int tenant = tenants_->TenantOfAddr(page_va);
+  // kReclaimOwnColdest: free one quota slot by dropping the tenant's own
+  // coldest remote copy, then retry the charge. Skipped under EC — dropping
+  // a data member's only copy would orphan the stripe's parity accounting.
+  if (tenant >= 0 && tenants_->spec(tenant).policy == QuotaPolicy::kReclaimOwnColdest &&
+      !router_.ec_enabled() && ReclaimTenantRemote(tenant, page_va, now) &&
+      tenants_->TryCharge(page_va)) {
+    return true;
+  }
+  stats_.tenant_quota_rejects++;
+  tenants_->NoteReject(tenant);
+  tracer_->Record(now, TraceEvent::kTenantQuotaReject, page_va,
+                  tenant < 0 ? 0 : static_cast<uint32_t>(tenant));
+  return false;
+}
+
+bool PageManager::ReclaimTenantRemote(int tenant, uint64_t skip_va, uint64_t now) {
+  // Coldest-first over the LRU: the first charged page of this tenant whose
+  // local frame is a current full copy (kLocal, clean, not action-logged) can
+  // lose its remote copies losslessly — re-marking the PTE dirty makes the
+  // frame authoritative again, and a later write-back re-admits it.
+  for (uint64_t va : lru_) {
+    if (va == skip_va || tenants_->ChargeOwner(va) != tenant ||
+        vector_cleaned_.count(va) != 0) {
+      continue;
+    }
+    Pte* e = pt_.Entry(va, /*create=*/false);
+    if (e == nullptr || PteTagOf(*e) != PteTag::kLocal || (*e & kPteDirty) != 0) {
+      continue;
+    }
+    router_.ReplicaNodes(va, &reclaim_nodes_);
+    for (int node : reclaim_nodes_) {
+      router_.fabric().node(node).store().Drop(va >> kPageShift);
+    }
+    *e |= kPteDirty;
+    tenants_->Uncharge(va);
+    tenants_->NoteReclaim(tenant);
+    stats_.tenant_quota_reclaims++;
+    tracer_->Record(now, TraceEvent::kTenantQuotaReclaim, va,
+                    static_cast<uint32_t>(tenant));
+    return true;
+  }
+  return false;
 }
 
 bool PageManager::EcOldContent(uint64_t page_va, uint8_t* out, uint64_t now) {
@@ -485,7 +551,12 @@ bool PageManager::EvictOne(uint64_t now, uint64_t pinned_va) {
     where_.erase(page_va);
     Pte* e = pt_.Entry(page_va, /*create=*/false);
     if (e == nullptr || PteTagOf(*e) != PteTag::kLocal) {
-      continue;  // Page vanished (unmapped); drop the stale entry.
+      // Page vanished (unmapped); drop the stale entry. It left residency
+      // without OnUnmapped, so the gauge settles here.
+      if (tenants_ != nullptr) {
+        tenants_->OnResident(page_va, -1);
+      }
+      continue;
     }
     if (page_va == pinned_va) {
       lru_.push_back(page_va);
@@ -503,6 +574,9 @@ bool PageManager::EvictOne(uint64_t now, uint64_t pinned_va) {
     // page costs one local decompress on refault instead of an RDMA round
     // trip, and a dirty one defers its write-back to the background drain.
     if (tier_ != nullptr && TierAdmit(page_va, e, now)) {
+      if (tenants_ != nullptr) {
+        tenants_->OnResident(page_va, -1);  // Compressed, no longer frame-backed.
+      }
       return true;
     }
     // Ensure the memory-node copy is current. Clean() deliberately keeps
@@ -537,6 +611,9 @@ bool PageManager::EvictOne(uint64_t now, uint64_t pinned_va) {
       }
     }
     pool_.Free(frame);
+    if (tenants_ != nullptr) {
+      tenants_->OnResident(page_va, -1);
+    }
     stats_.evictions++;
     tracer_->Record(now, TraceEvent::kEvict, page_va);
     return true;

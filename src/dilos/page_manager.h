@@ -63,6 +63,10 @@ class PageManager {
   // into it instead of leaving the machine, with write-backs deferred to
   // this manager's background loop. Null disables the tier (default).
   void set_tier(CompressedTier* tier) { tier_ = tier; }
+  // Arms tenant accounting: resident gauges track OnMapped/OnUnmapped and
+  // eviction, and full write-backs pass quota admission (src/tenant/tenant.h).
+  // Null disables tenancy (default).
+  void set_tenants(TenantRegistry* t) { tenants_ = t; }
 
   // Registers a page that just became resident (most recently used).
   void OnMapped(uint64_t page_va);
@@ -102,6 +106,16 @@ class PageManager {
 
   // One clock-algorithm step; returns true if a page was evicted.
   bool EvictOne(uint64_t now, uint64_t pinned_va = UINT64_MAX);
+
+  // Quota admission for a full write-back of `page_va`: true when the page
+  // is already charged, untenanted, within quota, or room was reclaimed
+  // under kReclaimOwnColdest. False = hard reject; the caller must keep the
+  // dirty bit (the same contract as a total-partition write-back failure).
+  bool TenantAdmitWriteBack(uint64_t page_va, uint64_t now);
+  // Drops the remote copies of `tenant`'s coldest eligible resident charged
+  // page (never `skip_va`), re-marking its PTE dirty so the local frame
+  // stays authoritative — a lossless way to free one quota slot.
+  bool ReclaimTenantRemote(int tenant, uint64_t skip_va, uint64_t now);
 
   // Compressed-tier admission of the eviction victim behind `e`: returns
   // true if the page moved into the tier (frame freed, PTE -> kTier).
@@ -152,6 +166,8 @@ class PageManager {
   const CostModel* cost_;
   Guide* guide_ = nullptr;
   CompressedTier* tier_ = nullptr;
+  TenantRegistry* tenants_ = nullptr;  // Quota + residency accounting; may be null.
+  std::vector<int> reclaim_nodes_;     // Scratch for quota-reclaim replica drops.
 
   // LRU order: front = oldest. The clock hand sweeps from the front.
   std::list<uint64_t> lru_;

@@ -120,6 +120,15 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
     tier_ = std::make_unique<CompressedTier>(cfg_.tier);
     pm_.set_tier(tier_.get());
   }
+  if (cfg_.tenants.enabled) {
+    tenants_ = std::make_unique<TenantRegistry>(kShardGranuleShift);
+    router_.set_tenants(tenants_.get());  // Per-tenant placement salt.
+    pm_.set_tenants(tenants_.get());      // Residency gauges + quota admission.
+    if (cfg_.tenants.fair_share) {
+      wire_sched_ = std::make_unique<FairLinkScheduler>(fabric_.num_nodes(), tenants_.get());
+      fabric_.set_scheduler(wire_sched_.get());
+    }
+  }
   if (cfg_.fault_pipeline.enabled) {
     pipelines_.reserve(static_cast<size_t>(cfg_.num_cores));
     for (int c = 0; c < cfg_.num_cores; ++c) {
@@ -134,7 +143,8 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
                                               cfg_.recovery.repair);
     migration_ = std::make_unique<MigrationManager>(fabric_, router_, *detector_, stats_,
                                                     &tracer_, cfg_.recovery.migration);
-    retry_budget_.assign(static_cast<size_t>(cfg_.num_cores),
+    size_t stride = tenants_ != nullptr ? TenantRegistry::kMaxTenants + 1 : 1;
+    retry_budget_.assign(static_cast<size_t>(cfg_.num_cores) * stride,
                          RetryBudget{cfg_.recovery.retry_burst, 0});
     // Timed-out ops anywhere in the paging paths become detector evidence.
     router_.set_op_failure_observer(
@@ -143,6 +153,14 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
     // manager: re-admitted as rebuilding, its stale granules refilled.
     detector_->set_readmit_observer(
         [this](int node, uint64_t now_ns) { repair_->OnNodeReadmitted(node, now_ns); });
+  }
+  if (tenants_ != nullptr && cfg_.tenants.hotness.enabled && migration_ != nullptr) {
+    // The auto-migrator drives MigrateGranule from per-node serve-load EWMAs;
+    // it watches the fabric's metrics *slot* so a registry installed below
+    // (telemetry) is seen without re-wiring.
+    hotness_ = std::make_unique<HotnessMonitor>(router_, *migration_, fabric_.metrics_slot(),
+                                                stats_, &tracer_, cfg_.tenants.hotness,
+                                                fabric_.num_nodes());
   }
   if (cfg_.telemetry.enabled()) {
     telemetry_ = std::make_unique<Telemetry>(cfg_.telemetry, fabric.num_nodes());
@@ -159,6 +177,13 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
       if (migration_ != nullptr) {
         migration_->set_metrics(metrics_registry_);
       }
+      if (tenants_ != nullptr) {
+        // Per-(node, tenant) serve/maint cells: the registry resolves each
+        // op's remote address to its owning tenant.
+        TenantRegistry* reg = tenants_.get();
+        metrics_registry_->set_tenant_lookup(
+            [reg](uint64_t addr) { return reg->TenantOfAddr(addr); });
+      }
     }
     if (flight_ != nullptr) {
       tracer_.set_sink(flight_);
@@ -173,6 +198,9 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
 }
 
 DilosRuntime::~DilosRuntime() {
+  if (wire_sched_ != nullptr && fabric_.scheduler() == wire_sched_.get()) {
+    fabric_.set_scheduler(nullptr);  // The fabric may outlive this runtime.
+  }
   if (telemetry_ == nullptr) {
     return;
   }
@@ -184,6 +212,12 @@ DilosRuntime::~DilosRuntime() {
   if (telemetry_->config().check_invariants) {
     std::vector<std::string> violations =
         CheckStatsInvariants(stats_, /*tier_enabled=*/tier_ != nullptr);
+    if (tenants_ != nullptr) {
+      // Tenancy shutdown audit: per-tenant gauges must sum to the global
+      // totals, retired tenants must own nothing, quotas must hold.
+      std::vector<std::string> tv = CheckTenantInvariants(tenants_->InvariantView());
+      violations.insert(violations.end(), tv.begin(), tv.end());
+    }
     if (!violations.empty()) {
       for (const std::string& v : violations) {
         std::fprintf(stderr, "RuntimeStats invariant violated: %s\n", v.c_str());
@@ -202,6 +236,9 @@ void DilosRuntime::RecoveryTick(uint64_t now) {
   }
   if (migration_ != nullptr) {
     migration_->Tick(now);
+  }
+  if (hotness_ != nullptr) {
+    hotness_->Tick(now);
   }
 }
 
@@ -375,12 +412,16 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
       // detector its strikes — by the time a (generous) bucket drains, the
       // node is declared dead and PickRead steers away without retrying —
       // so suppressing the remaining retries loses no evidence.
-      RetryBudget& rb = retry_budget_[static_cast<size_t>(core)];
-      if (cfg_.recovery.retry_refill_ns > 0 && *cursor_ns > rb.last_refill_ns) {
-        uint64_t earned = (*cursor_ns - rb.last_refill_ns) / cfg_.recovery.retry_refill_ns;
+      // With tenancy enabled the bucket is per (core, tenant) and the refill
+      // period is the tenant's weight share — a partition hammered by one
+      // tenant cannot drain another tenant's retry budget.
+      RetryBudget& rb = retry_budget_[RetryIndex(core, page_va)];
+      uint64_t refill_ns = RetryRefillNs(page_va);
+      if (refill_ns > 0 && *cursor_ns > rb.last_refill_ns) {
+        uint64_t earned = (*cursor_ns - rb.last_refill_ns) / refill_ns;
         if (earned > 0) {
           rb.tokens = std::min<uint64_t>(rb.tokens + earned, cfg_.recovery.retry_burst);
-          rb.last_refill_ns += earned * cfg_.recovery.retry_refill_ns;
+          rb.last_refill_ns += earned * refill_ns;
         }
       }
       if (rb.tokens == 0) {
@@ -492,12 +533,30 @@ uint64_t DilosRuntime::AllocRegion(uint64_t bytes) {
   return base;
 }
 
+uint64_t DilosRuntime::AllocRegion(uint64_t bytes, int tenant) {
+  // Granule-aligned base and span: BindRange maps whole granules to the
+  // tenant, so a granule shared with a neighbor would mis-attribute pages.
+  next_region_ = (next_region_ + kShardGranuleBytes - 1) & ~(kShardGranuleBytes - 1);
+  uint64_t base = next_region_;
+  uint64_t span = (bytes + kShardGranuleBytes - 1) & ~(kShardGranuleBytes - 1);
+  next_region_ += span + 16 * kPageSize;  // Guard gap between regions.
+  if (tenants_ != nullptr && tenant >= 0) {
+    tenants_->BindRange(base, span, tenant);
+  }
+  return base;
+}
+
 void DilosRuntime::FreeRegion(uint64_t addr, uint64_t bytes) {
   uint64_t end = addr + bytes;
   for (uint64_t page_va = PageOf(addr); page_va < end; page_va += kPageSize) {
     Pte* e = pt_.Entry(page_va, /*create=*/false);
     if (e == nullptr) {
       continue;
+    }
+    if (tenants_ != nullptr) {
+      // Freed content is no longer stored on the tenant's behalf: release
+      // its quota slot (no-op for never-charged pages).
+      tenants_->Uncharge(page_va);
     }
     switch (PteTagOf(*e)) {
       case PteTag::kLocal:
@@ -891,6 +950,9 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       stats_.major_faults++;
       if (tier_ != nullptr) {
         stats_.tier_misses++;  // Cold miss the tier no longer holds (or never did).
+      }
+      if (hotness_ != nullptr) {
+        hotness_->OnDemandFault(page_va);  // Granule heat for the auto-migrator.
       }
       tracer_.Record(clk.now(), TraceEvent::kMajorFault, page_va);
       uint32_t fault_span = tracer_.BeginSpan(SpanKind::kFault, clk.now(), page_va);

@@ -28,6 +28,8 @@
 #include "src/sim/fiber.h"
 #include "src/sim/trace.h"
 #include "src/telemetry/telemetry.h"
+#include "src/tenant/hotness.h"
+#include "src/tenant/wire_sched.h"
 
 namespace dilos {
 
@@ -70,6 +72,11 @@ struct DilosConfig {
   // checks. The default (all off) changes nothing — same contract as
   // trace_capacity == 0.
   TelemetryConfig telemetry;
+  // Multi-tenant policy layer (src/tenant): tenant namespaces + quotas,
+  // per-tenant fair-share wire scheduling, and the hotness auto-migrator.
+  // Disabled by default; a single-tenant runtime is byte-identical to one
+  // built without the layer.
+  TenantConfig tenants;
   // Chaos seed: nonzero reseeds the fabric's fault injector at construction,
   // so every probabilistic fault drawn during the run derives from this one
   // knob. Tests print it on failure; rerunning with the same seed replays
@@ -89,6 +96,10 @@ class DilosRuntime : public FarRuntime {
 
   // -- FarRuntime ------------------------------------------------------------
   uint64_t AllocRegion(uint64_t bytes) override;
+  // Tenant-owned region: granule-aligned (a shard granule never straddles
+  // tenants) and bound to `tenant` in the registry. With tenancy off this is
+  // just an aligned AllocRegion.
+  uint64_t AllocRegion(uint64_t bytes, int tenant);
   void FreeRegion(uint64_t addr, uint64_t bytes) override;
   uint8_t* Pin(uint64_t vaddr, uint32_t len, bool write, int core) override;
   // Retires every parked demand fault: advances each core's clock to its
@@ -130,6 +141,32 @@ class DilosRuntime : public FarRuntime {
   FaultPipeline* pipeline(int core) {
     return pipelines_.empty() ? nullptr : &pipelines_[static_cast<size_t>(core)];
   }
+  // -- Multi-tenant policy layer (null members unless cfg.tenants.enabled) ---
+  // Registers a tenant; returns its id, or -1 (registry full / tenancy off).
+  int CreateTenant(const TenantSpec& spec) {
+    return tenants_ != nullptr ? tenants_->Register(spec) : -1;
+  }
+  // Terminal retirement. The shutdown audit fails if the tenant still owns
+  // resident or charged pages — free its regions first.
+  void RetireTenant(int id) {
+    if (tenants_ != nullptr) {
+      tenants_->Retire(id);
+    }
+  }
+  TenantRegistry* tenants() { return tenants_.get(); }
+  FairLinkScheduler* wire_scheduler() { return wire_sched_.get(); }
+  HotnessMonitor* hotness() { return hotness_.get(); }
+  // Test introspection: remaining demand-retry tokens of one (core, tenant)
+  // bucket (tenant -1 = the untenanted bucket; with tenancy off, the
+  // per-core bucket regardless of `tenant`).
+  uint64_t retry_tokens(int core, int tenant) const {
+    size_t stride = tenants_ != nullptr ? TenantRegistry::kMaxTenants + 1 : 1;
+    size_t bucket =
+        tenants_ != nullptr && tenant >= 0 ? static_cast<size_t>(tenant) + 1 : 0;
+    size_t idx = static_cast<size_t>(core) * stride + bucket;
+    return idx < retry_budget_.size() ? retry_budget_[idx].tokens : 0;
+  }
+
   // Telemetry (null unless cfg.telemetry.enabled()).
   Telemetry* telemetry() { return telemetry_.get(); }
   // Per-(node, QP class) fabric metrics (null unless cfg.telemetry.metrics).
@@ -222,13 +259,49 @@ class DilosRuntime : public FarRuntime {
   std::unique_ptr<FailureDetector> detector_;
   std::unique_ptr<RepairManager> repair_;
   std::unique_ptr<MigrationManager> migration_;
-  // Demand-retry token buckets, one per core (RecoveryOptions::retry_burst /
-  // retry_refill_ns). Refilled lazily from the core's cursor.
+  // Demand-retry token buckets (RecoveryOptions::retry_burst /
+  // retry_refill_ns), refilled lazily from the core's cursor. One per core;
+  // with tenancy enabled, one per (core, tenant bucket) — kMaxTenants + 1
+  // buckets per core, index 0 untenanted — so one tenant's retry storm can
+  // never drain another's budget on the same core.
   struct RetryBudget {
     uint64_t tokens = 0;
     uint64_t last_refill_ns = 0;
   };
+  size_t RetryIndex(int core, uint64_t page_va) const {
+    if (tenants_ == nullptr) {
+      return static_cast<size_t>(core);
+    }
+    int t = tenants_->TenantOfAddr(page_va);
+    size_t bucket = t < 0 ? 0 : static_cast<size_t>(t) + 1;
+    return static_cast<size_t>(core) * (TenantRegistry::kMaxTenants + 1) + bucket;
+  }
+  // Per-tenant refill share: the core's refill rate splits by fair-share
+  // weight, so tenant t's bucket refills every base * W / w_t ns (W = sum of
+  // registered weights). Untenanted faults refill at weight 1.
+  uint64_t RetryRefillNs(uint64_t page_va) const {
+    uint64_t base = cfg_.recovery.retry_refill_ns;
+    if (tenants_ == nullptr || base == 0 || tenants_->num_tenants() == 0) {
+      return base;
+    }
+    uint64_t total = 0;
+    for (int i = 0; i < tenants_->num_tenants(); ++i) {
+      uint32_t w = tenants_->spec(i).weight;
+      total += w == 0 ? 1 : w;
+    }
+    int t = tenants_->TenantOfAddr(page_va);
+    uint64_t w = 1;
+    if (t >= 0) {
+      uint32_t sw = tenants_->spec(t).weight;
+      w = sw == 0 ? 1 : sw;
+    }
+    return base * total / w;
+  }
   std::vector<RetryBudget> retry_budget_;
+  // Multi-tenant policy layer (all null unless cfg.tenants.enabled).
+  std::unique_ptr<TenantRegistry> tenants_;
+  std::unique_ptr<FairLinkScheduler> wire_sched_;
+  std::unique_ptr<HotnessMonitor> hotness_;
   std::unique_ptr<CompressedTier> tier_;
   std::unique_ptr<Telemetry> telemetry_;
   // Cached raw views into telemetry_ (null when off) so hot paths pay one

@@ -38,6 +38,7 @@
 #include "src/dilos/comm.h"
 #include "src/memnode/fabric.h"
 #include "src/recovery/ec.h"
+#include "src/tenant/tenant.h"
 
 namespace dilos {
 
@@ -138,8 +139,18 @@ class ShardRouter {
     if (ec_.enabled) {
       return EcHomeNode(EcStripeOf(granule), EcMemberOf(granule));
     }
-    return static_cast<int>(Mix(granule) % static_cast<uint64_t>(active_));
+    // With a tenant registry installed, each tenant's granules hash under a
+    // per-tenant salt so tenants spread independently; untenanted granules
+    // (salt 0) place exactly as before.
+    uint64_t salt = tenants_ != nullptr ? tenants_->PlacementSalt(granule) : 0;
+    return static_cast<int>(Mix(granule ^ salt) % static_cast<uint64_t>(active_));
   }
+
+  // Threads the tenant namespace through placement. Install before any
+  // granule is written: changing the salt afterwards would orphan placed
+  // data (same contract as changing `replication`).
+  void set_tenants(const TenantRegistry* t) { tenants_ = t; }
+  const TenantRegistry* tenants() const { return tenants_; }
 
   // Effective replica set of the granule containing `vaddr`, primary first:
   // the remapped set if the granule was rebuilt after a failure, otherwise
@@ -747,6 +758,7 @@ class ShardRouter {
   }
 
   Fabric* fabric_;
+  const TenantRegistry* tenants_ = nullptr;  // Placement salt source; may be null.
   int num_nodes_;
   int active_;  // Nodes participating in hash placement; the rest are spares.
   ECConfig ec_;

@@ -37,7 +37,7 @@ class Fabric {
   QueuePair* CreateQp(int node = 0, QpClass cls = QpClass::kOther) {
     qps_.push_back(std::make_unique<QueuePair>(links_[static_cast<size_t>(node)].get(),
                                                &local_, &nodes_[static_cast<size_t>(node)]->mr(),
-                                               &injector_, node, cls, &metrics_));
+                                               &injector_, node, cls, &metrics_, &sched_));
     return qps_.back().get();
   }
 
@@ -47,6 +47,15 @@ class Fabric {
   // QPs first, then enables telemetry — takes effect immediately.
   void set_metrics(MetricsRegistry* m) { metrics_ = m; }
   MetricsRegistry* metrics() { return metrics_; }
+  // The fabric's metrics slot itself — QPs and background monitors
+  // (src/tenant/hotness.h) watch this address, not a snapshot of it.
+  MetricsRegistry* const* metrics_slot() const { return &metrics_; }
+
+  // Installs (or removes) a wire scheduler (src/rdma/sched.h) that replaces
+  // per-link FIFO arbitration for every QP, existing and future. Used by the
+  // multi-tenant fair-share layer (src/tenant/wire_sched.h).
+  void set_scheduler(LinkScheduler* s) { sched_ = s; }
+  LinkScheduler* scheduler() { return sched_; }
 
   // Crashes memory node `i`: every QP connected to it times out from now on.
   // Unlike ShardRouter::FailNode this is not an oracle declaration — the
@@ -75,6 +84,7 @@ class Fabric {
   std::vector<std::unique_ptr<MemoryNode>> nodes_;
   IdentityResolver local_;
   MetricsRegistry* metrics_ = nullptr;  // Telemetry registry; see set_metrics.
+  LinkScheduler* sched_ = nullptr;      // Wire scheduler; see set_scheduler.
   std::vector<std::unique_ptr<QueuePair>> qps_;
 };
 

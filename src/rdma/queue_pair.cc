@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/memnode/fault_injector.h"
+#include "src/rdma/sched.h"
 
 namespace dilos {
 
@@ -35,7 +36,8 @@ Completion QueuePair::PostSend(const WorkRequest& wr, uint64_t now_ns) {
     bool ok = c.status == WcStatus::kSuccess;
     (*metrics_)->OnOp(node_, cls_, wr.opcode == RdmaOpcode::kWrite, wr.TotalBytes(),
                       ok ? c.completion_time_ns - now_ns : 0, ok,
-                      c.status == WcStatus::kTimeout);
+                      c.status == WcStatus::kTimeout,
+                      wr.remote.empty() ? 0 : wr.remote[0].addr);
   }
   return c;
 }
@@ -95,7 +97,18 @@ Completion QueuePair::PostSendImpl(const WorkRequest& wr, uint64_t now_ns) {
     // latency, not the wire serialization (the link itself is healthy).
     fabric = static_cast<uint64_t>(static_cast<double>(fabric) * fault.delay_factor);
   }
-  uint64_t wire_done = link_->Occupy(now_ns, bytes, nsegs, is_write);
+  // Wire arbitration: FIFO through Link::Occupy by default; with a fabric
+  // scheduler installed (multi-tenant fair share), the scheduler decides when
+  // this op's serialization slot starts. Same double-pointer pattern as
+  // metrics_, so a scheduler installed after QP creation is still honored.
+  uint64_t wire_done;
+  if (sched_ != nullptr && *sched_ != nullptr) {
+    wire_done = (*sched_)->Occupy(*link_, node_, cls_,
+                                  wr.remote.empty() ? 0 : wr.remote[0].addr, now_ns,
+                                  bytes, nsegs, is_write);
+  } else {
+    wire_done = link_->Occupy(now_ns, bytes, nsegs, is_write);
+  }
   uint64_t done = now_ns + fabric;
   if (wire_done > done) {
     done = wire_done;

@@ -20,7 +20,8 @@
 
 namespace dilos {
 
-class FaultInjector;  // src/memnode/fault_injector.h
+class FaultInjector;   // src/memnode/fault_injector.h
+class LinkScheduler;   // src/rdma/sched.h
 
 class CompletionQueue {
  public:
@@ -70,16 +71,21 @@ class QueuePair {
   // QP serves and `metrics` points at the fabric's registry slot — a
   // double pointer, so a registry installed on the fabric after QP creation
   // (Fabric::set_metrics) is still seen; both default to "unmetered".
+  // `sched` is the fabric's wire-scheduler slot (same double-pointer
+  // pattern): when a scheduler is installed it arbitrates the wire in place
+  // of Link::Occupy (src/rdma/sched.h).
   QueuePair(Link* link, AddressResolver* local, const MemoryRegion* remote_mr,
             FaultInjector* injector = nullptr, int node = -1,
-            QpClass cls = QpClass::kOther, MetricsRegistry* const* metrics = nullptr)
+            QpClass cls = QpClass::kOther, MetricsRegistry* const* metrics = nullptr,
+            LinkScheduler* const* sched = nullptr)
       : link_(link),
         local_(local),
         remote_mr_(remote_mr),
         injector_(injector),
         node_(node),
         cls_(cls),
-        metrics_(metrics) {}
+        metrics_(metrics),
+        sched_(sched) {}
 
   // Posts a one-sided work request at simulated time `now_ns`. Data movement
   // is performed immediately; the completion time reflects fabric latency
@@ -115,6 +121,7 @@ class QueuePair {
   int node_;
   QpClass cls_ = QpClass::kOther;
   MetricsRegistry* const* metrics_ = nullptr;  // Fabric's registry slot.
+  LinkScheduler* const* sched_ = nullptr;      // Fabric's wire-scheduler slot.
   CompletionQueue cq_;
   // RC QPs complete strictly in post order: a READ posted after a WRITE on
   // the same QP cannot complete before it. This is the head-of-line

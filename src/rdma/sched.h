@@ -1,0 +1,39 @@
+// Wire-arbitration hook: an installable replacement for Link::Occupy.
+//
+// By default every op posted on a QP serializes FIFO on its node's link
+// (src/rdma/link.h). A LinkScheduler installed on the fabric
+// (Fabric::set_scheduler) is consulted instead at the QueuePair::PostSend
+// choke point, with enough context — node, QP class, remote address — to
+// arbitrate the wire by traffic class and by tenant. The policy
+// implementation lives in src/tenant/wire_sched.h; this header only breaks
+// the rdma -> tenant dependency that would otherwise cycle.
+#ifndef DILOS_SRC_RDMA_SCHED_H_
+#define DILOS_SRC_RDMA_SCHED_H_
+
+#include <cstdint>
+
+#include "src/telemetry/metrics.h"
+
+namespace dilos {
+
+class Link;
+
+class LinkScheduler {
+ public:
+  virtual ~LinkScheduler() = default;
+
+  // Arbitrates one op of `bytes` payload across `nsegs` segments issued at
+  // `issue_ns` toward `node`; returns the wire-completion time (the value
+  // Link::Occupy would have returned). Implementations are responsible for
+  // metering bandwidth into the link's BandwidthMeters, since the link's own
+  // Occupy is bypassed while a scheduler is installed. `remote_addr` is the
+  // op's first remote segment address (0 if none) — the key a tenant-aware
+  // scheduler resolves ownership from.
+  virtual uint64_t Occupy(Link& link, int node, QpClass cls, uint64_t remote_addr,
+                          uint64_t issue_ns, uint64_t bytes, uint32_t nsegs,
+                          bool is_write) = 0;
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_RDMA_SCHED_H_

@@ -166,6 +166,11 @@ struct RuntimeStats {
   uint64_t readmit_orphans_dropped = 0; // Orphaned stale copies dropped on readmission.
   uint64_t fault_retries_suppressed = 0; // Demand retries skipped by the retry budget.
 
+  // --- Multi-tenant policy layer (src/tenant) ---------------------------------
+  uint64_t tenant_quota_rejects = 0;   // Write-backs refused on a quota breach.
+  uint64_t tenant_quota_reclaims = 0;  // Own-coldest remote drops made for quota room.
+  uint64_t hotness_migrations = 0;     // Migrations started by the hotness monitor.
+
   // --- KV service (src/kv) ----------------------------------------------------
   uint64_t kv_guided_scans = 0;        // Range scans that ran with a scan guide installed.
   uint64_t kv_scan_prefetch_pages = 0; // Leaf pages prefetched by scan guidance.

@@ -77,6 +77,9 @@ enum class TraceEvent : uint8_t {
   kReadmitMerge,    // A fresh orphaned copy rejoined the replica set on readmission.
   kReadmitOrphanDrop,  // A stale orphaned copy was dropped on readmission.
   kEcCoLocated,     // An EC rebuild target shares a node with another stripe member.
+  kTenantQuotaReject,   // A write-back was refused on a tenant quota breach.
+  kTenantQuotaReclaim,  // A tenant's own coldest remote page was dropped for quota room.
+  kHotnessMigrate,  // The hotness monitor started a migration (detail: hot<<8|cold).
 };
 
 inline const char* TraceEventName(TraceEvent e) {
@@ -161,6 +164,12 @@ inline const char* TraceEventName(TraceEvent e) {
       return "readmit-orphan-drop";
     case TraceEvent::kEcCoLocated:
       return "ec-colocated";
+    case TraceEvent::kTenantQuotaReject:
+      return "tenant-quota-reject";
+    case TraceEvent::kTenantQuotaReclaim:
+      return "tenant-quota-reclaim";
+    case TraceEvent::kHotnessMigrate:
+      return "hotness-migrate";
   }
   return "?";
 }

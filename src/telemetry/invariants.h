@@ -86,6 +86,11 @@ inline std::vector<std::string> CheckStatsInvariants(const RuntimeStats& s,
   check(s.fault_retries_suppressed <= s.failed_fetches,
         "fault_retries_suppressed (%llu) > failed_fetches (%llu)",
         s.fault_retries_suppressed, s.failed_fetches);
+  // Every hotness-driven migration went through MigrateGranule, so the
+  // auto-migrator can never claim more moves than the mechanism started.
+  check(s.hotness_migrations <= s.migrations_started,
+        "hotness_migrations (%llu) > migrations_started (%llu)", s.hotness_migrations,
+        s.migrations_started);
   // Fault pipeline: every resumed or still-parked fiber was first parked,
   // and a park only happens on the major-fault path.
   check(s.fault_resumes + s.fault_inflight <= s.fault_parks,
@@ -105,6 +110,71 @@ inline std::vector<std::string> CheckStatsInvariants(const RuntimeStats& s,
   check(s.fault_breakdown.events() <= s.total_faults(),
         "fault_breakdown events (%llu) > total_faults (%llu)", s.fault_breakdown.events(),
         s.total_faults());
+  return out;
+}
+
+// -- Tenancy shutdown audit ---------------------------------------------------
+//
+// The TenantRegistry (src/tenant/tenant.h) exports this flat snapshot so the
+// audit can live next to the other invariants without telemetry depending on
+// the tenant subsystem. Per-tenant gauges and the global totals are updated
+// through *different* variables at the same call sites, so the sums catch
+// misattribution (charging tenant A, uncharging tenant B) that each counter
+// individually would hide.
+struct TenantInvariantRow {
+  int id = -1;  // -1 is the untenanted bucket (probes, parity, unbound ranges).
+  bool retired = false;
+  uint64_t resident_pages = 0;
+  uint64_t remote_pages = 0;
+  uint64_t quota_pages = 0;  // 0 = unlimited.
+};
+
+struct TenantInvariantView {
+  std::vector<TenantInvariantRow> rows;  // Tenants plus the untenanted bucket.
+  uint64_t total_resident = 0;           // Global gauge, all buckets.
+  uint64_t total_remote = 0;             // Global gauge, charged pages only.
+  uint64_t charged_entries = 0;          // Size of the page -> owner charge map.
+  uint64_t underflows = 0;               // Gauge decrements that would go negative.
+};
+
+// Returns one message per violated tenancy invariant; empty means consistent.
+inline std::vector<std::string> CheckTenantInvariants(const TenantInvariantView& v) {
+  std::vector<std::string> out;
+  auto fail = [&out](const char* fmt, unsigned long long a, unsigned long long b) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), fmt, a, b);
+    out.emplace_back(buf);
+  };
+
+  if (v.underflows != 0) {
+    fail("tenant gauge underflows (%llu) != expected (%llu)", v.underflows, 0ULL);
+  }
+  uint64_t resident_sum = 0;
+  uint64_t remote_sum = 0;
+  for (const TenantInvariantRow& r : v.rows) {
+    resident_sum += r.resident_pages;
+    remote_sum += r.remote_pages;
+    if (r.retired && (r.resident_pages != 0 || r.remote_pages != 0)) {
+      fail("retired tenant %llu still owns %llu pages", static_cast<uint64_t>(r.id),
+           r.resident_pages + r.remote_pages);
+    }
+    if (r.quota_pages != 0 && r.remote_pages > r.quota_pages) {
+      fail("tenant remote_pages (%llu) > quota_pages (%llu)", r.remote_pages,
+           r.quota_pages);
+    }
+  }
+  if (resident_sum != v.total_resident) {
+    fail("sum of per-tenant resident pages (%llu) != global resident total (%llu)",
+         resident_sum, v.total_resident);
+  }
+  if (remote_sum != v.total_remote) {
+    fail("sum of per-tenant remote pages (%llu) != global remote total (%llu)",
+         remote_sum, v.total_remote);
+  }
+  if (v.charged_entries != v.total_remote) {
+    fail("charge-map entries (%llu) != global remote total (%llu)", v.charged_entries,
+         v.total_remote);
+  }
   return out;
 }
 

@@ -17,7 +17,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/telemetry/histogram.h"
@@ -96,28 +98,19 @@ class MetricsRegistry {
 
   // The PostSend choke-point hook. `ok` — op completed successfully;
   // `timed_out` — RC retransmit exhaustion (the crash/partition signature).
+  // `remote_addr` (first remote segment, 0 if none) is only consulted when a
+  // tenant lookup is installed, to attribute the op to its owning tenant.
   void OnOp(int node, QpClass cls, bool is_write, uint64_t bytes, uint64_t rtt_ns, bool ok,
-            bool timed_out) {
+            bool timed_out, uint64_t remote_addr = 0) {
     if (node < 0 || node >= num_nodes_) {
       return;
     }
-    QpMetrics& m = Cell(node, cls);
-    if (!ok) {
-      if (timed_out) {
-        ++m.timeouts;
-      } else {
-        ++m.errors;
-      }
-      return;
+    Apply(&Cell(node, cls), is_write, bytes, rtt_ns, ok, timed_out);
+    if (tenant_lookup_) {
+      TenantCell& t = TenantCellAt(node, tenant_lookup_(remote_addr));
+      Apply(ServesTenant(cls) ? &t.serve : &t.maint, is_write, bytes, rtt_ns, ok,
+            timed_out);
     }
-    if (is_write) {
-      ++m.writes;
-      m.write_bytes += bytes;
-    } else {
-      ++m.reads;
-      m.read_bytes += bytes;
-    }
-    m.rtt.Record(rtt_ns);
   }
 
   // Runtime-level retry attribution (the choke point sees individual posts,
@@ -151,9 +144,47 @@ class MetricsRegistry {
 
   int num_nodes() const { return num_nodes_; }
 
+  // -- Per-(node, tenant) attribution ----------------------------------------
+  //
+  // Installing a tenant lookup (address -> tenant id, -1 for untenanted)
+  // adds a second cell grid keyed by (node x tenant), split into "serve"
+  // (fault/prefetch/guide — what a tenant's application traffic costs each
+  // node) and "maint" (cleaner/repair/probe/other). The hotness monitor
+  // reads the serve split; ToProm() exposes both.
+  static constexpr int kTenantBuckets = 17;  // 16 tenants + the untenanted bucket.
+
+  struct TenantCell {
+    QpMetrics serve;
+    QpMetrics maint;
+  };
+
+  void set_tenant_lookup(std::function<int(uint64_t)> lookup) {
+    tenant_lookup_ = std::move(lookup);
+    tenant_cells_.assign(
+        static_cast<size_t>(num_nodes_) * static_cast<size_t>(kTenantBuckets),
+        TenantCell{});
+  }
+  bool tenant_aware() const { return static_cast<bool>(tenant_lookup_); }
+
+  static bool ServesTenant(QpClass cls) {
+    return cls == QpClass::kFault || cls == QpClass::kPrefetch || cls == QpClass::kGuide;
+  }
+
+  // `tenant` -1 reads the untenanted bucket. Zero-value cells if no lookup
+  // was ever installed.
+  const QpMetrics& TenantServe(int node, int tenant) const {
+    return TenantCellConst(node, tenant).serve;
+  }
+  const QpMetrics& TenantMaint(int node, int tenant) const {
+    return TenantCellConst(node, tenant).maint;
+  }
+
   void Reset() {
     for (QpMetrics& m : cells_) {
       m = QpMetrics{};
+    }
+    for (TenantCell& t : tenant_cells_) {
+      t = TenantCell{};
     }
   }
 
@@ -210,6 +241,25 @@ class MetricsRegistry {
       AppendMetric(&out, "dilos_qp_rtt_ns_sum", n, c, nullptr, m.rtt.sum());
       AppendMetric(&out, "dilos_qp_rtt_ns_count", n, c, nullptr, m.rtt.count());
     });
+    if (!tenant_cells_.empty()) {
+      out += "# HELP dilos_tenant_ops_total Ops per node and tenant (serve vs maint).\n";
+      out += "# TYPE dilos_tenant_ops_total counter\n";
+      ForEachActiveTenant([&out](int n, int t, const char* path, const QpMetrics& m) {
+        AppendTenantMetric(&out, "dilos_tenant_ops_total", n, t, path, m.ops());
+      });
+      out += "# HELP dilos_tenant_bytes_total Payload bytes per node and tenant.\n";
+      out += "# TYPE dilos_tenant_bytes_total counter\n";
+      ForEachActiveTenant([&out](int n, int t, const char* path, const QpMetrics& m) {
+        AppendTenantMetric(&out, "dilos_tenant_bytes_total", n, t, path, m.bytes());
+      });
+      out += "# HELP dilos_tenant_timeouts_total Timed-out ops per node and tenant.\n";
+      out += "# TYPE dilos_tenant_timeouts_total counter\n";
+      ForEachActiveTenant([&out](int n, int t, const char* path, const QpMetrics& m) {
+        if (m.timeouts != 0) {
+          AppendTenantMetric(&out, "dilos_tenant_timeouts_total", n, t, path, m.timeouts);
+        }
+      });
+    }
     return out;
   }
 
@@ -242,6 +292,67 @@ class MetricsRegistry {
   }
   QpMetrics& Cell(int node, QpClass cls) { return cells_[Index(node, cls)]; }
 
+  static void Apply(QpMetrics* m, bool is_write, uint64_t bytes, uint64_t rtt_ns, bool ok,
+                    bool timed_out) {
+    if (!ok) {
+      if (timed_out) {
+        ++m->timeouts;
+      } else {
+        ++m->errors;
+      }
+      return;
+    }
+    if (is_write) {
+      ++m->writes;
+      m->write_bytes += bytes;
+    } else {
+      ++m->reads;
+      m->read_bytes += bytes;
+    }
+    m->rtt.Record(rtt_ns);
+  }
+
+  // Tenant ids outside [0, kTenantBuckets-2] (unbound addresses, overflow
+  // registrations) collapse into bucket 0.
+  size_t TenantIndex(int node, int tenant) const {
+    int b = tenant >= 0 && tenant < kTenantBuckets - 1 ? tenant + 1 : 0;
+    return static_cast<size_t>(node) * static_cast<size_t>(kTenantBuckets) +
+           static_cast<size_t>(b);
+  }
+  TenantCell& TenantCellAt(int node, int tenant) {
+    return tenant_cells_[TenantIndex(node, tenant)];
+  }
+  const TenantCell& TenantCellConst(int node, int tenant) const {
+    static const TenantCell kEmpty{};
+    if (tenant_cells_.empty() || node < 0 || node >= num_nodes_) {
+      return kEmpty;
+    }
+    return tenant_cells_[TenantIndex(node, tenant)];
+  }
+
+  template <typename Fn>
+  void ForEachActiveTenant(Fn&& fn) const {
+    for (int n = 0; n < num_nodes_; ++n) {
+      for (int b = 0; b < kTenantBuckets; ++b) {
+        const TenantCell& t = TenantCellConst(n, b - 1);
+        if (t.serve.ops() != 0 || t.serve.timeouts != 0) {
+          fn(n, b - 1, "serve", t.serve);
+        }
+        if (t.maint.ops() != 0 || t.maint.timeouts != 0) {
+          fn(n, b - 1, "maint", t.maint);
+        }
+      }
+    }
+  }
+
+  static void AppendTenantMetric(std::string* out, const char* name, int node, int tenant,
+                                 const char* path, uint64_t value) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%s{node=\"%d\",tenant=\"%d\",path=\"%s\"} %llu\n",
+                  name, node, tenant, path, static_cast<unsigned long long>(value));
+    *out += line;
+  }
+
   template <typename Fn>
   void ForEachActive(Fn&& fn) const {
     for (int n = 0; n < num_nodes_; ++n) {
@@ -266,6 +377,8 @@ class MetricsRegistry {
 
   int num_nodes_;
   std::vector<QpMetrics> cells_;  // [node][class], row-major.
+  std::function<int(uint64_t)> tenant_lookup_;  // addr -> tenant; empty = off.
+  std::vector<TenantCell> tenant_cells_;        // [node][tenant bucket], row-major.
 };
 
 }  // namespace dilos

@@ -1,0 +1,68 @@
+// Hotness-driven auto-migrator: the policy loop PR 8's mechanism left open.
+//
+// MigrateGranule can move any granule between nodes, but nothing drove it in
+// steady state. The HotnessMonitor closes the loop: every `interval_ns` it
+// samples per-node serving load (demand + prefetch bytes from the
+// MetricsRegistry — repair and migration traffic is deliberately excluded,
+// so the balancer chases tenants, not its own copies), folds it into an
+// EWMA, and when the max/min node ratio exceeds `imbalance_ratio` it moves
+// the hottest granules — ranked by a decayed per-granule demand-fault count
+// — off the hottest node toward the coldest, spending at most
+// `bytes_per_interval` of migration traffic per interval.
+#ifndef DILOS_SRC_TENANT_HOTNESS_H_
+#define DILOS_SRC_TENANT_HOTNESS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dilos/shard.h"
+#include "src/recovery/migration.h"
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
+#include "src/telemetry/metrics.h"
+#include "src/tenant/tenant.h"
+
+namespace dilos {
+
+class HotnessMonitor {
+ public:
+  // `metrics` is the fabric's registry slot (double pointer, same pattern as
+  // QueuePair): telemetry may be installed after construction or never —
+  // with no registry the monitor stays inert.
+  HotnessMonitor(ShardRouter& router, MigrationManager& migration,
+                 MetricsRegistry* const* metrics, RuntimeStats& stats,
+                 Tracer* tracer, const HotnessConfig& cfg, int num_nodes);
+
+  // Demand-fault hook from the runtime's kRemote path: feeds the per-granule
+  // heat ranking that decides *what* to move (the EWMA decides *whether*).
+  void OnDemandFault(uint64_t vaddr);
+
+  // Called from the recovery tick; samples at most once per interval.
+  void Tick(uint64_t now_ns);
+
+  // Introspection for tests/benches.
+  double NodeLoad(int node) const;  // Current serving-load EWMA (bytes/interval).
+  // Max/min EWMA over live nodes (+1 smoothing); 1.0 when fewer than two.
+  double ImbalanceRatio() const;
+  uint64_t intervals() const { return intervals_; }
+
+ private:
+  uint64_t ServeBytes(int node) const;
+
+  ShardRouter& router_;
+  MigrationManager& migration_;
+  MetricsRegistry* const* metrics_;
+  RuntimeStats& stats_;
+  Tracer* tracer_;
+  HotnessConfig cfg_;
+  uint64_t last_tick_ns_ = 0;
+  uint64_t intervals_ = 0;
+  std::vector<uint64_t> prev_bytes_;
+  std::vector<double> ewma_;
+  std::unordered_map<uint64_t, double> heat_;  // granule -> decayed fault count.
+};
+
+}  // namespace dilos
+
+#endif  // DILOS_SRC_TENANT_HOTNESS_H_
