@@ -17,6 +17,8 @@
 
 #include "bench/common.h"
 #include "src/apps/seqrw.h"
+#include "src/telemetry/attribution.h"
+#include "src/telemetry/slo.h"
 
 namespace dilos {
 namespace {
@@ -46,20 +48,40 @@ double RunOne(bool shared) {
 struct IsoResult {
   uint64_t p50 = 0, p99 = 0;
   uint64_t sched_fault_ops = 0;  // Band-0 ops arbitrated (0 = scheduler off).
+  // SLO-scored runs only (RunIso called with an objective): victim-side SLO
+  // engine + attribution state at the end of the run.
+  uint64_t slo_faults = 0, slo_bad = 0, alerts = 0;
+  double budget_used = 0.0, burn_fast = 0.0;
+  double lane_share = 0.0;  // Victim lane-wait ns / victim e2e fault ns.
+  const char* top_phase = "-";
 };
 
 // One isolation run: victim (tenant 0) samples Zipfian reads on core 0;
 // when `aggressor` is set, tenant 1 interleaves kScanBurst sequential scan
-// pages on core 1 before every victim sample.
-IsoResult RunIso(bool aggressor, bool fair_share, uint64_t pages, int samples) {
+// pages on core 1 before every victim sample. When `slo` is non-null the run
+// is SLO-scored: attribution + the SLO engine are enabled (small windows so
+// the short bench can rotate them) and the objective is installed on the
+// victim via TenantSpec::slo.
+IsoResult RunIso(bool aggressor, bool fair_share, uint64_t pages, int samples,
+                 const SloObjective* slo = nullptr) {
   Fabric fabric;
   DilosConfig cfg;
   cfg.local_mem_bytes = 2ULL << 20;
   cfg.num_cores = 2;
   cfg.tenants.enabled = true;
   cfg.tenants.fair_share = fair_share;
+  if (slo != nullptr) {
+    cfg.telemetry.attribution = true;
+    cfg.telemetry.slo.enabled = true;
+    cfg.telemetry.slo.fast_window_faults = 256;
+    cfg.telemetry.slo.slow_window_faults = 1024;
+  }
   DilosRuntime rt(fabric, cfg, std::make_unique<NullPrefetcher>());
-  int victim = rt.CreateTenant(TenantSpec{"victim", 1, 0, QuotaPolicy::kHardReject});
+  TenantSpec victim_spec{"victim", 1, 0, QuotaPolicy::kHardReject};
+  if (slo != nullptr) {
+    victim_spec.slo = *slo;
+  }
+  int victim = rt.CreateTenant(victim_spec);
   int scanner = rt.CreateTenant(TenantSpec{"aggressor", 1, 0, QuotaPolicy::kHardReject});
   TwoTenantWorkload wl(rt, pages, victim, scanner);
 
@@ -79,6 +101,21 @@ IsoResult RunIso(bool aggressor, bool fair_share, uint64_t pages, int samples) {
   r.p99 = BenchPct(lat, 0.99);
   if (rt.wire_scheduler() != nullptr) {
     r.sched_fault_ops = rt.wire_scheduler()->ops(0);
+  }
+  if (slo != nullptr) {
+    const SloEngine* eng = rt.telemetry()->slo();
+    r.slo_faults = eng->faults(victim);
+    r.slo_bad = eng->bad_faults(victim);
+    r.alerts = eng->alerts_fired(victim);
+    r.budget_used = eng->budget_used(victim);
+    r.burn_fast = eng->burn_rate(victim, /*fast=*/true);
+    const FaultAttribution* attr = rt.telemetry()->attribution();
+    uint64_t e2e_ns = attr->e2e(victim).sum();
+    if (e2e_ns > 0) {
+      r.lane_share = static_cast<double>(attr->phase(victim, FaultPhase::kLaneWait).sum()) /
+                     static_cast<double>(e2e_ns);
+    }
+    r.top_phase = FaultPhaseName(attr->TopContributor(victim));
   }
   return r;
 }
@@ -120,6 +157,40 @@ bool RunIsolation(bool short_run) {
        "fair-share keeps victim p99 within bound of solo baseline");
   gate(off.p99 > on.p99, "disabling fair-share is worse than enabling it");
 
+  // SLO-scored reruns (src/telemetry extension): the victim's objective
+  // *encodes the isolation bound* — "p95 of demand faults stays under
+  // kIsolationBound x the solo p99". With fair-share off nearly every victim
+  // fault queues behind a full scan burst, the burn rate blows through both
+  // windows, and the engine pages; with fair-share on the victim stays under
+  // its weighted share and the error budget survives the run.
+  SloObjective obj;
+  obj.percentile = 95.0;
+  obj.threshold_ns = solo.p99 * static_cast<uint64_t>(kIsolationBound);
+  IsoResult slo_off = RunIso(/*aggressor=*/true, /*fair_share=*/false, pages, samples, &obj);
+  IsoResult slo_on = RunIso(/*aggressor=*/true, /*fair_share=*/true, pages, samples, &obj);
+
+  std::printf("SLO: victim objective p%.0f < %llu ns (%gx solo p99), windows 256/1024\n",
+              obj.percentile, static_cast<unsigned long long>(obj.threshold_ns),
+              kIsolationBound);
+  std::printf("%-24s %7s %10s %10s %10s %8s %12s\n", "config", "alerts", "bad/faults",
+              "budget", "burn-fast", "lane%", "top-phase");
+  auto slo_row = [](const char* name, const IsoResult& r) {
+    std::printf("%-24s %7llu %4llu/%-5llu %9.2fx %9.2fx %7.1f%% %12s\n", name,
+                static_cast<unsigned long long>(r.alerts),
+                static_cast<unsigned long long>(r.slo_bad),
+                static_cast<unsigned long long>(r.slo_faults), r.budget_used, r.burn_fast,
+                100.0 * r.lane_share, r.top_phase);
+  };
+  slo_row("duo, fair-share off", slo_off);
+  slo_row("duo, fair-share on", slo_on);
+  std::printf("\n");
+
+  gate(slo_off.alerts >= 1, "fair-share off burns the victim SLO and fires an alert");
+  gate(slo_on.alerts == 0, "fair-share on never crosses the burn-rate alert");
+  gate(slo_on.budget_used < 1.0, "fair-share on keeps the victim error budget intact");
+  gate(slo_off.budget_used > slo_on.budget_used,
+       "fair-share off consumes more error budget than on");
+
   BenchJson& j = BenchJson::Instance();
   j.BeginRecord("ablation_hol.isolation");
   j.Config("pages_per_tenant", pages);
@@ -133,6 +204,24 @@ bool RunIsolation(bool short_run) {
   j.Metric("fair_on_vs_solo", ratio(on));
   j.Metric("sched_fault_ops", on.sched_fault_ops);
   j.Metric("gates_passed", static_cast<uint64_t>(ok ? 1 : 0));
+
+  j.BeginRecord("ablation_hol.slo");
+  j.Config("slo_percentile", obj.percentile);
+  j.Config("slo_threshold_ns", obj.threshold_ns);
+  j.Config("fast_window_faults", static_cast<uint64_t>(256));
+  j.Config("slow_window_faults", static_cast<uint64_t>(1024));
+  j.Metric("fair_off_alerts", slo_off.alerts);
+  j.Metric("fair_on_alerts", slo_on.alerts);
+  j.Metric("fair_off_budget_used", slo_off.budget_used);
+  j.Metric("fair_on_budget_used", slo_on.budget_used);
+  j.Metric("fair_off_burn_fast", slo_off.burn_fast);
+  j.Metric("fair_on_burn_fast", slo_on.burn_fast);
+  j.Metric("fair_off_bad_faults", slo_off.slo_bad);
+  j.Metric("fair_on_bad_faults", slo_on.slo_bad);
+  j.Metric("fair_off_lane_share", slo_off.lane_share);
+  j.Metric("fair_on_lane_share", slo_on.lane_share);
+  j.Config("fair_off_top_phase", std::string(slo_off.top_phase));
+  j.Config("fair_on_top_phase", std::string(slo_on.top_phase));
   return ok;
 }
 

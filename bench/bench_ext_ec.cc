@@ -29,15 +29,6 @@ constexpr uint64_t kWs = 32ULL << 20;
 constexpr uint64_t kPages = kWs / kPageSize;
 constexpr int kSamples = 3000;
 
-uint64_t Pct(std::vector<uint64_t>& lat, double p) {
-  if (lat.empty()) {
-    return 0;
-  }
-  std::sort(lat.begin(), lat.end());
-  size_t i = static_cast<size_t>(p * static_cast<double>(lat.size() - 1));
-  return lat[i];
-}
-
 struct Scheme {
   const char* name;
   int replication;  // Ignored when ec.enabled.
@@ -87,8 +78,8 @@ Row Run(const Scheme& s) {
   for (int i = 0; i < kSamples; ++i) {
     sample(&lat);
   }
-  row.healthy_p50 = Pct(lat, 0.50);
-  row.healthy_p99 = Pct(lat, 0.99);
+  row.healthy_p50 = BenchPct(lat, 0.50);
+  row.healthy_p99 = BenchPct(lat, 0.99);
 
   // Capacity overhead, measured from the stores themselves: total stored
   // pages (copies and parity included) per unique data page stored.
@@ -123,8 +114,8 @@ Row Run(const Scheme& s) {
   for (int i = 0; i < kSamples; ++i) {
     sample(&lat);
   }
-  row.degraded_p50 = Pct(lat, 0.50);
-  row.degraded_p99 = Pct(lat, 0.99);
+  row.degraded_p50 = BenchPct(lat, 0.50);
+  row.degraded_p99 = BenchPct(lat, 0.99);
 
   // Let repair finish (replication re-copies; EC(2,1) decodes onto an
   // off-stripe node; EC(4,2) on 6 nodes has nowhere to rebuild).

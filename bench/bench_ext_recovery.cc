@@ -21,15 +21,6 @@ constexpr uint64_t kWs = 32ULL << 20;
 constexpr uint64_t kPages = kWs / kPageSize;
 constexpr int kSamples = 4000;
 
-uint64_t Pct(std::vector<uint64_t>& lat, double p) {
-  if (lat.empty()) {
-    return 0;
-  }
-  std::sort(lat.begin(), lat.end());
-  size_t i = static_cast<size_t>(p * static_cast<double>(lat.size() - 1));
-  return lat[i];
-}
-
 struct Row {
   uint64_t healthy_p50 = 0, healthy_p99 = 0;
   uint64_t repair_p50 = 0, repair_p99 = 0;
@@ -78,8 +69,8 @@ Row Run(uint64_t bytes_per_tick, size_t pipeline_depth = 8) {
   for (int i = 0; i < kSamples; ++i) {
     sample(&lat);
   }
-  row.healthy_p50 = Pct(lat, 0.50);
-  row.healthy_p99 = Pct(lat, 0.99);
+  row.healthy_p50 = BenchPct(lat, 0.50);
+  row.healthy_p99 = BenchPct(lat, 0.99);
 
   // Crash node 0 (no oracle call) and keep the demand load running while
   // detection and repair do their work underneath it.
@@ -94,8 +85,8 @@ Row Run(uint64_t bytes_per_tick, size_t pipeline_depth = 8) {
     }
   }
   uint64_t repair_end_ns = rt.clock(0).now();
-  row.repair_p50 = Pct(lat, 0.50);
-  row.repair_p99 = Pct(lat, 0.99);
+  row.repair_p50 = BenchPct(lat, 0.50);
+  row.repair_p99 = BenchPct(lat, 0.99);
   row.repair_ms = static_cast<double>(repair_end_ns - crash_ns) / 1e6;
   // Payload actually re-replicated (source read + target write both count).
   row.repair_mb_s = static_cast<double>(rt.stats().repair_bytes) / 1e6 /

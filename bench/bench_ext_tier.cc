@@ -32,14 +32,6 @@ bool g_short = false;
 uint64_t WorkingSetBytes() { return g_short ? (4ULL << 20) : (32ULL << 20); }
 int SampleTarget() { return g_short ? 500 : 4000; }
 
-uint64_t Pct(std::vector<uint64_t>& lat, double p) {
-  if (lat.empty()) {
-    return 0;
-  }
-  std::sort(lat.begin(), lat.end());
-  return lat[static_cast<size_t>(p * static_cast<double>(lat.size() - 1))];
-}
-
 uint64_t Xor(uint64_t* s) {
   *s ^= *s << 13;
   *s ^= *s >> 7;
@@ -113,8 +105,8 @@ void SampleMisses(const CostModel& cm, bool tier_on, int cores, uint64_t* p50,
     (void)v;
     lat.push_back(rt.clock(0).now() - t0);
   }
-  *p50 = Pct(lat, 0.50);
-  *p99 = Pct(lat, 0.99);
+  *p50 = BenchPct(lat, 0.50);
+  *p99 = BenchPct(lat, 0.99);
 }
 
 MissRow MeasureMisses(const CostModel& cm, int cores = 1) {

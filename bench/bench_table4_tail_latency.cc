@@ -1,18 +1,72 @@
 // Table 4: tail latency of GET (mixed) and LRANGE with the small (12.5%)
 // local cache. Paper: DiLOS cuts Fastswap's p99 substantially; prefetchers
 // cut GET tails further; only the app-aware guide improves LRANGE tails.
+//
+// The DiLOS rows additionally run with per-fault critical-path attribution
+// on (src/telemetry/attribution.h) and print a phase waterfall next to the
+// latency columns — *where* the fault nanoseconds behind each tail went
+// (handler / alloc / wire / overlap / map). The attribution layer's tiling
+// invariant (on-path phase sums == end-to-end latency) is CI-gated here on a
+// real app workload, not just the unit-test paths.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/redis_common.h"
+#include "src/telemetry/attribution.h"
 
 namespace dilos {
 namespace {
 
-void Run() {
+// Per-phase share of one run's attributed fault time (untenanted bucket:
+// the Redis benches allocate without tenants).
+struct Waterfall {
+  bool valid = false;
+  double share[kFaultPhaseCount] = {};
+  uint64_t faults = 0;
+  uint64_t violations = 0;
+  uint64_t worst_ppm = 0;
+  FaultPhase top = FaultPhase::kWire;
+};
+
+Waterfall CollectWaterfall(FarRuntime* rt, RedisSystem sys) {
+  Waterfall w;
+  if (sys == RedisSystem::kFastswap) {
+    return w;  // Fastswap has no telemetry layer.
+  }
+  auto* drt = static_cast<DilosRuntime*>(rt);
+  const FaultAttribution* attr =
+      drt->telemetry() != nullptr ? drt->telemetry()->attribution() : nullptr;
+  if (attr == nullptr) {
+    return w;
+  }
+  uint64_t e2e_ns = attr->e2e(-1).sum();
+  if (e2e_ns == 0) {
+    return w;
+  }
+  for (size_t i = 0; i < kFaultPhaseCount; ++i) {
+    w.share[i] = static_cast<double>(attr->phase(-1, static_cast<FaultPhase>(i)).sum()) /
+                 static_cast<double>(e2e_ns);
+  }
+  w.faults = attr->e2e(-1).count();
+  w.violations = attr->sum_violations();
+  w.worst_ppm = attr->worst_residual_ppm();
+  w.top = attr->TopContributor(-1);
+  w.valid = true;
+  return w;
+}
+
+double SharePct(const Waterfall& w, FaultPhase p) {
+  return 100.0 * w.share[static_cast<size_t>(p)];
+}
+
+bool Run() {
   PrintHeader("Table 4: tail latency (us) of GET(mixed) and LRANGE, 12.5% local\n"
               "(paper, ms-scale on 20 GB: Fastswap worst; app-aware best on LRANGE)");
   std::printf("%-22s %12s %12s %12s %12s\n", "system", "GET p99", "GET p99.9", "LR p99",
               "LR p99.9");
+  std::vector<Waterfall> get_wf;
+  std::vector<Waterfall> lr_wf;
   for (RedisSystem sys : kAllRedisSystems) {
     // GET mixed.
     uint64_t get_p99;
@@ -24,12 +78,14 @@ void Run() {
       for (uint64_t i = 0; i < nkeys; ++i) {
         value_bytes += sizes[i % sizes.size()];
       }
-      RedisEnv env(sys, (value_bytes * 115 / 100 + (2 << 20)) / 8, nkeys);
+      RedisEnv env(sys, (value_bytes * 115 / 100 + (2 << 20)) / 8, nkeys,
+                   /*attribution=*/true);
       RedisBench bench(*env.redis);
       bench.PopulateStrings(nkeys, sizes);
       RedisBenchResult res = bench.RunGet(2048);
       get_p99 = res.latency.Percentile(99);
       get_p999 = res.latency.Percentile(99.9);
+      get_wf.push_back(CollectWaterfall(env.rt.get(), sys));
     }
     // LRANGE.
     uint64_t lr_p99;
@@ -38,12 +94,13 @@ void Run() {
       uint64_t lists = 512;
       uint64_t elems = lists * 200;
       uint64_t data_bytes = (elems / 32) * 4096 + elems * 8;
-      RedisEnv env(sys, data_bytes / 8 + (1 << 20), lists);
+      RedisEnv env(sys, data_bytes / 8 + (1 << 20), lists, /*attribution=*/true);
       RedisBench bench(*env.redis);
       bench.PopulateLists(lists, elems, 90);
       RedisBenchResult res = bench.RunLrange(2048);
       lr_p99 = res.latency.Percentile(99);
       lr_p999 = res.latency.Percentile(99.9);
+      lr_wf.push_back(CollectWaterfall(env.rt.get(), sys));
     }
     std::printf("%-22s %12.1f %12.1f %12.1f %12.1f\n", RedisSystemName(sys),
                 static_cast<double>(get_p99) / 1000.0, static_cast<double>(get_p999) / 1000.0,
@@ -57,8 +114,55 @@ void Run() {
     j.Metric("get_p999_ns", get_p999);
     j.Metric("lrange_p99_ns", lr_p99);
     j.Metric("lrange_p999_ns", lr_p999);
+    const Waterfall& gw = get_wf.back();
+    if (gw.valid) {
+      for (size_t i = 0; i < kFaultPhaseCount; ++i) {
+        auto p = static_cast<FaultPhase>(i);
+        if (FaultPhaseOnPath(p) && gw.share[i] > 0.0) {
+          j.Metric(std::string("get_share_") + FaultPhaseName(p), gw.share[i]);
+        }
+      }
+      j.Metric("get_attr_faults", gw.faults);
+      j.Metric("get_attr_sum_violations", gw.violations);
+    }
   }
+
+  // Phase waterfall: where the DiLOS fault nanoseconds went per workload.
+  std::printf("\nGET fault-phase waterfall (share of attributed fault time)\n");
+  std::printf("%-22s %8s %8s %8s %8s %8s %8s %10s\n", "system", "handler", "alloc", "wire",
+              "overlap", "map", "faults", "top-phase");
+  bool ok = true;
+  auto waterfall_rows = [&ok](const std::vector<Waterfall>& wfs) {
+    size_t idx = 0;
+    for (RedisSystem sys : kAllRedisSystems) {
+      const Waterfall& w = wfs[idx++];
+      if (!w.valid) {
+        continue;
+      }
+      std::printf("%-22s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8llu %10s\n",
+                  RedisSystemName(sys), SharePct(w, FaultPhase::kHandler),
+                  SharePct(w, FaultPhase::kAlloc), SharePct(w, FaultPhase::kWire),
+                  SharePct(w, FaultPhase::kOverlap), SharePct(w, FaultPhase::kMap),
+                  static_cast<unsigned long long>(w.faults), FaultPhaseName(w.top));
+      if (w.violations != 0) {
+        std::printf("GATE FAILED: %s attribution sum invariant (violations=%llu worst=%llupm)\n",
+                    RedisSystemName(sys), static_cast<unsigned long long>(w.violations),
+                    static_cast<unsigned long long>(w.worst_ppm));
+        ok = false;
+      }
+      if (w.faults == 0) {
+        std::printf("GATE FAILED: %s attributed no faults\n", RedisSystemName(sys));
+        ok = false;
+      }
+    }
+  };
+  waterfall_rows(get_wf);
+  std::printf("\nLRANGE fault-phase waterfall\n");
+  std::printf("%-22s %8s %8s %8s %8s %8s %8s %10s\n", "system", "handler", "alloc", "wire",
+              "overlap", "map", "faults", "top-phase");
+  waterfall_rows(lr_wf);
   std::printf("\n");
+  return ok;
 }
 
 }  // namespace
@@ -66,6 +170,9 @@ void Run() {
 
 int main(int argc, char** argv) {
   dilos::BenchParseArgs(argc, argv);
-  dilos::Run();
-  return dilos::BenchJson::Instance().Flush() ? 0 : 1;
+  bool ok = dilos::Run();
+  if (!dilos::BenchJson::Instance().Flush()) {
+    return 1;
+  }
+  return ok ? 0 : 1;
 }

@@ -181,10 +181,13 @@ inline std::unique_ptr<Prefetcher> MakePrefetcher(DilosVariant v) {
 }
 
 // pipeline_depth 0 = blocking fault path; >= 1 enables the async fault
-// pipeline with that many outstanding demand faults per core.
+// pipeline with that many outstanding demand faults per core. `attribution`
+// turns on per-fault critical-path attribution (src/telemetry/attribution.h)
+// so benches can print phase waterfalls next to their latency columns.
 inline std::unique_ptr<DilosRuntime> MakeDilos(Fabric& fabric, uint64_t local_bytes,
                                                DilosVariant v, bool tcp = false, int cores = 1,
-                                               uint32_t pipeline_depth = 0) {
+                                               uint32_t pipeline_depth = 0,
+                                               bool attribution = false) {
   DilosConfig cfg;
   cfg.local_mem_bytes = local_bytes;
   cfg.tcp_emulation = tcp;
@@ -193,6 +196,7 @@ inline std::unique_ptr<DilosRuntime> MakeDilos(Fabric& fabric, uint64_t local_by
     cfg.fault_pipeline.enabled = true;
     cfg.fault_pipeline.depth = pipeline_depth;
   }
+  cfg.telemetry.attribution = attribution;
   return std::make_unique<DilosRuntime>(fabric, cfg, MakePrefetcher(v));
 }
 

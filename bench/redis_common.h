@@ -41,20 +41,23 @@ struct RedisEnv {
   std::unique_ptr<RedisLite> redis;
   std::unique_ptr<RedisGuide> guide;
 
-  RedisEnv(RedisSystem sys, uint64_t local_bytes, uint64_t expected_keys) {
+  // `attribution` enables per-fault critical-path attribution on the DiLOS
+  // variants (ignored for Fastswap, which has no telemetry layer).
+  RedisEnv(RedisSystem sys, uint64_t local_bytes, uint64_t expected_keys,
+           bool attribution = false) {
     switch (sys) {
       case RedisSystem::kFastswap:
         rt = MakeFastswap(fabric, local_bytes);
         break;
       case RedisSystem::kDilosNone:
       case RedisSystem::kDilosAppAware:
-        rt = MakeDilos(fabric, local_bytes, DilosVariant::kNoPrefetch);
+        rt = MakeDilos(fabric, local_bytes, DilosVariant::kNoPrefetch, false, 1, 0, attribution);
         break;
       case RedisSystem::kDilosReadahead:
-        rt = MakeDilos(fabric, local_bytes, DilosVariant::kReadahead);
+        rt = MakeDilos(fabric, local_bytes, DilosVariant::kReadahead, false, 1, 0, attribution);
         break;
       case RedisSystem::kDilosTrend:
-        rt = MakeDilos(fabric, local_bytes, DilosVariant::kTrend);
+        rt = MakeDilos(fabric, local_bytes, DilosVariant::kTrend, false, 1, 0, attribution);
         break;
     }
     redis = std::make_unique<RedisLite>(*rt, expected_keys);

@@ -162,10 +162,17 @@ DilosRuntime::DilosRuntime(Fabric& fabric, DilosConfig cfg,
                                                 stats_, &tracer_, cfg_.tenants.hotness,
                                                 fabric_.num_nodes());
   }
+  fault_scope_.resize(static_cast<size_t>(cfg_.num_cores));
   if (cfg_.telemetry.enabled()) {
     telemetry_ = std::make_unique<Telemetry>(cfg_.telemetry, fabric.num_nodes());
     metrics_registry_ = telemetry_->metrics();
     flight_ = telemetry_->flight();
+    attr_ = telemetry_->attribution();
+    slo_ = telemetry_->slo();
+    if (attr_ != nullptr && cfg_.fault_pipeline.enabled) {
+      parked_slices_.resize(static_cast<size_t>(cfg_.num_cores) *
+                            static_cast<size_t>(cfg_.fault_pipeline.depth));
+    }
     if (metrics_registry_ != nullptr) {
       // QPs (created above, via the router/detector/repair ctors) hold a
       // pointer to the fabric's registry slot, so installing now covers them.
@@ -291,10 +298,16 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
       // EC steering: the single copy is unreadable, corrupt, or on a suspect
       // node — decode from survivors first; t.qp (a suspect copy, if any)
       // is the fallback when fewer than k members are readable.
-      if (EcDemandReconstruct(page_va, frame_addr, segs, core, ch, cursor_ns)) {
+      uint64_t ec_start_ns = *cursor_ns;
+      bool decoded = EcDemandReconstruct(page_va, frame_addr, segs, core, ch, cursor_ns);
+      // The decode delta is stamped here at the demand call site, not inside
+      // EcDemandReconstruct: guide contexts reconstruct on private cursors
+      // with no fault in flight.
+      AttrAdd(core, FaultPhase::kEcDecode, *cursor_ns - ec_start_ns);
+      if (decoded) {
         if (exclude >= 0 && segs == nullptr) {
           HealCorruptReplica(page_va, exclude, reinterpret_cast<const uint8_t*>(frame_addr),
-                             *cursor_ns);
+                             *cursor_ns, core);
         }
         return Completion{wr_id_, WcStatus::kSuccess, *cursor_ns};
       }
@@ -314,6 +327,7 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
     }
     uint32_t attempt_span = tracer_.BeginSpan(SpanKind::kFetchAttempt, *cursor_ns, page_va,
                                               static_cast<uint32_t>(t.node));
+    uint64_t post_ns = *cursor_ns;
     if (segs == nullptr) {
       c = t.qp->PostRead(++wr_id_, frame_addr, page_va, kPageSize, *cursor_ns);
     } else {
@@ -329,6 +343,16 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
     }
     *cursor_ns = c.completion_time_ns;
     tracer_.EndSpan(attempt_span, *cursor_ns);
+    if (attr_ != nullptr && *cursor_ns > post_ns) {
+      // Split this attempt between scheduler-lane queueing and the wire
+      // itself using the QP's breakdown of the post we just issued
+      // (read-after-post is safe: the simulator is single-threaded).
+      uint64_t total = *cursor_ns - post_ns;
+      uint64_t lane = t.qp->last_wire_breakdown().lane_ns;
+      lane = lane < total ? lane : total;
+      AttrAdd(core, FaultPhase::kLaneWait, lane);
+      AttrAdd(core, FaultPhase::kWire, total - lane);
+    }
     if (c.status == WcStatus::kSuccess) {
       if (segs == nullptr &&
           !VerifyPageBytes(fabric_.node(t.node).store(), page_va,
@@ -401,7 +425,7 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
       }
       if (exclude >= 0 && segs == nullptr) {
         HealCorruptReplica(page_va, exclude, reinterpret_cast<const uint8_t*>(frame_addr),
-                           *cursor_ns);
+                           *cursor_ns, core);
       }
       return c;
     }
@@ -440,7 +464,9 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
     router_.ReportOpFailure(t.node, *cursor_ns);
     uint32_t backoff_span =
         tracer_.BeginSpan(SpanKind::kRetryBackoff, *cursor_ns, page_va, timeout_attempts);
-    *cursor_ns += backoff << (timeout_attempts - 1);  // Exponential backoff.
+    uint64_t backoff_ns = backoff << (timeout_attempts - 1);  // Exponential backoff.
+    *cursor_ns += backoff_ns;
+    AttrAdd(core, FaultPhase::kBackoff, backoff_ns);
     tracer_.EndSpan(backoff_span, *cursor_ns);
   }
   stats_.failed_fetches++;
@@ -454,7 +480,7 @@ Completion DilosRuntime::DemandFetch(uint64_t page_va, uint64_t frame_addr,
 }
 
 void DilosRuntime::HealCorruptReplica(uint64_t page_va, int node, const uint8_t* good,
-                                      uint64_t issue_ns) {
+                                      uint64_t issue_ns, int core) {
   if (node < 0) {
     return;
   }
@@ -470,6 +496,11 @@ void DilosRuntime::HealCorruptReplica(uint64_t page_va, int node, const uint8_t*
                                   store, page_va, good, issue_ns, &wr_id_, stats_, &tracer_,
                                   router_.PageGeneration(page_va));
   tracer_.EndSpan(heal_span, c.completion_time_ns);
+  // kHeal is off-path by construction: the heal write is posted at the
+  // demand fetch's completion time without advancing the fault cursor, so
+  // it never extends the faulting thread's latency.
+  AttrAdd(core, FaultPhase::kHeal,
+          c.completion_time_ns > issue_ns ? c.completion_time_ns - issue_ns : 0);
   if (c.status != WcStatus::kSuccess) {
     router_.ReportOpFailure(node, c.completion_time_ns);
     return;
@@ -570,6 +601,7 @@ void DilosRuntime::FreeRegion(uint64_t addr, uint64_t bytes) {
           pool_.Free(it->second.frame);
           if (it->second.demand && RetireParked(page_va)) {
             stats_.fault_inflight--;  // Torn down, not resumed.
+            DropParkedSlice(page_va);  // Never installed; nothing to attribute.
           }
           inflight_.erase(it);
         }
@@ -606,6 +638,114 @@ bool DilosRuntime::RetireParked(uint64_t page_va) {
   return false;
 }
 
+uint32_t DilosRuntime::BeginFault(int core, uint64_t page_va, uint64_t entry_ns,
+                                  uint64_t span_now) {
+  FaultScope& s = fault_scope_[static_cast<size_t>(core)];
+  if (s.depth++ == 0) {
+    s.span = tracer_.BeginSpan(SpanKind::kFault, span_now, page_va);
+    s.page_va = page_va;
+    s.moved = false;
+    if (attr_ != nullptr) {
+      s.slice.Clear();
+      s.slice.start_ns = entry_ns;
+    }
+  }
+  return s.span;
+}
+
+void DilosRuntime::EndFault(int core, uint64_t now) {
+  FaultScope& s = fault_scope_[static_cast<size_t>(core)];
+  if (s.depth == 0 || --s.depth != 0) {
+    return;  // Inner handler of a retried fault; the outermost scope owns it.
+  }
+  tracer_.EndSpan(s.span, now);
+  s.span = 0;
+  if (attr_ != nullptr && !s.moved) {
+    CommitFaultSlice(s.slice, s.page_va, now);
+  }
+}
+
+void DilosRuntime::AttrAdd(int core, FaultPhase p, uint64_t dt) {
+  if (attr_ == nullptr || dt == 0) {
+    return;
+  }
+  FaultScope& s = fault_scope_[static_cast<size_t>(core)];
+  if (s.depth == 0) {
+    return;  // Guide-context / background work with no fault in flight.
+  }
+  if (s.moved) {
+    // The fault already parked into the pipeline; late stamps (the
+    // depth-limit stall at end of handler) chase the parked slice.
+    ParkedSlice* ps = FindParkedSlice(s.page_va);
+    if (ps != nullptr) {
+      ps->slice.Add(p, dt);
+    }
+    return;
+  }
+  s.slice.Add(p, dt);
+}
+
+void DilosRuntime::CommitFaultSlice(const FaultSlice& slice, uint64_t page_va,
+                                    uint64_t end_ns) {
+  uint64_t e2e = end_ns >= slice.start_ns ? end_ns - slice.start_ns : 0;
+  int tenant = tenants_ != nullptr ? tenants_->TenantOfAddr(page_va) : -1;
+  attr_->Commit(tenant, slice, e2e);
+  if (slo_ != nullptr && slo_->Observe(tenant, e2e, end_ns)) {
+    tracer_.Record(end_ns, TraceEvent::kSloBreach, page_va,
+                   tenant < 0 ? 0 : static_cast<uint32_t>(tenant));
+    if (flight_ != nullptr) {
+      // A burn-rate breach is exactly the moment the flight recorder exists
+      // for: dump the recent window plus the attribution/SLO snapshot that
+      // says *where* the latency went.
+      std::string extra = attr_->Report();
+      extra += slo_->Report();
+      flight_->ForceDump(end_ns, stats_, metrics_registry_, "slo-breach", extra);
+    }
+  }
+}
+
+DilosRuntime::ParkedSlice* DilosRuntime::FindParkedSlice(uint64_t page_va) {
+  for (ParkedSlice& p : parked_slices_) {
+    if (p.used && p.page_va == page_va) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+void DilosRuntime::ParkFaultSlice(int core, uint64_t page_va, uint64_t done_ns) {
+  FaultScope& s = fault_scope_[static_cast<size_t>(core)];
+  if (s.depth == 0) {
+    return;
+  }
+  // The scope hands its slice to the pipeline even when attribution is off
+  // in the narrow sense (attr_ null => pool is empty and the loop is a
+  // no-op); `moved` still flips so EndFault knows not to commit.
+  for (ParkedSlice& p : parked_slices_) {
+    if (!p.used) {
+      p.used = true;
+      p.page_va = page_va;
+      p.done_ns = done_ns;
+      p.slice = s.slice;
+      s.moved = true;
+      return;
+    }
+  }
+  // Pool exhausted (cannot happen: sized cores x depth, the pipeline admits
+  // at most depth fibers per core). Drop attribution rather than misattribute.
+  s.moved = true;
+}
+
+void DilosRuntime::DropParkedSlice(uint64_t page_va) {
+  if (attr_ == nullptr) {
+    return;
+  }
+  ParkedSlice* p = FindParkedSlice(page_va);
+  if (p != nullptr) {
+    p->used = false;
+  }
+}
+
 void DilosRuntime::HarvestFaultPipeline(int core, uint64_t now) {
   FaultPipeline& pipe = pipelines_[static_cast<size_t>(core)];
   harvest_scratch_.clear();
@@ -624,13 +764,30 @@ void DilosRuntime::HarvestFaultPipeline(int core, uint64_t now) {
   for (const FaultFiber& f : harvest_scratch_) {
     auto it = inflight_.find(f.page_va);
     if (it == inflight_.end()) {
+      DropParkedSlice(f.page_va);
       continue;  // Resolved externally (freed region) between park and poll.
     }
     Inflight inf = it->second;
     inflight_.erase(it);
+    uint64_t pre_map_ns = clk.now();
     MapInflight(f.page_va, inf, inf.write);
     clk.Advance(cost_.dilos_map_ns);
     bd.Add(LatComp::kMap, cost_.dilos_map_ns);
+    if (attr_ != nullptr) {
+      // Finalize this fiber at its own install point: park covers everything
+      // between the fetch completion and the map (other fibers' installs,
+      // the coalesced poll, whatever the core overlapped), map is this
+      // fiber's own install. The batch-amortized TLB flush below lands
+      // outside every harvested fiber's end-to-end window by construction.
+      ParkedSlice* ps = FindParkedSlice(f.page_va);
+      if (ps != nullptr) {
+        ps->slice.Add(FaultPhase::kPark,
+                      pre_map_ns > ps->done_ns ? pre_map_ns - ps->done_ns : 0);
+        ps->slice.Add(FaultPhase::kMap, cost_.dilos_map_ns);
+        CommitFaultSlice(ps->slice, f.page_va, clk.now());
+        ps->used = false;
+      }
+    }
     stats_.fault_resumes++;
     stats_.fault_inflight--;
     ++installed;
@@ -788,7 +945,12 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
   uint64_t page_va = PageOf(vaddr);
   LatencyBreakdown& bd = stats_.fault_breakdown;
 
-  clk.Advance(cost_.hw_exception_ns + cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
+  // Attribution clock zero: the fault's end-to-end window opens before the
+  // handler-entry costs so the kHandler phase is on the tiled path.
+  uint64_t fault_entry_ns = clk.now();
+  const uint64_t handler_ns =
+      cost_.hw_exception_ns + cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns;
+  clk.Advance(handler_ns);
 
   Pte* e = pt_.Entry(page_va, /*create=*/true);
   switch (PteTagOf(*e)) {
@@ -823,10 +985,25 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
         Inflight inf = it->second;
         inflight_.erase(it);
         clk.AdvanceTo(inf.done_ns);
+        uint64_t pre_map_ns = clk.now();
         MapInflight(page_va, inf, write);
         clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
         if (pipelines_[static_cast<size_t>(core)].depth() > 1) {
           clk.Advance(cost_.fiber_resume_ns);
+        }
+        if (attr_ != nullptr) {
+          // Direct resume finalizes the *original* fault's parked slice:
+          // park spans from its fetch completion to this install (this
+          // second touch's own handler entry is wall time inside it), map
+          // is the un-batched install this touch pays.
+          ParkedSlice* ps = FindParkedSlice(page_va);
+          if (ps != nullptr) {
+            ps->slice.Add(FaultPhase::kPark,
+                          pre_map_ns > ps->done_ns ? pre_map_ns - ps->done_ns : 0);
+            ps->slice.Add(FaultPhase::kMap, clk.now() - pre_map_ns);
+            CommitFaultSlice(ps->slice, page_va, clk.now());
+            ps->used = false;
+          }
         }
         tracer_.EndSpan(resume_span, clk.now());
         DrainArrivals(clk.now());
@@ -865,13 +1042,16 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       // eviction time, zero the rest (it was dead to the allocator).
       stats_.major_faults++;
       tracer_.Record(clk.now(), TraceEvent::kActionFetch, page_va);
-      uint32_t fault_span = tracer_.BeginSpan(SpanKind::kFault, clk.now(), page_va);
+      BeginFault(core, page_va, fault_entry_ns, clk.now());
+      AttrAdd(core, FaultPhase::kHandler, handler_ns);
       bd.CountEvent();
       bd.Add(LatComp::kHwException, cost_.hw_exception_ns);
       bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
       uint64_t log_idx = PtePayload(*e);
       const std::vector<PageSegment>* segs = pm_.ActionSegments(log_idx);
+      uint64_t alloc_start_ns = clk.now();
       uint32_t frame = pm_.AllocFrame(clk, &bd);
+      AttrAdd(core, FaultPhase::kAlloc, clk.now() - alloc_start_ns);
       std::memset(pool_.Data(frame), 0, kPageSize);
       uint64_t cursor = clk.now();
       DemandFetch(page_va, pool_.Addr(frame), segs, core, CommChannel::kFault, &cursor);
@@ -880,16 +1060,21 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
         stats_.bytes_fetched += s.length;
       }
       uint64_t done = cursor + (cfg_.tcp_emulation ? cost_.tcp_delay_ns : 0);
+      AttrAdd(core, FaultPhase::kWire, done - cursor);
+      uint64_t pre_fetch_ns = clk.now();
       bd.Add(LatComp::kFetch, clk.AdvanceTo(done));
+      AttrAdd(core, FaultPhase::kOverlap,
+              pre_fetch_ns > done ? pre_fetch_ns - done : 0);
       pm_.ReleaseAction(log_idx);
       *pt_.Entry(page_va, true) =
           MakeLocalPte(frame, true) | kPteAccessed | (write ? kPteDirty : 0);
       pm_.OnMapped(page_va);
       clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       bd.Add(LatComp::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
+      AttrAdd(core, FaultPhase::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       DrainArrivals(clk.now());
       Background(clk.now(), page_va);
-      tracer_.EndSpan(fault_span, clk.now());
+      EndFault(core, clk.now());
       break;
     }
 
@@ -899,11 +1084,14 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       // RDMA round trip; that gap is the tier's entire point.
       stats_.minor_faults++;
       stats_.tier_hits++;
-      uint32_t fault_span = tracer_.BeginSpan(SpanKind::kFault, clk.now(), page_va);
+      BeginFault(core, page_va, fault_entry_ns, clk.now());
+      AttrAdd(core, FaultPhase::kHandler, handler_ns);
       bd.CountEvent();
       bd.Add(LatComp::kHwException, cost_.hw_exception_ns);
       bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
+      uint64_t alloc_start_ns = clk.now();
       uint32_t frame = pm_.AllocFrame(clk, &bd);
+      AttrAdd(core, FaultPhase::kAlloc, clk.now() - alloc_start_ns);
       bool was_dirty = false;
       bool present = tier_ != nullptr && tier_->Contains(page_va);
       if (tier_ == nullptr || !tier_->Take(page_va, pool_.Data(frame), &was_dirty)) {
@@ -922,13 +1110,19 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
         stats_.tier_hits--;
         stats_.minor_faults--;
         *pt_.Entry(page_va, true) = MakeRemotePte(page_va >> kPageShift);
-        tracer_.EndSpan(fault_span, clk.now());
-        return Pin(vaddr, len, write, core);
+        // One fault, one span: the remote retry re-enters HandleFault under
+        // this same fault scope (depth 2), so the kFault span — and the
+        // attribution slice — covers the whole resolution, not just the
+        // failed tier attempt.
+        uint8_t* resolved = Pin(vaddr, len, write, core);
+        EndFault(core, clk.now());
+        return resolved;
       }
       uint32_t decompress_span =
           tracer_.BeginSpan(SpanKind::kTierDecompress, clk.now(), page_va);
       clk.Advance(cost_.tier_decompress_page_ns);
       bd.Add(LatComp::kDecompress, cost_.tier_decompress_page_ns);
+      AttrAdd(core, FaultPhase::kDecompress, cost_.tier_decompress_page_ns);
       tracer_.EndSpan(decompress_span, clk.now());
       // A page admitted dirty whose deferred write-back has not drained yet
       // comes back dirty: its content still exists nowhere but here.
@@ -937,10 +1131,11 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       pm_.OnMapped(page_va);
       clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       bd.Add(LatComp::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
+      AttrAdd(core, FaultPhase::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       tracer_.Record(clk.now(), TraceEvent::kTierHit, page_va, was_dirty ? 1 : 0);
       DrainArrivals(clk.now());
       Background(clk.now(), page_va);
-      tracer_.EndSpan(fault_span, clk.now());
+      EndFault(core, clk.now());
       break;
     }
 
@@ -955,11 +1150,14 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
         hotness_->OnDemandFault(page_va);  // Granule heat for the auto-migrator.
       }
       tracer_.Record(clk.now(), TraceEvent::kMajorFault, page_va);
-      uint32_t fault_span = tracer_.BeginSpan(SpanKind::kFault, clk.now(), page_va);
+      BeginFault(core, page_va, fault_entry_ns, clk.now());
+      AttrAdd(core, FaultPhase::kHandler, handler_ns);
       bd.CountEvent();
       bd.Add(LatComp::kHwException, cost_.hw_exception_ns);
       bd.Add(LatComp::kOsHandler, cost_.os_trap_entry_ns + cost_.dilos_pte_check_ns);
+      uint64_t alloc_start_ns = clk.now();
       uint32_t frame = pm_.AllocFrame(clk, &bd);
+      AttrAdd(core, FaultPhase::kAlloc, clk.now() - alloc_start_ns);
       uint64_t cursor = clk.now();
       Completion c =
           DemandFetch(page_va, pool_.Addr(frame), nullptr, core, CommChannel::kFault, &cursor);
@@ -975,6 +1173,7 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
         // simulated), so the faulting access can complete — the page just
         // stays kFetching until a harvest commits its PTE.
         uint64_t done = cursor + (cfg_.tcp_emulation ? cost_.tcp_delay_ns : 0);
+        AttrAdd(core, FaultPhase::kWire, done - cursor);
         if (c.status != WcStatus::kSuccess) {
           std::memset(pool_.Data(frame), 0, kPageSize);  // Unrecoverable: zero page.
         }
@@ -985,10 +1184,15 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
           // Defensive: the end-of-handler stall below keeps the pipeline
           // under depth between faults, so admission normally never waits.
           stats_.fault_pipeline_stalls++;
-          bd.Add(LatComp::kFetch, clk.AdvanceTo(pipe.OldestDoneNs()));
+          uint64_t stall_ns = clk.AdvanceTo(pipe.OldestDoneNs());
+          bd.Add(LatComp::kFetch, stall_ns);
+          // Off-path: the stall is concurrent with the oldest fiber's own
+          // wire wait — counting it on-path would double-bill that time.
+          AttrAdd(core, FaultPhase::kStall, stall_ns);
           HarvestFaultPipeline(core, clk.now());
         }
         pipe.Admit(page_va, frame, clk.now(), done, write);
+        ParkFaultSlice(core, page_va, done);
         stats_.fault_parks++;
         stats_.fault_inflight++;
         if (stats_.fault_inflight > stats_.fault_inflight_peak) {
@@ -1022,11 +1226,13 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
           // next fault finds an admission slot. At depth 1 this resolves
           // the fault in-handler — exactly the blocking timeline.
           stats_.fault_pipeline_stalls++;
-          bd.Add(LatComp::kFetch, clk.AdvanceTo(pipe.OldestDoneNs()));
+          uint64_t stall_ns = clk.AdvanceTo(pipe.OldestDoneNs());
+          bd.Add(LatComp::kFetch, stall_ns);
+          AttrAdd(core, FaultPhase::kStall, stall_ns);  // Off-path, as above.
         }
         HarvestFaultPipeline(core, clk.now());
         DrainArrivals(clk.now());
-        tracer_.EndSpan(fault_span, clk.now());
+        EndFault(core, clk.now());
         if (PteTagOf(*pt_.Entry(page_va, true)) == PteTag::kLocal) {
           break;  // Harvested in-handler; the common exit sets the A/D bits.
         }
@@ -1052,7 +1258,14 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       Background(clk.now(), page_va);
 
       uint64_t done = cursor + (cfg_.tcp_emulation ? cost_.tcp_delay_ns : 0);
+      AttrAdd(core, FaultPhase::kWire, done - cursor);
+      uint64_t pre_fetch_ns = clk.now();
       bd.Add(LatComp::kFetch, clk.AdvanceTo(done));
+      // Hidden work that outran the fetch window surfaces as kOverlap; when
+      // the window fully hides it the phase is zero and the fetch phases
+      // alone tile the wall time.
+      AttrAdd(core, FaultPhase::kOverlap,
+              pre_fetch_ns > done ? pre_fetch_ns - done : 0);
       inflight_.erase(page_va);
       if (c.status != WcStatus::kSuccess) {
         // Every replica is gone: the content is unrecoverable. Surface a
@@ -1063,8 +1276,9 @@ uint8_t* DilosRuntime::HandleFault(uint64_t vaddr, uint32_t len, bool write, int
       MapInflight(page_va, Inflight{frame, done, write, true}, write);
       clk.Advance(cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       bd.Add(LatComp::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
+      AttrAdd(core, FaultPhase::kMap, cost_.dilos_map_ns + cost_.map_tlb_flush_ns);
       DrainArrivals(clk.now());
-      tracer_.EndSpan(fault_span, clk.now());
+      EndFault(core, clk.now());
       break;
     }
   }

@@ -143,8 +143,14 @@ class DilosRuntime : public FarRuntime {
   }
   // -- Multi-tenant policy layer (null members unless cfg.tenants.enabled) ---
   // Registers a tenant; returns its id, or -1 (registry full / tenancy off).
+  // With the SLO engine on, the spec's latency objective is installed for
+  // the new tenant at the same time.
   int CreateTenant(const TenantSpec& spec) {
-    return tenants_ != nullptr ? tenants_->Register(spec) : -1;
+    int id = tenants_ != nullptr ? tenants_->Register(spec) : -1;
+    if (id >= 0 && slo_ != nullptr) {
+      slo_->SetObjective(id, spec.slo);
+    }
+    return id;
   }
   // Terminal retirement. The shutdown audit fails if the tenant still owns
   // resident or charged pages — free its regions first.
@@ -169,6 +175,7 @@ class DilosRuntime : public FarRuntime {
 
   // Telemetry (null unless cfg.telemetry.enabled()).
   Telemetry* telemetry() { return telemetry_.get(); }
+  const Telemetry* telemetry() const { return telemetry_.get(); }
   // Per-(node, QP class) fabric metrics (null unless cfg.telemetry.metrics).
   MetricsRegistry* metrics() { return metrics_registry_; }
 
@@ -216,7 +223,9 @@ class DilosRuntime : public FarRuntime {
   // verified bytes in `good` (read-path healing after a checksum mismatch).
   // Posted on the manager channel at `issue_ns`: healing is off the fault
   // path, so the caller's cursor does not wait on it.
-  void HealCorruptReplica(uint64_t page_va, int node, const uint8_t* good, uint64_t issue_ns);
+  // `core` scopes the off-path kHeal attribution stamp.
+  void HealCorruptReplica(uint64_t page_va, int node, const uint8_t* good, uint64_t issue_ns,
+                          int core);
   // True when a readable replica of `page_va` other than `except` holds an
   // installed checksum for it. Used to distrust an *unverifiable* arrival:
   // a copy with no checksum on a page some other replica cleaned in full is
@@ -239,6 +248,50 @@ class DilosRuntime : public FarRuntime {
   // Drops the parked fiber for `page_va` from whichever core's pipeline
   // holds it (direct-touch resume, region teardown). False if none does.
   bool RetireParked(uint64_t page_va);
+
+  // -- Per-fault attribution + span scoping (src/telemetry/attribution.h) ----
+  //
+  // One FaultScope per core tracks the *outermost* HandleFault invocation:
+  // its kFault tracer span and (with attribution on) the fault's phase
+  // vector. Re-entry — the tier-corrupt fallback re-faults the same page
+  // remotely via Pin — only bumps `depth`, so the retry shares the original
+  // span start and phase slice instead of restarting them.
+  struct FaultScope {
+    uint32_t depth = 0;
+    uint32_t span = 0;
+    uint64_t page_va = 0;
+    bool moved = false;  // Slice handed to a parked-fiber slot (pipelined path).
+    FaultSlice slice;
+  };
+  // A parked fiber's slice between HandleFault returning and the harvest
+  // that installs the page. Keyed by page_va (a fiber parked on one core can
+  // be resumed from another); preallocated cores x depth, linear scan.
+  struct ParkedSlice {
+    bool used = false;
+    uint64_t page_va = 0;
+    uint64_t done_ns = 0;  // Fetch completion: park time = map start - done.
+    FaultSlice slice;
+  };
+
+  // Opens (or re-enters) the core's fault scope; returns the span id.
+  // `entry_ns` is the attribution start (pre-handler-advance clock);
+  // `span_now` the span begin (post-advance, matching the old span start).
+  uint32_t BeginFault(int core, uint64_t page_va, uint64_t entry_ns, uint64_t span_now);
+  // Closes one nesting level; at the outermost level ends the span and, when
+  // the slice was not handed to a parked fiber, commits it at `now`.
+  void EndFault(int core, uint64_t now);
+  // Adds `dt` to a phase of the core's active slice (or its parked slot once
+  // moved). No-op when attribution is off or no fault scope is open.
+  void AttrAdd(int core, FaultPhase p, uint64_t dt);
+  // Commits a finished slice: attribution histograms, SLO scoring, and on a
+  // breach alert the flight-recorder dump with the attribution snapshot.
+  void CommitFaultSlice(const FaultSlice& slice, uint64_t page_va, uint64_t end_ns);
+  ParkedSlice* FindParkedSlice(uint64_t page_va);
+  // Moves the core's active slice into a free parked slot at fetch
+  // completion time `done_ns` (pipelined park). No-op when attribution is off.
+  void ParkFaultSlice(int core, uint64_t page_va, uint64_t done_ns);
+  // Drops a parked slice without committing (region teardown).
+  void DropParkedSlice(uint64_t page_va);
 
   Fabric& fabric_;
   DilosConfig cfg_;
@@ -308,6 +361,13 @@ class DilosRuntime : public FarRuntime {
   // pointer test, not a unique_ptr chain.
   MetricsRegistry* metrics_registry_ = nullptr;
   FlightRecorder* flight_ = nullptr;
+  FaultAttribution* attr_ = nullptr;
+  SloEngine* slo_ = nullptr;
+  // Per-core fault scopes (always sized num_cores — the span fix needs them
+  // even with attribution off) and the parked-slice pool (sized cores x
+  // pipeline depth when both the pipeline and attribution are on).
+  std::vector<FaultScope> fault_scope_;
+  std::vector<ParkedSlice> parked_slices_;
   std::vector<int> replica_scratch_;  // ReplicaHasChecksumElsewhere scratch.
 
   std::unordered_map<uint64_t, Inflight> inflight_;  // Key: page vaddr.

@@ -67,8 +67,13 @@ class Link {
                     static_cast<uint64_t>(nsegs > 1 ? (nsegs - 1) * 40 : 0);
     busy = start + wire;
     (is_write ? tx_ : rx_).Add(start, bytes);
+    last_queue_ns_ = start - issue_ns;
     return busy;
   }
+
+  // FIFO queueing delay of the most recent Occupy (start - issue). Read by
+  // attribution right after a post; safe in the single-threaded simulator.
+  uint64_t last_queue_ns() const { return last_queue_ns_; }
 
   uint64_t busy_until() const {
     return rx_busy_until_ns_ > tx_busy_until_ns_ ? rx_busy_until_ns_ : tx_busy_until_ns_;
@@ -90,6 +95,7 @@ class Link {
   CostModel cost_;
   uint64_t rx_busy_until_ns_ = 0;
   uint64_t tx_busy_until_ns_ = 0;
+  uint64_t last_queue_ns_ = 0;
   BandwidthMeter rx_;
   BandwidthMeter tx_;
 };

@@ -8,6 +8,7 @@
 namespace dilos {
 
 Completion QueuePair::Fail(uint64_t wr_id, WcStatus status, uint64_t now_ns) {
+  last_wire_ = WireBreakdown{};
   Completion c{wr_id, status, now_ns};
   cq_.Push(c);
   return c;
@@ -22,6 +23,9 @@ Completion QueuePair::Timeout(uint64_t wr_id, uint64_t now_ns) {
     done = last_completion_ns_;
   }
   last_completion_ns_ = done;
+  // All timeout latency is "wire" for attribution: the RC retransmit timer
+  // ran on the wire, not in a scheduler lane.
+  last_wire_ = WireBreakdown{0, done - now_ns};
   Completion c{wr_id, WcStatus::kTimeout, done};
   cq_.Push(c);
   return c;
@@ -102,12 +106,15 @@ Completion QueuePair::PostSendImpl(const WorkRequest& wr, uint64_t now_ns) {
   // this op's serialization slot starts. Same double-pointer pattern as
   // metrics_, so a scheduler installed after QP creation is still honored.
   uint64_t wire_done;
+  uint64_t queue_ns;
   if (sched_ != nullptr && *sched_ != nullptr) {
     wire_done = (*sched_)->Occupy(*link_, node_, cls_,
                                   wr.remote.empty() ? 0 : wr.remote[0].addr, now_ns,
                                   bytes, nsegs, is_write);
+    queue_ns = (*sched_)->last_queue_ns();
   } else {
     wire_done = link_->Occupy(now_ns, bytes, nsegs, is_write);
+    queue_ns = link_->last_queue_ns();
   }
   uint64_t done = now_ns + fabric;
   if (wire_done > done) {
@@ -117,6 +124,11 @@ Completion QueuePair::PostSendImpl(const WorkRequest& wr, uint64_t now_ns) {
     done = last_completion_ns_;  // RC in-order completion.
   }
   last_completion_ns_ = done;
+  // Lane wait is capped at the op's total latency: when fabric propagation
+  // exceeds wire availability the queueing was hidden, not on the path.
+  uint64_t total = done - now_ns;
+  uint64_t lane = queue_ns < total ? queue_ns : total;
+  last_wire_ = WireBreakdown{lane, total - lane};
   Completion c{wr.wr_id, WcStatus::kSuccess, done};
   cq_.Push(c);
   return c;

@@ -94,6 +94,17 @@ class QueuePair {
   // per-(node, QP class) telemetry hangs off it (src/telemetry/metrics.h).
   Completion PostSend(const WorkRequest& wr, uint64_t now_ns);
 
+  // How the most recent PostSend's latency split between waiting for the
+  // wire (scheduler lane / FIFO queueing) and everything else (fabric
+  // propagation + serialization). Valid until the next post on this QP;
+  // read-after-post is safe in the single-threaded simulator. Fault
+  // attribution splits its kLaneWait / kWire phases on this.
+  struct WireBreakdown {
+    uint64_t lane_ns = 0;  // Queueing before the op's wire slot started.
+    uint64_t wire_ns = 0;  // Remaining post-to-completion time.
+  };
+  const WireBreakdown& last_wire_breakdown() const { return last_wire_; }
+
   int node() const { return node_; }
   QpClass qp_class() const { return cls_; }
 
@@ -122,6 +133,7 @@ class QueuePair {
   QpClass cls_ = QpClass::kOther;
   MetricsRegistry* const* metrics_ = nullptr;  // Fabric's registry slot.
   LinkScheduler* const* sched_ = nullptr;      // Fabric's wire-scheduler slot.
+  WireBreakdown last_wire_;
   CompletionQueue cq_;
   // RC QPs complete strictly in post order: a READ posted after a WRITE on
   // the same QP cannot complete before it. This is the head-of-line

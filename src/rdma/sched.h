@@ -32,6 +32,10 @@ class LinkScheduler {
   virtual uint64_t Occupy(Link& link, int node, QpClass cls, uint64_t remote_addr,
                           uint64_t issue_ns, uint64_t bytes, uint32_t nsegs,
                           bool is_write) = 0;
+
+  // Queueing delay (start - issue) of the most recent Occupy, for fault
+  // attribution's lane-wait phase. Schedulers that don't track it report 0.
+  virtual uint64_t last_queue_ns() const { return 0; }
 };
 
 }  // namespace dilos

@@ -80,6 +80,7 @@ enum class TraceEvent : uint8_t {
   kTenantQuotaReject,   // A write-back was refused on a tenant quota breach.
   kTenantQuotaReclaim,  // A tenant's own coldest remote page was dropped for quota room.
   kHotnessMigrate,  // The hotness monitor started a migration (detail: hot<<8|cold).
+  kSloBreach,       // A tenant's SLO burn-rate alert fired (detail: tenant id).
 };
 
 inline const char* TraceEventName(TraceEvent e) {
@@ -170,6 +171,8 @@ inline const char* TraceEventName(TraceEvent e) {
       return "tenant-quota-reclaim";
     case TraceEvent::kHotnessMigrate:
       return "hotness-migrate";
+    case TraceEvent::kSloBreach:
+      return "slo-breach";
   }
   return "?";
 }

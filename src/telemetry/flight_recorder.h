@@ -60,7 +60,24 @@ class FlightRecorder : public TraceSink {
     watermark_ = level;
     last_dump_ns_ = now_ns;
     ++dumps_;
-    last_dump_ = BuildReport(now_ns, stats, metrics);
+    last_dump_ = BuildReport(now_ns, stats, metrics, nullptr, nullptr);
+    Emit(last_dump_);
+    return true;
+  }
+
+  // Unconditional dump for non-watermark triggers (SLO breaches): bypasses
+  // the anomaly-counter check but keeps the rate limit, so an alert storm
+  // still yields one report per window. `reason` names the trigger in the
+  // header; `extra` (attribution + SLO snapshot) is appended before the end
+  // marker. Returns true when a dump was emitted.
+  bool ForceDump(uint64_t now_ns, const RuntimeStats& stats, const MetricsRegistry* metrics,
+                 const char* reason, const std::string& extra) {
+    if (dumps_ != 0 && now_ns < last_dump_ns_ + min_interval_ns_) {
+      return false;
+    }
+    last_dump_ns_ = now_ns;
+    ++dumps_;
+    last_dump_ = BuildReport(now_ns, stats, metrics, reason, &extra);
     Emit(last_dump_);
     return true;
   }
@@ -91,15 +108,17 @@ class FlightRecorder : public TraceSink {
 
  private:
   std::string BuildReport(uint64_t now_ns, const RuntimeStats& stats,
-                          const MetricsRegistry* metrics) const {
+                          const MetricsRegistry* metrics, const char* reason,
+                          const std::string* extra) const {
     std::string out;
     char line[160];
     std::snprintf(line, sizeof(line),
-                  "=== flight recorder dump #%llu at %llu ns ===\n"
+                  "=== flight recorder dump #%llu at %llu ns%s%s ===\n"
                   "anomaly counters: failed_fetches=%llu repair_pages_lost=%llu "
                   "checksum_mismatches=%llu tier_corrupt_drops=%llu\n",
                   static_cast<unsigned long long>(dumps_),
                   static_cast<unsigned long long>(now_ns),
+                  reason != nullptr ? " trigger=" : "", reason != nullptr ? reason : "",
                   static_cast<unsigned long long>(stats.failed_fetches),
                   static_cast<unsigned long long>(stats.repair_pages_lost),
                   static_cast<unsigned long long>(stats.checksum_mismatches),
@@ -120,6 +139,10 @@ class FlightRecorder : public TraceSink {
     if (metrics != nullptr) {
       out += "--- per-node fabric metrics ---\n";
       out += metrics->ToString();
+    }
+    if (extra != nullptr && !extra->empty()) {
+      out += "--- attribution snapshot ---\n";
+      out += *extra;
     }
     out += "=== end dump ===\n";
     return out;

@@ -18,10 +18,12 @@
 #include <string>
 
 #include "src/sim/stats.h"
+#include "src/telemetry/attribution.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/histogram.h"
 #include "src/telemetry/invariants.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/slo.h"
 
 namespace dilos {
 
@@ -45,10 +47,18 @@ struct TelemetryConfig {
   // runtime destructor and abort on violation. For tests: every
   // telemetry-enabled run doubles as an accounting audit.
   bool check_invariants = false;
+  // Per-fault critical-path phase attribution (src/telemetry/attribution.h):
+  // per-(tenant, phase) LogHistograms with a CI-enforced sum-equals-latency
+  // invariant. Purely observational — never advances the simulated clock.
+  bool attribution = false;
+  // Per-tenant latency SLO engine (src/telemetry/slo.h). Enabling it implies
+  // attribution stamping: the engine scores the attributed end-to-end fault
+  // latency, and breach dumps attach the attribution snapshot.
+  SloConfig slo;
 
   bool enabled() const {
     return metrics || latency_distributions || span_capacity != 0 ||
-           flight_capacity != 0 || check_invariants;
+           flight_capacity != 0 || check_invariants || attribution || slo.enabled;
   }
 };
 
@@ -69,6 +79,12 @@ class Telemetry {
       distributions_ =
           std::make_unique<std::array<LogHistogram, static_cast<size_t>(LatComp::kCount)>>();
     }
+    if (cfg.attribution || cfg.slo.enabled) {
+      attribution_ = std::make_unique<FaultAttribution>();
+    }
+    if (cfg.slo.enabled) {
+      slo_ = std::make_unique<SloEngine>(cfg.slo);
+    }
   }
 
   const TelemetryConfig& config() const { return cfg_; }
@@ -77,6 +93,10 @@ class Telemetry {
   const MetricsRegistry* metrics() const { return metrics_.get(); }
   FlightRecorder* flight() { return flight_.get(); }
   const FlightRecorder* flight() const { return flight_.get(); }
+  FaultAttribution* attribution() { return attribution_.get(); }
+  const FaultAttribution* attribution() const { return attribution_.get(); }
+  SloEngine* slo() { return slo_.get(); }
+  const SloEngine* slo() const { return slo_.get(); }
 
   std::array<LogHistogram, static_cast<size_t>(LatComp::kCount)>* distributions() {
     return distributions_.get();
@@ -92,6 +112,8 @@ class Telemetry {
   TelemetryConfig cfg_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<FlightRecorder> flight_;
+  std::unique_ptr<FaultAttribution> attribution_;
+  std::unique_ptr<SloEngine> slo_;
   std::unique_ptr<std::array<LogHistogram, static_cast<size_t>(LatComp::kCount)>>
       distributions_;
 };

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/telemetry/invariants.h"
+#include "src/telemetry/slo.h"
 
 namespace dilos {
 
@@ -45,6 +46,9 @@ struct TenantSpec {
   uint32_t weight = 1;       // Fair-share weight for the wire scheduler.
   uint64_t quota_pages = 0;  // Remote-capacity cap; 0 = unlimited.
   QuotaPolicy policy = QuotaPolicy::kHardReject;
+  // Latency objective, honored when the SLO engine is on
+  // (TelemetryConfig::slo.enabled); default-inactive = unscored tenant.
+  SloObjective slo{};
 };
 
 // Per-runtime tenancy knobs (DilosConfig::tenants).

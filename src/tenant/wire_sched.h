@@ -60,7 +60,9 @@ class FairLinkScheduler : public LinkScheduler {
                   uint64_t issue_ns, uint64_t bytes, uint32_t nsegs,
                   bool is_write) override {
     if (node < 0 || node >= static_cast<int>(nodes_.size())) {
-      return link.Occupy(issue_ns, bytes, nsegs, is_write);
+      uint64_t done = link.Occupy(issue_ns, bytes, nsegs, is_write);
+      last_queue_ns_ = link.last_queue_ns();
+      return done;
     }
     // Mirror Link::Occupy's wire formula exactly — with the scheduler
     // installed the link's own busy-until bookkeeping is bypassed.
@@ -95,6 +97,7 @@ class FairLinkScheduler : public LinkScheduler {
     uint64_t svc = wire * (others + mine) / mine;
 
     deferred_ns_ += start - issue_ns;
+    last_queue_ns_ = start - issue_ns;
     ++ops_[band];
     lane.busy = start + svc;
     bs.frontier = std::max(bs.frontier, lane.busy);
@@ -105,6 +108,7 @@ class FairLinkScheduler : public LinkScheduler {
   // Introspection for tests and benches.
   uint64_t ops(int band) const { return ops_[band]; }
   uint64_t deferred_ns() const { return deferred_ns_; }
+  uint64_t last_queue_ns() const override { return last_queue_ns_; }
 
  private:
   struct Lane {
@@ -144,6 +148,7 @@ class FairLinkScheduler : public LinkScheduler {
   std::vector<Node> nodes_;
   uint64_t ops_[kBands] = {0, 0, 0};
   uint64_t deferred_ns_ = 0;
+  uint64_t last_queue_ns_ = 0;
 };
 
 }  // namespace dilos

@@ -807,6 +807,9 @@ TEST(Telemetry, DisabledIsBitIdenticalToFullyEnabled) {
   on.span_capacity = 2048;
   on.flight_capacity = 256;
   on.check_invariants = true;
+  on.attribution = true;
+  on.slo.enabled = true;
+  on.slo.default_objective = SloObjective{99.0, 20'000};
   ASSERT_TRUE(on.enabled());
 
   RuntimeStats a = RunWorkload(off);

@@ -9,10 +9,12 @@ Run from anywhere: `python3 tools/check_docs.py`. Checks, stdlib only:
   2. Every top-level directory under src/ appears in README.md's
      repository-layout table, so the directory map cannot silently rot.
   3. docs/observability.md stays in lockstep with the code: every
-     RuntimeStats counter (src/sim/stats.h) has a `counter` row, and every
-     TraceEvent enumerator (src/sim/trace.h) has a `kName` row. Documented
-     names that no longer exist in the code also fail, so removing an
-     enumerator forces removing its row.
+     RuntimeStats counter (src/sim/stats.h) has a `counter` row, every
+     TraceEvent enumerator (src/sim/trace.h) has a `kName` row, every
+     FaultPhase enumerator (src/telemetry/attribution.h) has a `kName` row,
+     and every exported SLO / attribution Prometheus series (dilos_slo_*,
+     dilos_fault_*) has a row. Documented names that no longer exist in the
+     code also fail, so removing an enumerator forces removing its row.
   4. Every benchmark binary (bench/bench_*.cc) is mentioned in
      EXPERIMENTS.md, so each bench stays reproducible from the docs.
   5. Every file under docs/ is a markdown-link target in README.md's doc
@@ -125,6 +127,13 @@ def check_observability_drift(errors):
     events = extract_enumerators(os.path.join(REPO, "src", "sim", "trace.h"), "TraceEvent")
     if not events:
         errors.append("check_docs: could not parse TraceEvent from src/sim/trace.h")
+    phases = extract_enumerators(
+        os.path.join(REPO, "src", "telemetry", "attribution.h"), "FaultPhase"
+    )
+    if not phases:
+        errors.append(
+            "check_docs: could not parse FaultPhase from src/telemetry/attribution.h"
+        )
 
     for c in counters:
         if c not in documented:
@@ -134,17 +143,43 @@ def check_observability_drift(errors):
     for e in events:
         if e not in documented:
             errors.append(f"docs/observability.md: TraceEvent `{e}` has no row")
+    for p in phases:
+        if p not in documented:
+            errors.append(f"docs/observability.md: FaultPhase `{p}` has no row")
 
-    # The reverse direction: a table row for `kSomething` that is no
-    # TraceEvent enumerator is a stale row. Only table rows count —
-    # backticked kNames in prose may be other enums (NodeState, WcStatus).
-    # Enumerators are kPascalCase; requiring the capital keeps snake_case
-    # counters that happen to start with "k" (kv_*) out of this check.
+    # Attribution / SLO Prometheus series exported by ToProm() must each have
+    # a row; the series names are pinned here so renaming one in the code
+    # without updating the doc (or vice versa) fails the lint.
+    slo_series = [
+        "dilos_fault_phase_ns",
+        "dilos_fault_e2e_ns",
+        "dilos_slo_faults_total",
+        "dilos_slo_bad_total",
+        "dilos_slo_alerts_total",
+        "dilos_slo_burn_fast",
+        "dilos_slo_burn_slow",
+        "dilos_slo_budget_used",
+        "dilos_slo_threshold_ns",
+    ]
+    for s in slo_series:
+        if s not in documented:
+            errors.append(
+                f"docs/observability.md: Prometheus series `{s}` has no row"
+            )
+
+    # The reverse direction: a table row for `kSomething` that is neither a
+    # TraceEvent nor a FaultPhase enumerator is a stale row. Only table rows
+    # count — backticked kNames in prose may be other enums (NodeState,
+    # WcStatus). Enumerators are kPascalCase; requiring the capital keeps
+    # snake_case counters that happen to start with "k" (kv_*) out of this
+    # check.
+    known = set(events) | set(phases)
     rows = re.findall(r"^\|\s*`(k[A-Z]\w+)`", doc, re.MULTILINE)
     for name in sorted(set(rows)):
-        if name not in events:
+        if name not in known:
             errors.append(
-                f"docs/observability.md: `{name}` has a row but is not a TraceEvent"
+                f"docs/observability.md: `{name}` has a row but is neither a "
+                "TraceEvent nor a FaultPhase"
             )
 
 
